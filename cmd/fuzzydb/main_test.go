@@ -1,0 +1,182 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func newApp(t *testing.T) (*app, *bytes.Buffer) {
+	t.Helper()
+	sess, err := core.OpenSession(t.TempDir(), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	return &app{sess: sess, out: &out}, &out
+}
+
+func TestRunScriptPrintsAnswers(t *testing.T) {
+	a, out := newApp(t)
+	err := a.runScript(`
+		CREATE TABLE W (ID NUMBER, AGE NUMBER);
+		INSERT INTO W VALUES (1, 24);
+		INSERT INTO W VALUES (2, 'about 35');
+		SELECT W.ID FROM W WHERE W.AGE = 'medium young';
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"W.ID", "1  0.8", "2  0.5", "(2 tuples)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunScriptError(t *testing.T) {
+	a, _ := newApp(t)
+	if err := a.runScript(`SELECT X.Y FROM NOPE;`); err == nil {
+		t.Errorf("want error for unknown relation")
+	}
+	if err := a.runScript(`NOT SQL AT ALL`); err == nil {
+		t.Errorf("want parse error")
+	}
+}
+
+func TestMetaCommands(t *testing.T) {
+	a, out := newApp(t)
+	if err := a.runScript(`CREATE TABLE W (X NUMBER);`); err != nil {
+		t.Fatal(err)
+	}
+
+	if quit := a.meta(`\d`); quit {
+		t.Errorf("\\d should not quit")
+	}
+	if !strings.Contains(out.String(), "W(X NUMBER, D)") {
+		t.Errorf("\\d output: %q", out.String())
+	}
+
+	out.Reset()
+	a.meta(`\terms`)
+	if !strings.Contains(out.String(), "medium young") {
+		t.Errorf("\\terms output: %q", out.String())
+	}
+
+	out.Reset()
+	a.meta(`\explain SELECT W.X FROM W;`)
+	if !strings.Contains(out.String(), "strategy: flat") {
+		t.Errorf("\\explain output: %q", out.String())
+	}
+
+	out.Reset()
+	a.meta(`\explain BAD QUERY`)
+	if !strings.Contains(out.String(), "error:") {
+		t.Errorf("\\explain bad query output: %q", out.String())
+	}
+
+	out.Reset()
+	a.meta(`\unknown`)
+	if !strings.Contains(out.String(), "meta commands") {
+		t.Errorf("unknown meta output: %q", out.String())
+	}
+
+	if quit := a.meta(`\q`); !quit {
+		t.Errorf("\\q should quit")
+	}
+}
+
+func TestReplSession(t *testing.T) {
+	a, out := newApp(t)
+	input := strings.Join([]string{
+		`CREATE TABLE W (X NUMBER);`,
+		`INSERT INTO W`, // continuation line
+		`VALUES (7);`,
+		`SELECT W.X FROM W;`,
+		`\d`,
+		`SELECT BROKEN`, // error is reported, shell continues
+		`;`,
+		`\q`,
+	}, "\n")
+	a.repl(strings.NewReader(input))
+	s := out.String()
+	if !strings.Contains(s, "7  1") {
+		t.Errorf("answer missing: %q", s)
+	}
+	if !strings.Contains(s, "error:") {
+		t.Errorf("error not reported: %q", s)
+	}
+	if !strings.Contains(s, "-> ") {
+		t.Errorf("continuation prompt missing: %q", s)
+	}
+}
+
+func TestReplEOF(t *testing.T) {
+	a, _ := newApp(t)
+	a.repl(strings.NewReader("")) // must terminate on EOF
+}
+
+func TestCSVExportImportMeta(t *testing.T) {
+	a, out := newApp(t)
+	if err := a.runScript(`
+		CREATE TABLE W (NAME STRING, AGE NUMBER);
+		INSERT INTO W VALUES ('Ann', 'about 35');
+		INSERT INTO W VALUES ('Bob', 24) DEGREE 0.5;
+	`); err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/w.csv"
+	a.meta(`\export W ` + path)
+	if !strings.Contains(out.String(), "exported 2 tuples") {
+		t.Fatalf("export output: %q", out.String())
+	}
+
+	// Import back into a second relation.
+	if err := a.runScript(`CREATE TABLE W2 (NAME STRING, AGE NUMBER);`); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	a.meta(`\import W2 ` + path)
+	if !strings.Contains(out.String(), "imported 2 tuples") {
+		t.Fatalf("import output: %q", out.String())
+	}
+	out.Reset()
+	if err := a.runScript(`SELECT W2.NAME FROM W2 ORDER BY D DESC;`); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "(2 tuples)") {
+		t.Errorf("query after import: %q", out.String())
+	}
+
+	// Usage and error paths.
+	out.Reset()
+	a.meta(`\export W`)
+	if !strings.Contains(out.String(), "usage:") {
+		t.Errorf("usage output: %q", out.String())
+	}
+	out.Reset()
+	a.meta(`\import NOPE ` + path)
+	if !strings.Contains(out.String(), "error:") {
+		t.Errorf("unknown relation output: %q", out.String())
+	}
+}
+
+func TestStatsMeta(t *testing.T) {
+	a, out := newApp(t)
+	if err := a.runScript(`
+		CREATE TABLE W (X NUMBER);
+		INSERT INTO W VALUES (1);
+		SELECT W.X FROM W WHERE W.X > 0;
+	`); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	a.meta(`\stats`)
+	s := out.String()
+	if !strings.Contains(s, "physical I/O") || !strings.Contains(s, "degree evals") {
+		t.Errorf("stats output: %q", s)
+	}
+}

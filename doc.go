@@ -1,0 +1,10 @@
+// Package repro is a from-scratch Go reproduction of Yang, Zhang, Liu,
+// Wu, Yu, Nakajima and Rishe, "Efficient Processing of Nested Fuzzy SQL
+// Queries in a Fuzzy Database" (IEEE TKDE 13(6), 2001; earlier version at
+// IEEE ICDE 1995).
+//
+// The repository root holds the benchmark suite (bench_test.go) that
+// regenerates every table and figure of the paper's evaluation; the
+// library lives under internal/ (see DESIGN.md for the module map) and the
+// runnable tools under cmd/ and examples/.
+package repro

@@ -1,0 +1,97 @@
+// Query 5 of the paper (Section 6), a type JA query with an aggregate
+// subquery: cities of region A whose average household income exceeds the
+// MAXIMUM average household income of region-B cities with similar
+// population. The rewrite is the pipelined group-aggregate join of Query
+// JA′ (Theorem 6.1); a COUNT variant exercises the left outer join arm of
+// Query COUNT′.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/fsql"
+)
+
+const script = `
+	CREATE TABLE CITIES_REGION_A (NAME STRING, POPULATION NUMBER, AVE_HOME_INCOME NUMBER);
+	CREATE TABLE CITIES_REGION_B (NAME STRING, POPULATION NUMBER, AVE_HOME_INCOME NUMBER);
+
+	-- Populations in thousands, ill-known from survey data; incomes in K$.
+	DEFINE TERM 'small town'  AS TRAP(0, 5, 30, 50);
+	DEFINE TERM 'mid city'    AS TRAP(40, 80, 200, 280);
+	DEFINE TERM 'big city'    AS TRAP(250, 400, 2000, 2500);
+
+	INSERT INTO CITIES_REGION_A VALUES ('Aston',   'small town', 'about 40K');
+	INSERT INTO CITIES_REGION_A VALUES ('Appleby', 'mid city',   'high');
+	INSERT INTO CITIES_REGION_A VALUES ('Arbor',   'big city',   'medium high');
+	INSERT INTO CITIES_REGION_A VALUES ('Alton',   TRI(60, 90, 120), 'about 60K');
+
+	INSERT INTO CITIES_REGION_B VALUES ('Birch',   'small town', 'about 25K');
+	INSERT INTO CITIES_REGION_B VALUES ('Bedrock', 'mid city',   'about 40K');
+	INSERT INTO CITIES_REGION_B VALUES ('Bern',    'mid city',   'medium high');
+	INSERT INTO CITIES_REGION_B VALUES ('Bigton',  'big city',   'about 60K');
+`
+
+const query5 = `
+	SELECT R.NAME
+	FROM CITIES_REGION_A R
+	WHERE R.AVE_HOME_INCOME >
+	      (SELECT MAX(S.AVE_HOME_INCOME)
+	       FROM CITIES_REGION_B S
+	       WHERE S.POPULATION = R.POPULATION)`
+
+const countVariant = `
+	SELECT R.NAME
+	FROM CITIES_REGION_A R
+	WHERE R.POPULATION >
+	      (SELECT COUNT(S.NAME)
+	       FROM CITIES_REGION_B S
+	       WHERE S.POPULATION = R.POPULATION)`
+
+func main() {
+	dir, err := os.MkdirTemp("", "cities-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	sess, err := core.OpenSession(dir, 256)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if _, err := sess.ExecScript(script); err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(title, src string) {
+		q, err := fsql.ParseQuery(src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		plan := sess.Env.Explain(q)
+		fmt.Printf("%s\n  strategy: %s (%s)\n", title, plan.Strategy, plan.Note)
+		rel, err := sess.Env.EvalUnnested(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, t := range rel.Tuples {
+			fmt.Printf("  %-8s D = %.4g\n", t.Values[0].Str, t.D)
+		}
+		naive, err := sess.Env.EvalNaive(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if naive.Equal(rel, 1e-9) {
+			fmt.Println("  ✓ equivalent to the naive nested evaluation (Theorem 6.1)")
+		} else {
+			fmt.Println("  ✗ MISMATCH")
+		}
+		fmt.Println()
+	}
+
+	run("Query 5 — beats the best similar-population region-B income (MAX):", query5)
+	run("COUNT variant — population above the number of similar region-B cities:", countVariant)
+}

@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinyConfig keeps the harness tests fast: very small relations, verified
+// answers.
+func tinyConfig(t *testing.T) Config {
+	t.Helper()
+	return Config{
+		Dir:      t.TempDir(),
+		ScaleDiv: 256, // paper's 8k tuples -> 50 (the floor)
+		Verify:   true,
+	}
+}
+
+func TestMeasurePairShape(t *testing.T) {
+	cfg := tinyConfig(t)
+	nl, mj, err := cfg.MeasurePair(100, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.Answer != mj.Answer {
+		t.Errorf("answers differ: %d vs %d", nl.Answer, mj.Answer)
+	}
+	if nl.DegreeEvals <= mj.DegreeEvals {
+		t.Errorf("nested loop should evaluate more degrees: %d vs %d", nl.DegreeEvals, mj.DegreeEvals)
+	}
+	if mj.SortWall <= 0 {
+		t.Errorf("merge-join should report sorting time")
+	}
+	if nl.SortWall != 0 {
+		t.Errorf("nested loop should not sort, got %v", nl.SortWall)
+	}
+}
+
+func TestMeasurementModel(t *testing.T) {
+	m := Measurement{Wall: time.Second, IOs: 100, IOLatency: 10 * time.Millisecond,
+		SortWall: 500 * time.Millisecond, SortIOs: 50}
+	if got := m.Response(); got != 2*time.Second {
+		t.Errorf("Response = %v, want 2s", got)
+	}
+	if got := m.CPUFraction(); got != 0.5 {
+		t.Errorf("CPUFraction = %g, want 0.5", got)
+	}
+	if got := m.SortFraction(); got != 0.5 {
+		t.Errorf("SortFraction = %g, want 0.5", got)
+	}
+	var zero Measurement
+	if zero.CPUFraction() != 0 || zero.SortFraction() != 0 {
+		t.Errorf("zero measurement fractions should be 0")
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if NestedLoop.String() != "nested-loop" || MergeJoin.String() != "merge-join" {
+		t.Errorf("method names wrong")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.ScaleDiv != 32 || c.Fanout != 7 || c.TupleBytes != 128 || c.IOLatency != 10*time.Millisecond {
+		t.Errorf("defaults = %+v", c)
+	}
+	if got := c.scale(8000); got != 250 {
+		t.Errorf("scale(8000) = %d", got)
+	}
+	if got := c.scale(100); got != 50 {
+		t.Errorf("scale floor = %d", got)
+	}
+	if got := c.bufferPages(); got != 8 {
+		t.Errorf("bufferPages = %d", got)
+	}
+	big := Config{ScaleDiv: 1000}.withDefaults()
+	if got := big.bufferPages(); got != 4 {
+		t.Errorf("bufferPages floor = %d", got)
+	}
+}
+
+// TestTablesRunTiny executes every experiment at minimal scale and checks
+// the rendered output contains the paper's reference numbers.
+func TestTablesRunTiny(t *testing.T) {
+	cfg := tinyConfig(t)
+	for _, name := range Names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			tbl, err := Experiments[name](cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out := tbl.Render()
+			if len(tbl.Rows) == 0 {
+				t.Fatalf("no rows")
+			}
+			switch name {
+			case "table1":
+				if !strings.Contains(out, "30879") {
+					t.Errorf("missing paper reference value:\n%s", out)
+				}
+			case "table3":
+				if !strings.Contains(out, "84.1") {
+					t.Errorf("missing paper reference value:\n%s", out)
+				}
+			case "fig3":
+				if len(tbl.Rows) != len(fig3Fanouts) {
+					t.Errorf("rows = %d", len(tbl.Rows))
+				}
+			}
+		})
+	}
+}
+
+// TestSpeedupShape: at a modest scale the merge-join must beat the nested
+// loop on the modeled response time, and the gap must grow with size —
+// the headline shape of Table 1.
+func TestSpeedupShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test is moderately expensive")
+	}
+	cfg := Config{Dir: t.TempDir(), ScaleDiv: 64, Verify: true}
+	small := 400
+	large := 1600
+	nlS, mjS, err := cfg.MeasurePair(small, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nlL, mjL, err := cfg.MeasurePair(large, large)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spSmall := float64(nlS.Response()) / float64(mjS.Response())
+	spLarge := float64(nlL.Response()) / float64(mjL.Response())
+	if spSmall <= 1 {
+		t.Errorf("small speedup = %.2f, want > 1", spSmall)
+	}
+	if spLarge <= spSmall {
+		t.Errorf("speedup should grow with size: %.2f (n=%d) vs %.2f (n=%d)", spSmall, small, spLarge, large)
+	}
+}

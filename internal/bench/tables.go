@@ -1,0 +1,283 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Table is a regenerated experiment: a title, column headers, and rows of
+// rendered cells. Paper reference values are embedded next to measured
+// ones so the shape comparison is immediate.
+type Table struct {
+	Title  string
+	Note   string
+	Header []string
+	Rows   [][]string
+}
+
+// Render formats the table as aligned text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	b.WriteString(t.Title + "\n")
+	if t.Note != "" {
+		b.WriteString(t.Note + "\n")
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Header)
+	for i := range widths {
+		b.WriteString(strings.Repeat("-", widths[i]))
+		if i < len(widths)-1 {
+			b.WriteString("--")
+		}
+	}
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+func secs(d time.Duration) string {
+	return fmt.Sprintf("%.2fs", d.Seconds())
+}
+
+func speedup(nl, mj Measurement) string {
+	if mj.Response() == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", float64(nl.Response())/float64(mj.Response()))
+}
+
+// paperTable1 holds the published rows of Table 1 ("—" where the nested
+// loop took too long to terminate).
+var paperTable1 = []struct {
+	mb             int
+	tuples         int
+	nested, merged string
+	speedup        string
+}{
+	{1, 8000, "501", "40", "12.5"},
+	{2, 16000, "1965", "84", "23.4"},
+	{4, 32000, "7754", "223", "34.8"},
+	{8, 64000, "30879", "852", "36.2"},
+	{16, 128000, "-", "1897", "-"},
+	{32, 256000, "-", "3733", "-"},
+}
+
+// Table1 regenerates Table 1: response time vs relation size, both
+// relations n × 128-byte tuples, C = 7.
+func Table1(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		Title: "Table 1: response time of the nested-loop and merge-join methods (both relations n tuples, 128 B, C = 7)",
+		Note: fmt.Sprintf("paper columns: SPARC/IPC seconds; measured columns: modeled response = compute + IOs x %v, at 1/%d scale",
+			cfg.IOLatency, cfg.ScaleDiv),
+		Header: []string{"size", "tuples", "paper NL", "paper MJ", "paper speedup",
+			"NL response", "MJ response", "speedup", "NL IOs", "MJ IOs"},
+	}
+	for _, row := range paperTable1 {
+		n := cfg.scale(row.tuples)
+		nl, mj, err := cfg.MeasurePair(n, n)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%dMB", row.mb), fmt.Sprintf("%d", n),
+			row.nested, row.merged, row.speedup,
+			secs(nl.Response()), secs(mj.Response()), speedup(nl, mj),
+			fmt.Sprintf("%d", nl.IOs), fmt.Sprintf("%d", mj.IOs),
+		})
+	}
+	return t, nil
+}
+
+// paperTable2 holds the published rows of Table 2 (outer fixed at 4 MB).
+var paperTable2 = []struct {
+	innerMB        int
+	innerTuples    int
+	nested, merged string
+	speedup        string
+}{
+	{2, 16000, "3912", "156", "25.1"},
+	{4, 32000, "7790", "205", "38"},
+	{8, 64000, "15489", "476", "32.5"},
+	{16, 128000, "31049", "2152", "14.4"},
+}
+
+const table2OuterTuples = 32000 // 4 MB of 128-byte tuples
+
+// Table2 regenerates Table 2: response time while the inner relation
+// grows from 2 to 16 MB with the outer fixed at 4 MB.
+func Table2(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		Title: "Table 2: response time while the inner relation size changes (outer fixed 4 MB, 128 B tuples, C = 7)",
+		Note:  fmt.Sprintf("measured at 1/%d scale with %v simulated I/O latency", cfg.ScaleDiv, cfg.IOLatency),
+		Header: []string{"inner", "tuples", "paper NL", "paper MJ", "paper speedup",
+			"NL response", "MJ response", "speedup"},
+	}
+	nOuter := cfg.scale(table2OuterTuples)
+	for _, row := range paperTable2 {
+		n := cfg.scale(row.innerTuples)
+		nl, mj, err := cfg.MeasurePair(nOuter, n)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%dMB", row.innerMB), fmt.Sprintf("%d", n),
+			row.nested, row.merged, row.speedup,
+			secs(nl.Response()), secs(mj.Response()), speedup(nl, mj),
+		})
+	}
+	return t, nil
+}
+
+// paperTable3 holds the published Table 3 rows (merge-join breakdown on
+// the Table 2 runs).
+var paperTable3 = []struct {
+	innerMB     int
+	innerTuples int
+	cpuPct      string
+	sortPct     string
+}{
+	{2, 16000, "76", "38.7"},
+	{4, 32000, "63", "52.5"},
+	{8, 64000, "51", "61.9"},
+	{16, 128000, "24", "84.1"},
+}
+
+// Table3 regenerates Table 3: the merge-join time breakdown (CPU share of
+// the response, and sorting share of the response) over the Table 2
+// configurations.
+func Table3(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		Title: "Table 3: time breakdown of the merge-join method (Table 2 configurations)",
+		Note:  fmt.Sprintf("measured at 1/%d scale with %v simulated I/O latency", cfg.ScaleDiv, cfg.IOLatency),
+		Header: []string{"inner", "tuples", "paper CPU %", "paper sort %",
+			"CPU %", "sort %"},
+	}
+	nOuter := cfg.scale(table2OuterTuples)
+	for _, row := range paperTable3 {
+		n := cfg.scale(row.innerTuples)
+		mj, err := cfg.MeasureOne(MergeJoin, nOuter, n)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%dMB", row.innerMB), fmt.Sprintf("%d", n),
+			row.cpuPct, row.sortPct,
+			fmt.Sprintf("%.0f", mj.CPUFraction()*100),
+			fmt.Sprintf("%.1f", mj.SortFraction()*100),
+		})
+	}
+	return t, nil
+}
+
+// paperTable4 holds the published Table 4 rows (tuple-size sweep).
+var paperTable4 = []struct {
+	tupleBytes     int
+	nested, merged string
+}{
+	{128, "485", "20"},
+	{256, "514", "37"},
+	{512, "584", "94"},
+	{1024, "729", "487"},
+	{2048, "1077", "896"},
+}
+
+const table4Tuples = 8000
+
+// Table4 regenerates Table 4: response time while the tuple size grows
+// from 128 to 2048 bytes, with 8 000 tuples per relation and C = 1.
+func Table4(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	cfg.Fanout = 1
+	t := &Table{
+		Title: "Table 4: response time while the tuple size changes (8 000 tuples each at paper scale, C = 1)",
+		Note:  fmt.Sprintf("measured at 1/%d scale with %v simulated I/O latency", cfg.ScaleDiv, cfg.IOLatency),
+		Header: []string{"tuple size", "paper NL", "paper MJ",
+			"NL response", "MJ response", "NL IOs", "MJ IOs"},
+	}
+	n := cfg.scale(table4Tuples)
+	for _, row := range paperTable4 {
+		c := cfg
+		c.TupleBytes = row.tupleBytes
+		nl, mj, err := c.MeasurePair(n, n)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%dB", row.tupleBytes), row.nested, row.merged,
+			secs(nl.Response()), secs(mj.Response()),
+			fmt.Sprintf("%d", nl.IOs), fmt.Sprintf("%d", mj.IOs),
+		})
+	}
+	return t, nil
+}
+
+// fig3Fanouts are the C values of Fig. 3's x axis.
+var fig3Fanouts = []int{1, 2, 4, 8, 16, 32, 64, 128}
+
+const fig3Tuples = 64000 // 8 MB of 128-byte tuples per relation
+
+// Fig3 regenerates Fig. 3: the merge-join's response time, CPU time and
+// number of I/Os as the average join fanout C grows from 1 to 128 with
+// both relations fixed at 8 MB. The paper's qualitative finding: the I/O
+// count stays near-constant while CPU time grows with C.
+func Fig3(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		Title:  "Fig. 3: merge-join response time, CPU time and number of I/Os vs join fanout C (both relations 8 MB at paper scale)",
+		Note:   fmt.Sprintf("measured at 1/%d scale with %v simulated I/O latency; paper shape: IOs flat, CPU and response rising with C", cfg.ScaleDiv, cfg.IOLatency),
+		Header: []string{"C", "response", "CPU time", "IOs", "degree evals"},
+	}
+	n := cfg.scale(fig3Tuples)
+	for _, c := range fig3Fanouts {
+		conf := cfg
+		conf.Fanout = c
+		mj, err := conf.MeasureOne(MergeJoin, n, n)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", c),
+			secs(mj.Response()), secs(mj.CPU()),
+			fmt.Sprintf("%d", mj.IOs),
+			fmt.Sprintf("%d", mj.DegreeEvals),
+		})
+	}
+	return t, nil
+}
+
+// Experiments maps experiment names to their runners.
+var Experiments = map[string]func(Config) (*Table, error){
+	"table1": Table1,
+	"table2": Table2,
+	"table3": Table3,
+	"table4": Table4,
+	"fig3":   Fig3,
+}
+
+// Names lists the experiment names in presentation order.
+var Names = []string{"table1", "table2", "table3", "table4", "fig3"}

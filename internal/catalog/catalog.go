@@ -1,0 +1,191 @@
+// Package catalog maintains the database catalog: named fuzzy relations
+// bound to heap files, and the linguistic-term dictionary mapping vague
+// terms such as "medium young" to their possibility distributions
+// (Section 2 of the paper). Fuzzy SQL queries reference both.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/frel"
+	"repro/internal/fuzzy"
+	"repro/internal/storage"
+)
+
+// Catalog is the root object of a database session.
+type Catalog struct {
+	mgr       *storage.Manager
+	relations map[string]*storage.HeapFile
+	terms     map[string]fuzzy.Trapezoid
+}
+
+// New creates an empty catalog over the given storage manager.
+func New(mgr *storage.Manager) *Catalog {
+	return &Catalog{
+		mgr:       mgr,
+		relations: make(map[string]*storage.HeapFile),
+		terms:     make(map[string]fuzzy.Trapezoid),
+	}
+}
+
+// Manager returns the underlying storage manager.
+func (c *Catalog) Manager() *storage.Manager { return c.mgr }
+
+func relKey(name string) string { return strings.ToUpper(name) }
+
+// CreateRelation creates an empty relation with the given schema. Relation
+// names are case-insensitive.
+func (c *Catalog) CreateRelation(name string, schema *frel.Schema) (*storage.HeapFile, error) {
+	key := relKey(name)
+	if _, ok := c.relations[key]; ok {
+		return nil, fmt.Errorf("catalog: relation %q already exists", name)
+	}
+	schema = schema.Clone()
+	schema.Name = key
+	h, err := c.mgr.CreateHeap(strings.ToLower(key), schema)
+	if err != nil {
+		return nil, err
+	}
+	c.relations[key] = h
+	return h, nil
+}
+
+// Relation looks up a relation by name.
+func (c *Catalog) Relation(name string) (*storage.HeapFile, error) {
+	h, ok := c.relations[relKey(name)]
+	if !ok {
+		return nil, fmt.Errorf("catalog: unknown relation %q", name)
+	}
+	return h, nil
+}
+
+// ReplaceRelationContents rewrites a relation's heap file to contain
+// exactly the given tuples (used by DELETE). The schema is unchanged.
+func (c *Catalog) ReplaceRelationContents(name string, tuples []frel.Tuple) error {
+	key := relKey(name)
+	h, ok := c.relations[key]
+	if !ok {
+		return fmt.Errorf("catalog: unknown relation %q", name)
+	}
+	schema := h.Schema
+	if err := h.Drop(); err != nil {
+		return err
+	}
+	nh, err := c.mgr.CreateHeap(strings.ToLower(key), schema)
+	if err != nil {
+		return err
+	}
+	for _, t := range tuples {
+		if err := nh.Append(t); err != nil {
+			return err
+		}
+	}
+	if err := nh.Flush(); err != nil {
+		return err
+	}
+	c.relations[key] = nh
+	return nil
+}
+
+// DropRelation removes a relation and deletes its heap file.
+func (c *Catalog) DropRelation(name string) error {
+	key := relKey(name)
+	h, ok := c.relations[key]
+	if !ok {
+		return fmt.Errorf("catalog: unknown relation %q", name)
+	}
+	delete(c.relations, key)
+	return h.Drop()
+}
+
+// Relations returns the sorted names of all relations.
+func (c *Catalog) Relations() []string {
+	names := make([]string, 0, len(c.relations))
+	for n := range c.relations {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func termKey(name string) string { return strings.ToLower(strings.TrimSpace(name)) }
+
+// DefineTerm binds a linguistic term to a possibility distribution. Terms
+// are case-insensitive; redefinition overwrites.
+func (c *Catalog) DefineTerm(name string, t fuzzy.Trapezoid) error {
+	if !t.Valid() {
+		return fmt.Errorf("catalog: term %q has invalid distribution %v", name, t)
+	}
+	c.terms[termKey(name)] = t
+	return nil
+}
+
+// Term looks up a linguistic term.
+func (c *Catalog) Term(name string) (fuzzy.Trapezoid, bool) {
+	t, ok := c.terms[termKey(name)]
+	return t, ok
+}
+
+// Terms returns the sorted names of all defined terms.
+func (c *Catalog) Terms() []string {
+	names := make([]string, 0, len(c.terms))
+	for n := range c.terms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DefinePaperTerms loads the linguistic-term dictionary of the paper's
+// running examples (Figs. 1 and 2). The numeric parameters are
+// reconstructed from the figures so that every satisfaction degree worked
+// out in the paper is reproduced exactly:
+//
+//   - d(24 = medium young) = 0.8 and d(about 35 = medium young) = 0.5
+//     (Section 2.2, Fig. 1);
+//   - in Example 4.1, the temporary relation T = {about 40K: 0.4, high: 1},
+//     the intermediate answers {Ann: 0.3, Ann: 0.7, Betty: 0.7}, and the
+//     final answer {Ann: 0.7, Betty: 0.7}.
+//
+// AGE terms are in years, INCOME terms in thousands of dollars.
+func (c *Catalog) DefinePaperTerms() {
+	for name, t := range PaperTerms() {
+		// Distributions below are valid by construction.
+		c.terms[termKey(name)] = t
+	}
+}
+
+// PaperTerms returns the reconstructed Fig. 1 / Fig. 2 dictionary; see
+// DefinePaperTerms.
+func PaperTerms() map[string]fuzzy.Trapezoid {
+	return map[string]fuzzy.Trapezoid{
+		// AGE (years).
+		"young":        fuzzy.Trap(0, 0, 22, 30),
+		"medium young": fuzzy.Trap(20, 25, 30, 35),
+		// The rising edge 30 → 30+15/7 makes the intersection with
+		// "medium young" exactly 0.7, the degree of Betty's tuple in
+		// Example 4.1.
+		"middle age": fuzzy.Trap(30, 30+15.0/7, 47, 48),
+		"old":        fuzzy.Trap(45, 55, 120, 120),
+		"about 29":   fuzzy.Tri(28, 29, 30),
+		"about 35":   fuzzy.Tri(30, 35, 40),
+		// The 46..50 rising edge makes d(about 50 = middle age) = 0.4, the
+		// degree of "about 40K" in T of Example 4.1.
+		"about 50": fuzzy.Tri(46, 50, 54),
+
+		// INCOME (thousands of dollars).
+		"low":        fuzzy.Trap(0, 0, 20, 35),
+		"medium low": fuzzy.Trap(20, 28, 35, 45),
+		"about 25k":  fuzzy.Tri(20, 25, 30),
+		"about 40k":  fuzzy.Tri(30, 40, 50),
+		// medium high falls 68 → 78 and high rises 64 → 74, giving
+		// d(medium high = high) = 0.7 (Ann 102's degree in Example 4.1).
+		"medium high": fuzzy.Trap(50, 60, 68, 78),
+		"high":        fuzzy.Trap(64, 74, 120, 120),
+		// about 60K rises from 50, giving d(about 60K = high) = 0.3
+		// (Ann 101's degree in Example 4.1).
+		"about 60k": fuzzy.Tri(50, 60, 70),
+	}
+}

@@ -1,0 +1,182 @@
+package catalog
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/frel"
+	"repro/internal/fuzzy"
+	"repro/internal/storage"
+)
+
+func newCatalog(t *testing.T) *Catalog {
+	t.Helper()
+	return New(storage.NewManager(t.TempDir(), 32))
+}
+
+func TestCreateAndLookupRelation(t *testing.T) {
+	c := newCatalog(t)
+	schema := frel.NewSchema("f", frel.Attribute{Name: "X", Kind: frel.KindNumber})
+	h, err := c.CreateRelation("f", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Schema.Name != "F" {
+		t.Errorf("schema name = %q, want canonical upper case", h.Schema.Name)
+	}
+	// Case-insensitive lookup.
+	got, err := c.Relation("F")
+	if err != nil || got != h {
+		t.Errorf("Relation(F) = %v, %v", got, err)
+	}
+	got, err = c.Relation("f")
+	if err != nil || got != h {
+		t.Errorf("Relation(f) = %v, %v", got, err)
+	}
+}
+
+func TestCreateDuplicateRelation(t *testing.T) {
+	c := newCatalog(t)
+	schema := frel.NewSchema("F", frel.Attribute{Name: "X", Kind: frel.KindNumber})
+	if _, err := c.CreateRelation("F", schema); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateRelation("f", schema); err == nil {
+		t.Errorf("duplicate create: want error")
+	}
+}
+
+func TestUnknownRelation(t *testing.T) {
+	c := newCatalog(t)
+	if _, err := c.Relation("NOPE"); err == nil {
+		t.Errorf("Relation(NOPE): want error")
+	}
+	if err := c.DropRelation("NOPE"); err == nil {
+		t.Errorf("DropRelation(NOPE): want error")
+	}
+}
+
+func TestDropRelation(t *testing.T) {
+	c := newCatalog(t)
+	schema := frel.NewSchema("F", frel.Attribute{Name: "X", Kind: frel.KindNumber})
+	if _, err := c.CreateRelation("F", schema); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropRelation("F"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Relation("F"); err == nil {
+		t.Errorf("relation still present after drop")
+	}
+	// Name is reusable.
+	if _, err := c.CreateRelation("F", schema); err != nil {
+		t.Errorf("recreate after drop: %v", err)
+	}
+}
+
+func TestRelationsSorted(t *testing.T) {
+	c := newCatalog(t)
+	schema := frel.NewSchema("x", frel.Attribute{Name: "X", Kind: frel.KindNumber})
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		if _, err := c.CreateRelation(n, schema); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := c.Relations()
+	want := []string{"ALPHA", "MID", "ZETA"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Relations = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDefineTerm(t *testing.T) {
+	c := newCatalog(t)
+	if err := c.DefineTerm("Medium Young", fuzzy.Trap(20, 25, 30, 35)); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Term("medium young")
+	if !ok || got != fuzzy.Trap(20, 25, 30, 35) {
+		t.Errorf("Term = %v, %v", got, ok)
+	}
+	// Case-insensitive, trimmed.
+	if _, ok := c.Term("  MEDIUM YOUNG "); !ok {
+		t.Errorf("case-insensitive term lookup failed")
+	}
+	if _, ok := c.Term("nope"); ok {
+		t.Errorf("unknown term resolved")
+	}
+}
+
+func TestDefineTermInvalid(t *testing.T) {
+	c := newCatalog(t)
+	if err := c.DefineTerm("bad", fuzzy.Trapezoid{A: 5, B: 1, C: 2, D: 3}); err == nil {
+		t.Errorf("invalid distribution: want error")
+	}
+}
+
+func TestTermsSorted(t *testing.T) {
+	c := newCatalog(t)
+	c.DefinePaperTerms()
+	terms := c.Terms()
+	if len(terms) != len(PaperTerms()) {
+		t.Fatalf("Terms = %d entries, want %d", len(terms), len(PaperTerms()))
+	}
+	for i := 1; i < len(terms); i++ {
+		if terms[i-1] >= terms[i] {
+			t.Errorf("Terms not sorted at %d: %q >= %q", i, terms[i-1], terms[i])
+		}
+	}
+}
+
+// TestPaperTermsReproduceDegrees verifies that the reconstructed
+// dictionary yields exactly the satisfaction degrees the paper works out.
+func TestPaperTermsReproduceDegrees(t *testing.T) {
+	terms := PaperTerms()
+	deg := func(a, b string) float64 { return fuzzy.Eq(terms[a], terms[b]) }
+
+	// Fig. 1 / Section 2.2.
+	if got := fuzzy.Eq(fuzzy.Crisp(24), terms["medium young"]); !eq(got, 0.8) {
+		t.Errorf("d(24 = medium young) = %g, want 0.8", got)
+	}
+	if got := deg("about 35", "medium young"); !eq(got, 0.5) {
+		t.Errorf("d(about 35 = medium young) = %g, want 0.5", got)
+	}
+
+	// Example 4.1, inner block: degrees of T.
+	if got := deg("about 50", "middle age"); !eq(got, 0.4) {
+		t.Errorf("d(about 50 = middle age) = %g, want 0.4", got)
+	}
+	if got := deg("middle age", "middle age"); !eq(got, 1) {
+		t.Errorf("d(middle age = middle age) = %g, want 1", got)
+	}
+	if got := fuzzy.Eq(fuzzy.Crisp(24), terms["middle age"]); !eq(got, 0) {
+		t.Errorf("d(24 = middle age) = %g, want 0", got)
+	}
+	if got := deg("about 29", "middle age"); !eq(got, 0) {
+		t.Errorf("d(about 29 = middle age) = %g, want 0", got)
+	}
+
+	// Example 4.1, outer block.
+	if got := deg("middle age", "medium young"); !eq(got, 0.7) {
+		t.Errorf("d(middle age = medium young) = %g, want 0.7", got)
+	}
+	if got := deg("about 50", "medium young"); !eq(got, 0) {
+		t.Errorf("d(about 50 = medium young) = %g, want 0", got)
+	}
+	if got := deg("about 60k", "high"); !eq(got, 0.3) {
+		t.Errorf("d(about 60K = high) = %g, want 0.3", got)
+	}
+	if got := deg("medium high", "high"); !eq(got, 0.7) {
+		t.Errorf("d(medium high = high) = %g, want 0.7", got)
+	}
+	if got := deg("about 60k", "about 40k"); got > 0.3 {
+		t.Errorf("d(about 60K = about 40K) = %g, want <= 0.3", got)
+	}
+	if got := deg("medium high", "about 40k"); got != 0 {
+		t.Errorf("d(medium high = about 40K) = %g, want 0", got)
+	}
+}
+
+func eq(a, b float64) bool { return math.Abs(a-b) <= 1e-9 }

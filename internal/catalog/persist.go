@@ -1,0 +1,115 @@
+package catalog
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/frel"
+	"repro/internal/fuzzy"
+	"repro/internal/storage"
+)
+
+// The catalog persists itself as catalog.json in the managed directory:
+// relation schemas (the heap files carry only tuples) and the
+// linguistic-term dictionary. Open restores a previously saved database;
+// Save is called by sessions after DDL and term definitions.
+
+// catalogFile is the JSON layout of catalog.json.
+type catalogFile struct {
+	Relations []relationMeta        `json:"relations"`
+	Terms     map[string][4]float64 `json:"terms"`
+}
+
+type relationMeta struct {
+	Name  string     `json:"name"`
+	Pad   int        `json:"pad,omitempty"`
+	Attrs []attrMeta `json:"attrs"`
+}
+
+type attrMeta struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+}
+
+// fileName is the catalog's file name within the managed directory.
+const fileName = "catalog.json"
+
+// Save writes the catalog (schemas and terms) to catalog.json in the
+// manager's directory and flushes every relation's pages to disk, so that
+// Open can restore the database later.
+func (c *Catalog) Save() error {
+	var cf catalogFile
+	cf.Terms = make(map[string][4]float64, len(c.terms))
+	for name, t := range c.terms {
+		cf.Terms[name] = [4]float64{t.A, t.B, t.C, t.D}
+	}
+	for _, name := range c.Relations() {
+		h := c.relations[name]
+		if err := h.Flush(); err != nil {
+			return err
+		}
+		meta := relationMeta{Name: name, Pad: h.Schema.Pad}
+		for _, a := range h.Schema.Attrs {
+			meta.Attrs = append(meta.Attrs, attrMeta{Name: a.Name, Kind: a.Kind.String()})
+		}
+		cf.Relations = append(cf.Relations, meta)
+	}
+	data, err := json.MarshalIndent(&cf, "", "  ")
+	if err != nil {
+		return fmt.Errorf("catalog: marshal: %w", err)
+	}
+	path := filepath.Join(c.mgr.Dir(), fileName)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("catalog: write: %w", err)
+	}
+	return os.Rename(tmp, path)
+}
+
+// Open restores the catalog saved in the manager's directory. If no
+// catalog file exists, it returns a fresh empty catalog and fresh = true.
+func Open(mgr *storage.Manager) (c *Catalog, fresh bool, err error) {
+	data, err := os.ReadFile(filepath.Join(mgr.Dir(), fileName))
+	if os.IsNotExist(err) {
+		return New(mgr), true, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("catalog: read: %w", err)
+	}
+	var cf catalogFile
+	if err := json.Unmarshal(data, &cf); err != nil {
+		return nil, false, fmt.Errorf("catalog: parse %s: %w", fileName, err)
+	}
+	c = New(mgr)
+	for name, corners := range cf.Terms {
+		t, err := fuzzy.NewTrap(corners[0], corners[1], corners[2], corners[3])
+		if err != nil {
+			return nil, false, fmt.Errorf("catalog: term %q: %w", name, err)
+		}
+		c.terms[termKey(name)] = t
+	}
+	for _, meta := range cf.Relations {
+		schema := &frel.Schema{Name: relKey(meta.Name), Pad: meta.Pad}
+		for _, a := range meta.Attrs {
+			var kind frel.Kind
+			switch a.Kind {
+			case frel.KindNumber.String():
+				kind = frel.KindNumber
+			case frel.KindString.String():
+				kind = frel.KindString
+			default:
+				return nil, false, fmt.Errorf("catalog: relation %q: unknown attribute kind %q", meta.Name, a.Kind)
+			}
+			schema.Attrs = append(schema.Attrs, frel.Attribute{Name: a.Name, Kind: kind})
+		}
+		h, err := mgr.OpenHeap(strings.ToLower(relKey(meta.Name)), schema)
+		if err != nil {
+			return nil, false, fmt.Errorf("catalog: reopen relation %q: %w", meta.Name, err)
+		}
+		c.relations[relKey(meta.Name)] = h
+	}
+	return c, false, nil
+}

@@ -1,0 +1,157 @@
+package catalog
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/frel"
+	"repro/internal/fuzzy"
+	"repro/internal/storage"
+)
+
+func TestOpenFreshDirectory(t *testing.T) {
+	mgr := storage.NewManager(t.TempDir(), 16)
+	c, fresh, err := Open(mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fresh || c == nil {
+		t.Errorf("fresh = %v", fresh)
+	}
+}
+
+func TestSaveAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	mgr := storage.NewManager(dir, 16)
+	c := New(mgr)
+	c.DefinePaperTerms()
+	if err := c.DefineTerm("custom", fuzzy.Tri(1, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	schema := frel.NewSchema("W",
+		frel.Attribute{Name: "ID", Kind: frel.KindNumber},
+		frel.Attribute{Name: "NAME", Kind: frel.KindString},
+	)
+	schema.Pad = 16
+	h, err := c.CreateRelation("W", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 700; i++ {
+		if err := h.Append(frel.NewTuple(0.5, frel.Crisp(float64(i)), frel.Str("n"))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second manager over the same directory restores everything.
+	mgr2 := storage.NewManager(dir, 16)
+	c2, fresh, err := Open(mgr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh {
+		t.Fatalf("expected existing catalog")
+	}
+	if got, ok := c2.Term("custom"); !ok || got != fuzzy.Tri(1, 2, 3) {
+		t.Errorf("custom term = %v, %v", got, ok)
+	}
+	if _, ok := c2.Term("medium young"); !ok {
+		t.Errorf("paper terms lost")
+	}
+	h2, err := c2.Relation("W")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.NumTuples() != 700 {
+		t.Errorf("NumTuples = %d, want 700", h2.NumTuples())
+	}
+	if h2.Schema.Pad != 16 {
+		t.Errorf("Pad = %d", h2.Schema.Pad)
+	}
+	rel, err := h2.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 700 || rel.Tuples[699].Values[0].Num.A != 699 {
+		t.Errorf("data mismatch after reopen")
+	}
+
+	// Appends continue where the old session left off.
+	if err := h2.Append(frel.NewTuple(1, frel.Crisp(700), frel.Str("x"))); err != nil {
+		t.Fatal(err)
+	}
+	if h2.NumTuples() != 701 {
+		t.Errorf("NumTuples after append = %d", h2.NumTuples())
+	}
+	rel2, err := h2.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel2.Len() != 701 || rel2.Tuples[700].Values[0].Num.A != 700 {
+		t.Errorf("append after recovery corrupted the file")
+	}
+}
+
+func TestOpenCorruptCatalog(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "catalog.json"), []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mgr := storage.NewManager(dir, 16)
+	if _, _, err := Open(mgr); err == nil {
+		t.Errorf("corrupt catalog: want error")
+	}
+}
+
+func TestOpenMissingHeapFile(t *testing.T) {
+	dir := t.TempDir()
+	mgr := storage.NewManager(dir, 16)
+	c := New(mgr)
+	schema := frel.NewSchema("W", frel.Attribute{Name: "X", Kind: frel.KindNumber})
+	if _, err := c.CreateRelation("W", schema); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Save(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, "w.heap")); err != nil {
+		t.Fatal(err)
+	}
+	mgr2 := storage.NewManager(dir, 16)
+	if _, _, err := Open(mgr2); err == nil {
+		t.Errorf("missing heap file: want error")
+	}
+}
+
+func TestRecoverEmptyHeap(t *testing.T) {
+	dir := t.TempDir()
+	mgr := storage.NewManager(dir, 16)
+	c := New(mgr)
+	schema := frel.NewSchema("W", frel.Attribute{Name: "X", Kind: frel.KindNumber})
+	if _, err := c.CreateRelation("W", schema); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Save(); err != nil {
+		t.Fatal(err)
+	}
+	mgr2 := storage.NewManager(dir, 16)
+	c2, _, err := Open(mgr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := c2.Relation("W")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumTuples() != 0 {
+		t.Errorf("NumTuples = %d", h.NumTuples())
+	}
+	// Appending to a recovered empty heap works.
+	if err := h.Append(frel.NewTuple(1, frel.Crisp(1))); err != nil {
+		t.Errorf("append: %v", err)
+	}
+}

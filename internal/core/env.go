@@ -1,0 +1,276 @@
+// Package core implements the paper's primary contribution: the unnesting
+// of nested Fuzzy SQL queries (Sections 4-8) and, as the baseline every
+// experiment compares against, the naive nested-loop evaluation of the
+// nested execution semantics (Section 2.3).
+//
+// Two evaluators share one environment:
+//
+//   - Env.EvalNaive executes a query exactly by its nested semantics: the
+//     inner block is re-evaluated for every tuple of the outer block.
+//   - Env.EvalUnnested classifies the query (type N, J, JX, JA, JALL, or a
+//     K-level chain), rewrites it to the equivalent flat form of the
+//     corresponding theorem, and evaluates the flat form with the extended
+//     merge-join (falling back to nested-loop joins where the merge order
+//     does not apply, and to the naive evaluator for shapes outside the
+//     paper's classes).
+//
+// The equivalence theorems 4.1-8.1 are validated by randomized tests that
+// compare the two evaluators tuple-for-tuple and degree-for-degree.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/exec"
+	"repro/internal/extsort"
+	"repro/internal/frel"
+	"repro/internal/fsql"
+	"repro/internal/fuzzy"
+	"repro/internal/storage"
+)
+
+// Env is the evaluation environment: relation and term resolution plus the
+// resource knobs (sort memory, nested-loop block size) and work counters.
+type Env struct {
+	cat      *catalog.Catalog
+	mem      map[string]*frel.Relation
+	memTerms map[string]fuzzy.Trapezoid
+
+	// SortMemPages is the memory budget, in pages, for external sorts
+	// (default 256 pages = the paper's 2 MB).
+	SortMemPages int
+	// NLBlockBytes is the outer block budget of the nested-loop join
+	// (default all but one page of SortMemPages, per Section 9).
+	NLBlockBytes int
+
+	// DisableJoinReorder turns off the dynamic-programming join ordering
+	// and keeps the syntactic relation order (ablation switch).
+	DisableJoinReorder bool
+
+	// Counters accumulates operator work across evaluations.
+	Counters exec.Counters
+	// Phases attributes evaluation work to phases; the experiments use it
+	// for the paper's Table 3 time breakdown.
+	Phases PhaseStats
+}
+
+// PhaseStats attributes evaluation work to phases.
+type PhaseStats struct {
+	SortWall time.Duration // wall time spent sorting (run generation + merging)
+	SortIOs  int64         // physical page I/Os performed by sorts
+}
+
+// ResetStats clears the accumulated counters and phase statistics.
+func (e *Env) ResetStats() {
+	e.Counters = exec.Counters{}
+	e.Phases = PhaseStats{}
+}
+
+// NewEnv builds an environment over a catalog (with on-disk relations and
+// its linguistic terms).
+func NewEnv(cat *catalog.Catalog) *Env {
+	e := &Env{cat: cat, mem: make(map[string]*frel.Relation)}
+	e.SortMemPages = 256
+	e.NLBlockBytes = (e.SortMemPages - 1) * storage.PageSize
+	return e
+}
+
+// NewMemEnv builds a purely in-memory environment; relations are
+// registered with RegisterRelation and terms with DefineTerm.
+func NewMemEnv() *Env {
+	e := &Env{mem: make(map[string]*frel.Relation)}
+	e.SortMemPages = 256
+	e.NLBlockBytes = (e.SortMemPages - 1) * storage.PageSize
+	return e
+}
+
+// RegisterRelation makes an in-memory relation visible to queries under
+// the given name (shadowing any catalog relation of that name).
+func (e *Env) RegisterRelation(name string, r *frel.Relation) {
+	e.mem[relKey(name)] = r
+}
+
+// DefineTerm adds a linguistic term. With a catalog, the term is stored
+// there; otherwise in the environment.
+func (e *Env) DefineTerm(name string, t fuzzy.Trapezoid) error {
+	if e.cat != nil {
+		return e.cat.DefineTerm(name, t)
+	}
+	if e.memTerms == nil {
+		e.memTerms = make(map[string]fuzzy.Trapezoid)
+	}
+	if !t.Valid() {
+		return fmt.Errorf("core: term %q has invalid distribution %v", name, t)
+	}
+	e.memTerms[termKey(name)] = t
+	return nil
+}
+
+func relKey(name string) string {
+	out := make([]byte, len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if 'a' <= c && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		out[i] = c
+	}
+	return string(out)
+}
+
+func termKey(name string) string {
+	out := make([]byte, len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		out[i] = c
+	}
+	return string(out)
+}
+
+// term resolves a linguistic term.
+func (e *Env) term(name string) (fuzzy.Trapezoid, bool) {
+	if e.cat != nil {
+		if t, ok := e.cat.Term(name); ok {
+			return t, true
+		}
+	}
+	t, ok := e.memTerms[termKey(name)]
+	return t, ok
+}
+
+// source resolves a FROM-clause relation reference to an exec.Source
+// whose schema carries the binding name (FROM alias).
+func (e *Env) source(tr fsql.TableRef) (exec.Source, error) {
+	name, alias := tr.Name, tr.Binding()
+	if r, ok := e.mem[relKey(name)]; ok {
+		if alias != "" && relKey(alias) != r.Schema.Name {
+			aliased := &frel.Relation{Schema: r.Schema.WithName(relKey(alias)), Tuples: r.Tuples}
+			return exec.NewMemSource(aliased), nil
+		}
+		return exec.NewMemSource(r), nil
+	}
+	if e.cat != nil {
+		h, err := e.cat.Relation(name)
+		if err != nil {
+			return nil, err
+		}
+		src := exec.NewHeapSource(h)
+		if alias != "" && relKey(alias) != h.Schema.Name {
+			return &renameSource{Source: src, schema: h.Schema.WithName(relKey(alias))}, nil
+		}
+		return src, nil
+	}
+	return nil, fmt.Errorf("core: unknown relation %q", name)
+}
+
+// shiftSource adds a constant distribution to one numeric attribute of
+// every tuple — the tolerance-folding transform of NEAR correlations.
+type shiftSource struct {
+	src   exec.Source
+	idx   int
+	shift fuzzy.Trapezoid
+}
+
+func newShiftSource(src exec.Source, attr string, shift fuzzy.Trapezoid) (exec.Source, error) {
+	i, err := src.Schema().Resolve(attr)
+	if err != nil {
+		return nil, err
+	}
+	if src.Schema().Attrs[i].Kind != frel.KindNumber {
+		return nil, fmt.Errorf("core: cannot shift non-numeric attribute %s", attr)
+	}
+	return &shiftSource{src: src, idx: i, shift: shift}, nil
+}
+
+func (s *shiftSource) Schema() *frel.Schema { return s.src.Schema() }
+
+func (s *shiftSource) Open() (exec.Iterator, error) {
+	it, err := s.src.Open()
+	if err != nil {
+		return nil, err
+	}
+	return &shiftIterator{in: it, idx: s.idx, shift: s.shift}, nil
+}
+
+type shiftIterator struct {
+	in    exec.Iterator
+	idx   int
+	shift fuzzy.Trapezoid
+}
+
+func (it *shiftIterator) Next() (frel.Tuple, bool) {
+	t, ok := it.in.Next()
+	if !ok {
+		return frel.Tuple{}, false
+	}
+	vals := append([]frel.Value{}, t.Values...)
+	vals[it.idx] = frel.Num(fuzzy.Add(vals[it.idx].Num, it.shift))
+	return frel.Tuple{Values: vals, D: t.D}, true
+}
+
+func (it *shiftIterator) Err() error { return it.in.Err() }
+func (it *shiftIterator) Close()     { it.in.Close() }
+
+// renameSource rebinds a source's schema name (FROM alias).
+type renameSource struct {
+	exec.Source
+	schema *frel.Schema
+}
+
+func (r *renameSource) Schema() *frel.Schema { return r.schema }
+
+// external reports whether the environment has disk-backed storage for
+// spills and external sorts.
+func (e *Env) external() bool { return e.cat != nil }
+
+// sortSource returns src sorted on attr: externally (through temp heap
+// files, charging I/O) when a storage manager is available, in memory
+// otherwise. total selects the CompareTotal tie-broken order needed by the
+// group-aggregate join.
+func (e *Env) sortSource(src exec.Source, attr string, total bool) (exec.Source, error) {
+	var less extsort.Less
+	var err error
+	if total {
+		less, err = extsort.ByAttrTotal(src.Schema(), attr)
+	} else {
+		less, err = extsort.ByAttr(src.Schema(), attr)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if e.external() {
+		mgr := e.cat.Manager()
+		tmp, err := exec.Spill(mgr, src)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		iosBefore := mgr.Stats().IO()
+		sorter := extsort.NewSorter(mgr, e.SortMemPages)
+		sorted, st, err := sorter.Sort(tmp, less)
+		if err != nil {
+			return nil, err
+		}
+		e.Phases.SortWall += time.Since(start)
+		e.Phases.SortIOs += mgr.Stats().IO() - iosBefore
+		e.Counters.Comparisons += st.Comparisons
+		if derr := tmp.Drop(); derr != nil {
+			return nil, derr
+		}
+		return exec.NewHeapSource(sorted), nil
+	}
+	rel, err := exec.Collect(src)
+	if err != nil {
+		return nil, err
+	}
+	rel = rel.Clone()
+	start := time.Now()
+	e.Counters.Comparisons += extsort.SortRelation(rel, less)
+	e.Phases.SortWall += time.Since(start)
+	return exec.NewMemSource(rel), nil
+}

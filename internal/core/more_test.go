@@ -1,0 +1,215 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fsql"
+)
+
+func mustParse(t *testing.T, src string) *fsql.Select {
+	t.Helper()
+	q, err := fsql.ParseQuery(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return q
+}
+
+// TestJANonEqualityCorrelation: the JA rewrite with a non-equality
+// correlation operator takes the materialized-inner path of the
+// group-aggregate join.
+func TestJANonEqualityCorrelation(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 10; trial++ {
+		e := envRS(rng, 15, 20, 0)
+		checkEquivalence(t, e, `
+			SELECT R.TAG FROM R
+			WHERE R.Y > (SELECT MAX(S.Z) FROM S WHERE S.V <= R.U)`,
+			StrategyGroupAgg)
+	}
+}
+
+// TestJAFlippedCorrelation: the correlation written outer-first
+// (R.U = S.V) is normalized to S.V = R.U.
+func TestJAFlippedCorrelation(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 10; trial++ {
+		e := envRS(rng, 15, 20, 0)
+		checkEquivalence(t, e, `
+			SELECT R.TAG FROM R
+			WHERE R.Y < (SELECT MIN(S.Z) FROM S WHERE R.U = S.V)`,
+			StrategyGroupAgg)
+	}
+}
+
+// TestJALLMultipleCorrelations: an extra non-equality correlation joins
+// the penalty while the equality correlation provides the merge range.
+func TestJALLMultipleCorrelations(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 10; trial++ {
+		e := envRS(rng, 15, 20, 0)
+		checkEquivalence(t, e, `
+			SELECT R.TAG FROM R
+			WHERE R.Y < ALL (SELECT S.Z FROM S WHERE S.V = R.U AND S.Z >= R.U)`,
+			StrategyAllAnti)
+	}
+}
+
+// TestJXMultipleCorrelations: JX with two correlation predicates.
+func TestJXMultipleCorrelations(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 10; trial++ {
+		e := envRS(rng, 15, 20, 0)
+		checkEquivalence(t, e, `
+			SELECT R.TAG FROM R
+			WHERE R.Y NOT IN (SELECT S.Z FROM S WHERE S.V = R.U AND S.Z < R.Y)`,
+			StrategyAntiJoin)
+	}
+}
+
+// TestChainMultiRelationInnerBlock: an inner block with two relations in
+// its FROM clause still flattens.
+func TestChainMultiRelationInnerBlock(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	for trial := 0; trial < 10; trial++ {
+		e := envRS(rng, 12, 14, 10)
+		checkEquivalence(t, e, `
+			SELECT R.TAG FROM R
+			WHERE R.Y IN (SELECT S.Z FROM S, T WHERE S.V = T.W AND T.P = R.U)`,
+			StrategyChain)
+	}
+}
+
+// TestFlatGroupByEquivalence: GROUPBY/HAVING queries agree between the
+// naive cross-product path and the planned join path.
+func TestFlatGroupByEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	for trial := 0; trial < 10; trial++ {
+		e := envRS(rng, 15, 20, 0)
+		checkEquivalence(t, e, `
+			SELECT R.TAG, COUNT(S.Z), MAX(S.Z) FROM R, S
+			WHERE R.Y = S.Z
+			GROUPBY R.TAG`,
+			StrategyFlat)
+		checkEquivalence(t, e, `
+			SELECT R.TAG, SUM(S.Z) FROM R, S
+			WHERE R.Y = S.Z
+			GROUPBY R.TAG
+			HAVING R.TAG <> 't0'`,
+			StrategyFlat)
+	}
+}
+
+// TestFlatCrossProduct: a flat query with no join predicate runs as a
+// cross product through the nested-loop operator.
+func TestFlatCrossProduct(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 5; trial++ {
+		e := envRS(rng, 8, 9, 0)
+		checkEquivalence(t, e, `
+			SELECT R.TAG, S.TAG FROM R, S WHERE R.U > 10`,
+			StrategyFlat)
+	}
+}
+
+// TestFlatNonEquiJoinOnly: a flat query whose only cross-relation
+// predicate is a non-equality comparison (no merge order available).
+func TestFlatNonEquiJoinOnly(t *testing.T) {
+	rng := rand.New(rand.NewSource(48))
+	for trial := 0; trial < 5; trial++ {
+		e := envRS(rng, 10, 12, 0)
+		checkEquivalence(t, e, `
+			SELECT R.TAG FROM R, S WHERE R.Y < S.Z AND S.V > 12`,
+			StrategyFlat)
+	}
+}
+
+// TestConstantPredicate: a predicate with no attribute references scales
+// every answer degree.
+func TestConstantPredicate(t *testing.T) {
+	rng := rand.New(rand.NewSource(49))
+	e := envRS(rng, 10, 10, 0)
+	checkEquivalence(t, e, `
+		SELECT R.TAG FROM R WHERE 3 < 5 AND R.U > 2`,
+		StrategyFlat)
+	// An unsatisfiable constant empties the answer.
+	checkEquivalence(t, e, `
+		SELECT R.TAG FROM R WHERE 5 < 3 AND R.U > 2`,
+		StrategyFlat)
+}
+
+// TestDeepChainFourLevels: a 4-level chain through R, S, T and back into
+// a fourth alias of R.
+func TestDeepChainFourLevels(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	for trial := 0; trial < 5; trial++ {
+		e := envRS(rng, 10, 12, 10)
+		e.RegisterRelation("Q", randRelation("Q", 8, rng, "M", "N"))
+		checkEquivalence(t, e, `
+			SELECT R.TAG FROM R
+			WHERE R.Y IN
+			  (SELECT S.Z FROM S WHERE S.V = R.U AND S.Z IN
+			    (SELECT T.P FROM T WHERE T.W = S.V AND T.P IN
+			      (SELECT Q.N FROM Q WHERE Q.M = T.W)))`,
+			StrategyChain)
+	}
+}
+
+// TestMultipleChainSubqueries: several chain-compatible subquery
+// predicates in one WHERE flatten together.
+func TestMultipleChainSubqueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 10; trial++ {
+		e := envRS(rng, 12, 15, 12)
+		checkEquivalence(t, e, `
+			SELECT R.TAG FROM R
+			WHERE R.Y IN (SELECT S.Z FROM S WHERE S.V = R.U)
+			  AND EXISTS (SELECT T.P FROM T WHERE T.W = R.U)`,
+			StrategyChain)
+		checkEquivalence(t, e, `
+			SELECT R.TAG FROM R
+			WHERE R.Y IN (SELECT S.Z FROM S)
+			  AND R.U < ANY (SELECT T.P FROM T WHERE T.W = R.Y)`,
+			StrategyChain)
+	}
+}
+
+// TestEmptyOuterRelation: every strategy copes with empty inputs.
+func TestEmptyOuterRelation(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	e := envRS(rng, 0, 10, 0)
+	for _, src := range []string{
+		`SELECT R.TAG FROM R WHERE R.Y IN (SELECT S.Z FROM S WHERE S.V = R.U)`,
+		`SELECT R.TAG FROM R WHERE R.Y NOT IN (SELECT S.Z FROM S WHERE S.V = R.U)`,
+		`SELECT R.TAG FROM R WHERE R.Y > (SELECT MAX(S.Z) FROM S WHERE S.V = R.U)`,
+		`SELECT R.TAG FROM R WHERE R.Y < ALL (SELECT S.Z FROM S WHERE S.V = R.U)`,
+	} {
+		q := mustParse(t, src)
+		rel, err := e.EvalUnnested(q)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		if rel.Len() != 0 {
+			t.Errorf("%q over empty outer = %v", src, rel.Tuples)
+		}
+	}
+}
+
+// TestEmptyInnerRelation: the JX/JALL Case 1 (empty T(r)) and the JA
+// COUNT arm against an empty inner relation.
+func TestEmptyInnerRelation(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	e := envRS(rng, 10, 0, 0)
+	for _, tc := range []struct {
+		src  string
+		want Strategy
+	}{
+		{`SELECT R.TAG FROM R WHERE R.Y IN (SELECT S.Z FROM S WHERE S.V = R.U)`, StrategyChain},
+		{`SELECT R.TAG FROM R WHERE R.Y NOT IN (SELECT S.Z FROM S WHERE S.V = R.U)`, StrategyAntiJoin},
+		{`SELECT R.TAG FROM R WHERE R.Y = (SELECT COUNT(S.Z) FROM S WHERE S.V = R.U)`, StrategyGroupAgg},
+		{`SELECT R.TAG FROM R WHERE R.Y < ALL (SELECT S.Z FROM S WHERE S.V = R.U)`, StrategyAllAnti},
+	} {
+		checkEquivalence(t, e, tc.src, tc.want)
+	}
+}

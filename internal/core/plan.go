@@ -1,0 +1,519 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/exec"
+	"repro/internal/frel"
+	"repro/internal/fsql"
+	"repro/internal/fuzzy"
+)
+
+// flatQuery is a normalized flat (unnested) query: a multi-way join with
+// conjunctive comparison predicates, the shape every unnesting rewrite of
+// the paper produces (Query N′, J′, Q′_K).
+type flatQuery struct {
+	items   []fsql.SelectItem
+	from    []fsql.TableRef
+	preds   []fsql.Predicate // all PredCompare / PredNear
+	groupBy []string
+	having  []fsql.Predicate
+	with    float64
+
+	orderBy   string
+	orderDesc bool
+	limit     int
+	hasLimit  bool
+}
+
+// shape returns a Select carrying only the answer-shaping clauses, for
+// finalizeAnswer.
+func (fq *flatQuery) shape() *fsql.Select {
+	return &fsql.Select{With: fq.with, OrderBy: fq.orderBy, OrderDesc: fq.orderDesc,
+		Limit: fq.limit, HasLimit: fq.hasLimit}
+}
+
+// shapeOf copies the answer-shaping clauses of a query block.
+func (fq *flatQuery) shapeOf(q *fsql.Select) {
+	fq.with = q.With
+	fq.orderBy = q.OrderBy
+	fq.orderDesc = q.OrderDesc
+	fq.limit = q.Limit
+	fq.hasLimit = q.HasLimit
+}
+
+// assumedFanout is the planner's stand-in for join selectivity statistics:
+// the paper's cost analysis assumes each tuple joins with a constant
+// number of tuples of the other relation (Section 3).
+const assumedFanout = 4
+
+// evalFlat plans and executes a flat query: local predicates are pushed
+// onto their relations, the join order is chosen by dynamic programming
+// over the join graph (Section 8 suggests exactly this for Q′_K), each
+// join runs as an extended merge-join when a numeric equality predicate is
+// available (nested-loop otherwise), and the answer is projected with
+// max-degree duplicate elimination and thresholded.
+func (e *Env) evalFlat(fq *flatQuery) (*frel.Relation, error) {
+	n := len(fq.from)
+	if n == 0 {
+		return nil, fmt.Errorf("core: flat query has no relations")
+	}
+	srcs := make([]exec.Source, n)
+	schemas := make([]*frel.Schema, n)
+	for i, tr := range fq.from {
+		s, err := e.source(tr)
+		if err != nil {
+			return nil, err
+		}
+		srcs[i] = s
+		schemas[i] = s.Schema()
+	}
+
+	// Partition predicates by the set of relations they reference.
+	var homes []predHome
+	for _, p := range fq.preds {
+		if p.Kind != fsql.PredCompare && p.Kind != fsql.PredNear {
+			return nil, fmt.Errorf("core: flat query contains non-comparison predicate %v", p)
+		}
+		var rels []int
+		seen := map[int]bool{}
+		for _, opd := range []fsql.Operand{p.Left, p.Right} {
+			if opd.Kind != fsql.OpdRef {
+				continue
+			}
+			home := -1
+			for i, s := range schemas {
+				if s.Has(opd.Ref) {
+					if home >= 0 {
+						return nil, fmt.Errorf("core: ambiguous reference %q (resolves in %s and %s)", opd.Ref, schemas[home].Name, s.Name)
+					}
+					home = i
+				}
+			}
+			if home < 0 {
+				return nil, fmt.Errorf("core: cannot resolve reference %q", opd.Ref)
+			}
+			if !seen[home] {
+				seen[home] = true
+				rels = append(rels, home)
+			}
+		}
+		homes = append(homes, predHome{p, rels})
+	}
+
+	// Push single-relation predicates onto their sources.
+	filtered := make([]exec.Source, n)
+	copy(filtered, srcs)
+	var joinPreds []predHome
+	var constPreds []fsql.Predicate
+	for _, h := range homes {
+		switch len(h.rels) {
+		case 0:
+			constPreds = append(constPreds, h.pred)
+		case 1:
+			i := h.rels[0]
+			pred, err := e.compilePred(schemas[i], h.pred)
+			if err != nil {
+				return nil, err
+			}
+			filtered[i] = exec.NewFilter(filtered[i], pred)
+		case 2:
+			joinPreds = append(joinPreds, h)
+		default:
+			return nil, fmt.Errorf("core: predicate %v references more than two relations", h.pred)
+		}
+	}
+
+	order, err := e.joinOrder(srcs, joinPreds)
+	if err != nil {
+		return nil, err
+	}
+
+	// Execute the left-deep join in the chosen order.
+	cur := filtered[order[0]]
+	joined := map[int]bool{order[0]: true}
+	used := make([]bool, len(joinPreds))
+	for _, next := range order[1:] {
+		// Predicates now evaluable: both endpoints in joined ∪ {next},
+		// with at least one endpoint being next.
+		var applicable []int
+		for pi, h := range joinPreds {
+			if used[pi] {
+				continue
+			}
+			ok := true
+			touchesNext := false
+			for _, r := range h.rels {
+				if r == next {
+					touchesNext = true
+				} else if !joined[r] {
+					ok = false
+				}
+			}
+			if ok && touchesNext {
+				applicable = append(applicable, pi)
+			}
+		}
+		cur, err = e.joinStep(cur, filtered[next], joinPreds, applicable, used)
+		if err != nil {
+			return nil, err
+		}
+		joined[next] = true
+	}
+
+	var out exec.Source = cur
+	for _, p := range constPreds {
+		pred, err := e.compilePred(cur.Schema(), p)
+		if err != nil {
+			return nil, err
+		}
+		out = exec.NewFilter(out, pred)
+	}
+
+	// Final projection / grouping.
+	hasAgg := false
+	for _, it := range fq.items {
+		if it.HasAgg {
+			hasAgg = true
+		}
+	}
+	var rel *frel.Relation
+	if hasAgg || len(fq.groupBy) > 0 {
+		rel, err = e.groupProject(fq.items, fq.groupBy, fq.having, out)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		if len(fq.having) > 0 {
+			return nil, fmt.Errorf("core: HAVING requires GROUPBY or aggregates")
+		}
+		proj, err := exec.NewProject(out, itemRefs(fq.items), true)
+		if err != nil {
+			return nil, err
+		}
+		rel, err = exec.Collect(proj)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := finalizeAnswer(rel, fq.shape()); err != nil {
+		return nil, err
+	}
+	return rel, nil
+}
+
+// joinStep joins cur with next using the applicable predicates: an
+// extended merge-join on a numeric equality predicate when one exists,
+// a block nested-loop join otherwise. Remaining applicable predicates
+// become extra conjuncts. used is updated.
+func (e *Env) joinStep(cur, next exec.Source, joinPreds []predHome, applicable []int, used []bool) (exec.Source, error) {
+	// Find a numeric equality (or, failing that, NEAR) predicate usable
+	// as the merge attribute; NEAR runs as a band merge-join.
+	mergeIdx := -1
+	var curAttr, nextAttr string
+	var mergeTol fuzzy.Trapezoid
+	for pass := 0; pass < 2 && mergeIdx < 0; pass++ {
+		for _, pi := range applicable {
+			p := joinPreds[pi].pred
+			isEq := p.Kind == fsql.PredCompare && p.Op == fuzzy.OpEq
+			isNear := p.Kind == fsql.PredNear
+			if pass == 0 && !isEq || pass == 1 && !isNear {
+				continue
+			}
+			if p.Left.Kind != fsql.OpdRef || p.Right.Kind != fsql.OpdRef {
+				continue
+			}
+			var cRef, nRef string
+			tol := p.Tol
+			switch {
+			case cur.Schema().Has(p.Left.Ref) && next.Schema().Has(p.Right.Ref):
+				cRef, nRef = p.Left.Ref, p.Right.Ref
+			case next.Schema().Has(p.Left.Ref) && cur.Schema().Has(p.Right.Ref):
+				cRef, nRef = p.Right.Ref, p.Left.Ref
+				// d(a ≈ b) under tol equals d(b ≈ a) under the negated
+				// tolerance (differences flip sign).
+				tol = fuzzy.Neg(tol)
+			default:
+				continue
+			}
+			ci, _ := cur.Schema().Resolve(cRef)
+			ni, _ := next.Schema().Resolve(nRef)
+			if cur.Schema().Attrs[ci].Kind != frel.KindNumber || next.Schema().Attrs[ni].Kind != frel.KindNumber {
+				continue
+			}
+			mergeIdx, curAttr, nextAttr, mergeTol = pi, cRef, nRef, tol
+			break
+		}
+	}
+
+	// Compile the remaining applicable predicates as extra conjuncts.
+	var extras []exec.JoinPred
+	for _, pi := range applicable {
+		if pi == mergeIdx {
+			used[pi] = true
+			continue
+		}
+		jp, err := e.compileJoinPred(cur.Schema(), next.Schema(), joinPreds[pi].pred)
+		if err != nil {
+			return nil, err
+		}
+		extras = append(extras, jp)
+		used[pi] = true
+	}
+	extra := andJoinPreds(extras)
+
+	if mergeIdx >= 0 {
+		sortedCur, err := e.sortSource(cur, curAttr, false)
+		if err != nil {
+			return nil, err
+		}
+		sortedNext, err := e.sortSource(next, nextAttr, false)
+		if err != nil {
+			return nil, err
+		}
+		mj, err := exec.NewBandMergeJoin(sortedCur, sortedNext, curAttr, nextAttr, mergeTol, extra, &e.Counters)
+		if err != nil {
+			return nil, err
+		}
+		return mj, nil
+	}
+	on := extra
+	if on == nil {
+		on = func(l, r frel.Tuple) float64 { return 1 }
+	}
+	return exec.NewBlockNLJoin(cur, next, on, e.NLBlockBytes, &e.Counters), nil
+}
+
+// predHome is a predicate together with the relations it references
+// (indexes into the flat query's FROM list; empty = constant predicate).
+type predHome struct {
+	pred fsql.Predicate
+	rels []int
+}
+
+func andJoinPreds(ps []exec.JoinPred) exec.JoinPred {
+	switch len(ps) {
+	case 0:
+		return nil
+	case 1:
+		return ps[0]
+	default:
+		return func(l, r frel.Tuple) float64 {
+			d := 1.0
+			for _, p := range ps {
+				if g := p(l, r); g < d {
+					d = g
+					if d == 0 {
+						return 0
+					}
+				}
+			}
+			return d
+		}
+	}
+}
+
+// joinOrder chooses a left-deep join order by dynamic programming over
+// relation subsets, minimizing the sum of estimated intermediate sizes.
+// Equality-edge fanouts are estimated by sampling in-memory sources (and
+// fall back to the paper's constant-fanout assumption otherwise); absent
+// any edge the join is a cross product.
+func (e *Env) joinOrder(srcs []exec.Source, joinPreds []predHome) ([]int, error) {
+	n := len(srcs)
+	if n == 1 {
+		return []int{0}, nil
+	}
+	sizes := make([]float64, n)
+	for i, s := range srcs {
+		sizes[i] = sourceSize(s)
+	}
+	// edges[i][j]: an equality predicate links i and j; fanout[i][j] is
+	// its estimated per-tuple match count.
+	edges := make([][]bool, n)
+	fanout := make([][]float64, n)
+	for i := range edges {
+		edges[i] = make([]bool, n)
+		fanout[i] = make([]float64, n)
+	}
+	for _, h := range joinPreds {
+		eqish := h.pred.Kind == fsql.PredCompare && h.pred.Op == fuzzy.OpEq || h.pred.Kind == fsql.PredNear
+		if len(h.rels) == 2 && eqish {
+			a, b := h.rels[0], h.rels[1]
+			f := e.sampleFanout(srcs[a], srcs[b], h.pred)
+			if !edges[a][b] || f < fanout[a][b] {
+				fanout[a][b], fanout[b][a] = f, f
+			}
+			edges[a][b], edges[b][a] = true, true
+		}
+	}
+
+	if n > 12 || e.DisableJoinReorder {
+		// Too many relations for subset DP (or reordering disabled): keep
+		// the syntactic order.
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		return order, nil
+	}
+
+	// est[mask] is the estimated size of joining the subset.
+	full := 1 << n
+	est := make([]float64, full)
+	for mask := 1; mask < full; mask++ {
+		if mask&(mask-1) == 0 {
+			for i := 0; i < n; i++ {
+				if mask == 1<<i {
+					est[mask] = sizes[i]
+				}
+			}
+			continue
+		}
+		est[mask] = math.Inf(1)
+	}
+	cost := make([]float64, full)
+	last := make([]int, full)
+	for mask := range cost {
+		cost[mask] = math.Inf(1)
+		last[mask] = -1
+	}
+	for i := 0; i < n; i++ {
+		cost[1<<i] = 0
+	}
+	for mask := 1; mask < full; mask++ {
+		if mask&(mask-1) == 0 {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if mask&(1<<j) == 0 {
+				continue
+			}
+			rest := mask &^ (1 << j)
+			if rest == 0 || math.IsInf(cost[rest], 1) {
+				continue
+			}
+			// Estimate the size of rest ⋈ j.
+			connected := false
+			for k := 0; k < n; k++ {
+				if rest&(1<<k) != 0 && edges[k][j] {
+					connected = true
+					break
+				}
+			}
+			var sz float64
+			if connected {
+				f := bestFanout(rest, j, n, edges, fanout)
+				sz = f * math.Min(est[rest], sizes[j])
+			} else {
+				sz = est[rest] * sizes[j]
+			}
+			c := cost[rest] + sz
+			if c < cost[mask] {
+				cost[mask] = c
+				last[mask] = j
+				est[mask] = sz
+			}
+		}
+	}
+	order := make([]int, 0, n)
+	mask := full - 1
+	for mask != 0 {
+		j := last[mask]
+		if j < 0 {
+			// Single relation left.
+			for i := 0; i < n; i++ {
+				if mask == 1<<i {
+					j = i
+				}
+			}
+			if j < 0 {
+				return nil, fmt.Errorf("core: join order reconstruction failed")
+			}
+		}
+		order = append(order, j)
+		mask &^= 1 << j
+	}
+	// Reverse: we reconstructed from last to first.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order, nil
+}
+
+// bestFanout returns the smallest estimated fanout among the equality
+// edges connecting j to the subset.
+func bestFanout(rest, j, n int, edges [][]bool, fanout [][]float64) float64 {
+	best := math.Inf(1)
+	for k := 0; k < n; k++ {
+		if rest&(1<<k) != 0 && edges[k][j] && fanout[k][j] < best {
+			best = fanout[k][j]
+		}
+	}
+	if math.IsInf(best, 1) {
+		return assumedFanout
+	}
+	return best
+}
+
+// sampleFanout estimates, for an equality/NEAR edge, how many tuples of
+// the larger side an average tuple of the smaller side joins. It samples
+// in-memory sources only (sampling a heap file would charge I/O to the
+// measurement that follows); other sources keep the paper's
+// constant-fanout assumption.
+func (e *Env) sampleFanout(a, b exec.Source, p fsql.Predicate) float64 {
+	ma, okA := a.(*exec.MemSource)
+	mb, okB := b.(*exec.MemSource)
+	if !okA || !okB || ma.Rel.Len() == 0 || mb.Rel.Len() == 0 {
+		return assumedFanout
+	}
+	jp, err := e.compileJoinPred(a.Schema(), b.Schema(), p)
+	if err != nil {
+		return assumedFanout
+	}
+	const sampleCap = 64
+	sa := sampleTuples(ma.Rel.Tuples, sampleCap)
+	sb := sampleTuples(mb.Rel.Tuples, sampleCap)
+	matches := 0
+	for _, ta := range sa {
+		for _, tb := range sb {
+			if jp(ta, tb) > 0 {
+				matches++
+			}
+		}
+	}
+	// Selectivity of the pair predicate, scaled to the smaller side's
+	// per-tuple fanout against the larger side.
+	sel := float64(matches) / float64(len(sa)*len(sb))
+	larger := math.Max(float64(ma.Rel.Len()), float64(mb.Rel.Len()))
+	f := sel * larger
+	if f < 0.1 {
+		f = 0.1 // keep estimates positive so chains still look connected
+	}
+	return f
+}
+
+// sampleTuples picks an evenly spaced sample of at most max tuples.
+func sampleTuples(ts []frel.Tuple, max int) []frel.Tuple {
+	if len(ts) <= max {
+		return ts
+	}
+	step := len(ts) / max
+	out := make([]frel.Tuple, 0, max)
+	for i := 0; i < len(ts) && len(out) < max; i += step {
+		out = append(out, ts[i])
+	}
+	return out
+}
+
+// sourceSize estimates a source's cardinality for the planner.
+func sourceSize(s exec.Source) float64 {
+	switch src := s.(type) {
+	case *exec.MemSource:
+		return float64(src.Rel.Len())
+	case *exec.HeapSource:
+		return float64(src.Heap.NumTuples())
+	default:
+		return 1000
+	}
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/exec"
+	"repro/internal/frel"
+	"repro/internal/fsql"
+	"repro/internal/storage"
+)
+
+// Session executes Fuzzy SQL statements against a catalog: DDL, inserts,
+// term definitions, and queries (evaluated with the unnesting rewrites).
+// It is the backend of the fuzzydb shell and of script-driven examples.
+type Session struct {
+	Env *Env
+	cat *catalog.Catalog
+}
+
+// NewSession opens a session over the catalog.
+func NewSession(cat *catalog.Catalog) *Session {
+	return &Session{Env: NewEnv(cat), cat: cat}
+}
+
+// Catalog returns the session's catalog.
+func (s *Session) Catalog() *catalog.Catalog { return s.cat }
+
+// Exec executes one statement. Queries return their answer relation;
+// other statements return nil. Statements that change the catalog (DDL
+// and term definitions) persist it, so the database survives reopening.
+func (s *Session) Exec(stmt fsql.Statement) (*frel.Relation, error) {
+	switch st := stmt.(type) {
+	case *fsql.Select:
+		return s.Env.EvalUnnested(st)
+
+	case *fsql.CreateTable:
+		schema := frel.NewSchema(st.Name, st.Attrs...)
+		if _, err := s.cat.CreateRelation(st.Name, schema); err != nil {
+			return nil, err
+		}
+		return nil, s.cat.Save()
+
+	case *fsql.DropTable:
+		if err := s.cat.DropRelation(st.Name); err != nil {
+			return nil, err
+		}
+		return nil, s.cat.Save()
+
+	case *fsql.Insert:
+		return nil, s.insert(st)
+
+	case *fsql.Delete:
+		return nil, s.delete(st)
+
+	case *fsql.DefineTerm:
+		if err := s.cat.DefineTerm(st.Name, st.Value); err != nil {
+			return nil, err
+		}
+		return nil, s.cat.Save()
+
+	default:
+		return nil, fmt.Errorf("core: unsupported statement %T", stmt)
+	}
+}
+
+// ExecScript parses and executes a semicolon-separated script, returning
+// the answer of each SELECT in order.
+func (s *Session) ExecScript(src string) ([]*frel.Relation, error) {
+	stmts, err := fsql.ParseScript(src)
+	if err != nil {
+		return nil, err
+	}
+	var answers []*frel.Relation
+	for _, st := range stmts {
+		rel, err := s.Exec(st)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", st, err)
+		}
+		if rel != nil {
+			answers = append(answers, rel)
+		}
+	}
+	return answers, nil
+}
+
+func (s *Session) insert(st *fsql.Insert) error {
+	h, err := s.cat.Relation(st.Table)
+	if err != nil {
+		return err
+	}
+	schema := h.Schema
+	if len(st.Values) != len(schema.Attrs) {
+		return fmt.Errorf("core: INSERT into %s supplies %d values, schema has %d attributes", st.Table, len(st.Values), len(schema.Attrs))
+	}
+	vals := make([]frel.Value, len(st.Values))
+	for i, opd := range st.Values {
+		attr := schema.Attrs[i]
+		switch opd.Kind {
+		case fsql.OpdNumber:
+			if attr.Kind != frel.KindNumber {
+				return fmt.Errorf("core: numeric value for string attribute %s", attr.Name)
+			}
+			vals[i] = frel.Num(opd.Num)
+		case fsql.OpdString:
+			if attr.Kind == frel.KindString {
+				vals[i] = frel.Str(opd.Str)
+				break
+			}
+			term, ok := s.Env.term(opd.Str)
+			if !ok {
+				return fmt.Errorf("core: unknown linguistic term %q for numeric attribute %s", opd.Str, attr.Name)
+			}
+			vals[i] = frel.Num(term)
+		default:
+			return fmt.Errorf("core: INSERT values must be literals")
+		}
+	}
+	if err := h.Append(frel.NewTuple(st.Degree, vals...)); err != nil {
+		return err
+	}
+	return h.Flush()
+}
+
+// delete removes the tuples of a relation whose condition is satisfied
+// to at least the statement's threshold degree (any positive degree by
+// default). The surviving tuples are rewritten in place.
+func (s *Session) delete(st *fsql.Delete) error {
+	h, err := s.cat.Relation(st.Table)
+	if err != nil {
+		return err
+	}
+	var preds []exec.Pred
+	for _, p := range st.Where {
+		pred, err := s.Env.compilePred(h.Schema, p)
+		if err != nil {
+			return err
+		}
+		preds = append(preds, pred)
+	}
+	rel, err := h.ReadAll()
+	if err != nil {
+		return err
+	}
+	var kept []frel.Tuple
+	for _, t := range rel.Tuples {
+		d := 1.0
+		for _, p := range preds {
+			if g := p(t); g < d {
+				d = g
+			}
+		}
+		// Delete when the condition degree reaches the threshold; the
+		// tuple's own membership degree is not part of the condition.
+		remove := d > 0 && d >= st.Threshold
+		if !remove {
+			kept = append(kept, t)
+		}
+	}
+	return s.cat.ReplaceRelationContents(st.Table, kept)
+}
+
+// OpenSession opens (or creates) the database in dir: an existing
+// catalog.json restores the saved relations and terms; a fresh directory
+// starts empty with the paper's linguistic-term dictionary preloaded.
+func OpenSession(dir string, bufferPages int) (*Session, error) {
+	mgr := storage.NewManager(dir, bufferPages)
+	cat, fresh, err := catalog.Open(mgr)
+	if err != nil {
+		return nil, err
+	}
+	if fresh {
+		cat.DefinePaperTerms()
+	}
+	return NewSession(cat), nil
+}

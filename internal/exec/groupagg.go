@@ -1,0 +1,371 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/frel"
+	"repro/internal/fuzzy"
+)
+
+// GroupAggJoin is the pipelined evaluation of the unnested type JA query
+// (Query JA′ / Query COUNT′, Section 6): the outer relation, sorted on the
+// correlation attribute U, is merged with the inner relation, sorted on V.
+// For each distinct outer value u the operator builds the fuzzy value set
+//
+//	T′(u) = { z : µ(z) = max over s with s.Z = z of min(µ_S(s), d(s.V op2 u)) > 0 },
+//
+// applies the aggregate to it (the tuple (u, A′(u)) of the paper's T2),
+// and emits every outer tuple r with that u at degree
+//
+//	min(r.D, D(A′(u)), d(r.Y op1 A′(u))),     with D(A′(u)) = 1,
+//
+// or, when T′(u) is empty: at degree min(r.D, d(r.Y op1 0)) if the
+// aggregate is COUNT (the left outer join IF-THEN-ELSE arm of Query
+// COUNT′), and not at all otherwise (A′(u) is NULL).
+//
+// When Op2 is equality the inner is consumed in one merged pass using the
+// Rng(u) cursor; identical outer values must be adjacent, so sort the
+// outer input with extsort.ByAttrTotal. For other correlation operators
+// the inner is materialized once and scanned per distinct u.
+type GroupAggJoin struct {
+	Outer, Inner Source
+
+	OuterUAttr string // R.U, the correlated attribute of the outer block
+	InnerVAttr string // S.V, the correlated attribute of the inner block
+	Op2        fuzzy.Op
+
+	InnerZAttr string // S.Z, the aggregated attribute
+	Agg        fuzzy.AggFunc
+
+	OuterYAttr string // R.Y, compared against the aggregate
+	Op1        fuzzy.Op
+
+	Counters *Counters
+
+	ui, vi, zi, yi int
+}
+
+// NewGroupAggJoin validates attribute references and kinds.
+func NewGroupAggJoin(outer, inner Source, outerU, innerV string, op2 fuzzy.Op, innerZ string, agg fuzzy.AggFunc, outerY string, op1 fuzzy.Op, counters *Counters) (*GroupAggJoin, error) {
+	ui, vi, err := checkJoinAttrs(outer, inner, outerU, innerV)
+	if err != nil {
+		return nil, err
+	}
+	zi, err := inner.Schema().Resolve(innerZ)
+	if err != nil {
+		return nil, err
+	}
+	if agg != fuzzy.AggCount && inner.Schema().Attrs[zi].Kind != frel.KindNumber {
+		return nil, fmt.Errorf("exec: aggregate %v requires a numeric attribute, %s is %v", agg, innerZ, inner.Schema().Attrs[zi].Kind)
+	}
+	yi, err := outer.Schema().Resolve(outerY)
+	if err != nil {
+		return nil, err
+	}
+	if outer.Schema().Attrs[yi].Kind != frel.KindNumber {
+		return nil, fmt.Errorf("exec: compared attribute %s must be numeric", outerY)
+	}
+	if counters == nil {
+		counters = &Counters{}
+	}
+	return &GroupAggJoin{
+		Outer: outer, Inner: inner,
+		OuterUAttr: outerU, InnerVAttr: innerV, Op2: op2,
+		InnerZAttr: innerZ, Agg: agg,
+		OuterYAttr: outerY, Op1: op1,
+		Counters: counters,
+		ui:       ui, vi: vi, zi: zi, yi: yi,
+	}, nil
+}
+
+// Schema implements Source: the output carries the outer tuples with
+// adjusted degrees.
+func (j *GroupAggJoin) Schema() *frel.Schema { return j.Outer.Schema() }
+
+// Open implements Source.
+func (j *GroupAggJoin) Open() (Iterator, error) {
+	outerIt, err := j.Outer.Open()
+	if err != nil {
+		return nil, err
+	}
+	it := &groupAggIterator{j: j, outer: outerIt}
+	if j.Op2 == fuzzy.OpEq {
+		innerIt, err := j.Inner.Open()
+		if err != nil {
+			outerIt.Close()
+			return nil, err
+		}
+		it.win = newWindow(innerIt, j.vi, j.Counters)
+	} else {
+		// Non-equality correlation: materialize the inner once.
+		rel, err := Collect(j.Inner)
+		if err != nil {
+			outerIt.Close()
+			return nil, err
+		}
+		it.innerAll = rel.Tuples
+	}
+	return it, nil
+}
+
+type groupAggIterator struct {
+	j     *GroupAggJoin
+	outer Iterator
+
+	win      *window      // Op2 == OpEq path
+	innerAll []frel.Tuple // other correlation operators
+
+	haveGroup bool
+	groupVal  frel.Value
+	aggVal    fuzzy.Trapezoid
+	aggOK     bool
+
+	prevBegin float64
+	seenAny   bool
+	err       error
+}
+
+// computeGroup builds T′(u) and its aggregate for the given outer value.
+func (it *groupAggIterator) computeGroup(u frel.Value) {
+	j := it.j
+	var candidates []frel.Tuple
+	if it.win != nil {
+		lo, hi := u.Num.Support()
+		it.win.advance(lo)
+		it.win.extend(hi)
+		if it.win.err != nil {
+			it.err = it.win.err
+			return
+		}
+		candidates = it.win.active()
+	} else {
+		candidates = it.innerAll
+	}
+	// Dedup values by identity, keeping the maximum degree (Section 4's
+	// temporary-relation rule).
+	type memberEntry struct {
+		val frel.Value
+		mu  float64
+	}
+	byKey := make(map[string]*memberEntry)
+	for _, s := range candidates {
+		j.Counters.Comparisons++
+		sv := s.Values[j.vi]
+		if it.win != nil && !u.Num.Intersects(sv.Num) {
+			continue // dangling tuple in the range
+		}
+		j.Counters.DegreeEvals++
+		d := frel.Degree(j.Op2, sv, u)
+		if s.D < d {
+			d = s.D
+		}
+		if d <= 0 {
+			continue
+		}
+		z := s.Values[j.zi]
+		k := z.Key()
+		if e, ok := byKey[k]; ok {
+			if d > e.mu {
+				e.mu = d
+			}
+		} else {
+			byKey[k] = &memberEntry{val: z, mu: d}
+		}
+	}
+	if j.Agg == fuzzy.AggCount {
+		// COUNT of an empty T′(u) is 0: comparing r.Y against Crisp(0) is
+		// exactly the ELSE arm of Query COUNT′'s IF-THEN-ELSE.
+		it.aggVal, it.aggOK = fuzzy.Crisp(float64(len(byKey))), true
+		return
+	}
+	members := make([]fuzzy.Member, 0, len(byKey))
+	for _, e := range byKey {
+		members = append(members, fuzzy.Member{Value: e.val.Num, Mu: e.mu})
+	}
+	it.aggVal, it.aggOK = fuzzy.Aggregate(j.Agg, members)
+}
+
+func (it *groupAggIterator) Next() (frel.Tuple, bool) {
+	for {
+		if it.err != nil {
+			return frel.Tuple{}, false
+		}
+		r, ok := it.outer.Next()
+		if !ok {
+			if e := it.outer.Err(); e != nil {
+				it.err = e
+			}
+			return frel.Tuple{}, false
+		}
+		u := r.Values[it.j.ui]
+		if it.win != nil {
+			lo, _ := u.Num.Support()
+			if it.seenAny && lo < it.prevBegin {
+				it.err = fmt.Errorf("exec: group-aggregate join outer input is not sorted by the Definition 3.1 order")
+				return frel.Tuple{}, false
+			}
+			it.prevBegin, it.seenAny = lo, true
+		}
+		if !it.haveGroup || !it.groupVal.Identical(u) {
+			it.computeGroup(u)
+			if it.err != nil {
+				return frel.Tuple{}, false
+			}
+			it.groupVal = u
+			it.haveGroup = true
+		}
+		if !it.aggOK {
+			continue // A′(u) is NULL and the aggregate is not COUNT
+		}
+		it.j.Counters.DegreeEvals++
+		d := fuzzy.Degree(it.j.Op1, r.Values[it.j.yi].Num, it.aggVal)
+		if r.D < d {
+			d = r.D
+		}
+		if d > 0 {
+			out := r
+			out.D = d
+			it.j.Counters.TuplesOut++
+			return out, true
+		}
+	}
+}
+
+func (it *groupAggIterator) Err() error { return it.err }
+
+func (it *groupAggIterator) Close() {
+	if it.win != nil {
+		it.win.close()
+	}
+	it.outer.Close()
+}
+
+// AggItem is one aggregate column of a GroupAgg.
+type AggItem struct {
+	Agg fuzzy.AggFunc
+	Ref string
+}
+
+// GroupAgg is a hash group-by with fuzzy aggregates, used for top-level
+// GROUPBY/HAVING clauses. Groups are keyed by value identity of the
+// grouping attributes. Within a group, each distinct value of an
+// aggregated attribute belongs to the group's fuzzy value set with the
+// maximum degree of the tuples carrying it, and the Section 6 aggregate
+// semantics apply to that set. The output tuple is (group values,
+// aggregate results) with degree max over the group's tuple degrees
+// (fuzzy OR).
+type GroupAgg struct {
+	Src       Source
+	GroupRefs []string
+	Items     []AggItem
+
+	schema   *frel.Schema
+	groupIdx []int
+	itemIdx  []int
+}
+
+// NewGroupAgg builds a group-by; the output schema is the grouping
+// attributes followed by one numeric column per aggregate item, named
+// "AGG(ref)".
+func NewGroupAgg(src Source, groupRefs []string, items []AggItem) (*GroupAgg, error) {
+	gschema, gidx, err := src.Schema().Project(groupRefs)
+	if err != nil {
+		return nil, err
+	}
+	out := gschema.Clone()
+	out.Name = ""
+	itemIdx := make([]int, len(items))
+	for i, item := range items {
+		zi, err := src.Schema().Resolve(item.Ref)
+		if err != nil {
+			return nil, err
+		}
+		if item.Agg != fuzzy.AggCount && src.Schema().Attrs[zi].Kind != frel.KindNumber {
+			return nil, fmt.Errorf("exec: aggregate %v requires a numeric attribute, %s is %v", item.Agg, item.Ref, src.Schema().Attrs[zi].Kind)
+		}
+		itemIdx[i] = zi
+		out.Attrs = append(out.Attrs, frel.Attribute{
+			Name: fmt.Sprintf("%s(%s)", item.Agg, src.Schema().Qualified(zi)),
+			Kind: frel.KindNumber,
+		})
+	}
+	return &GroupAgg{Src: src, GroupRefs: groupRefs, Items: items, schema: out, groupIdx: gidx, itemIdx: itemIdx}, nil
+}
+
+// Schema implements Source.
+func (g *GroupAgg) Schema() *frel.Schema { return g.schema }
+
+// Open implements Source.
+func (g *GroupAgg) Open() (Iterator, error) {
+	it, err := g.Src.Open()
+	if err != nil {
+		return nil, err
+	}
+	defer it.Close()
+
+	type group struct {
+		key     frel.Tuple
+		degree  float64
+		members []map[string]*fuzzy.Member // one value set per agg item
+	}
+	groups := make(map[string]*group)
+	var order []string
+	for {
+		t, ok := it.Next()
+		if !ok {
+			break
+		}
+		kt := t.Project(g.groupIdx)
+		k := kt.Key()
+		grp, ok := groups[k]
+		if !ok {
+			grp = &group{key: kt, members: make([]map[string]*fuzzy.Member, len(g.Items))}
+			for i := range grp.members {
+				grp.members[i] = make(map[string]*fuzzy.Member)
+			}
+			groups[k] = grp
+			order = append(order, k)
+		}
+		if t.D > grp.degree {
+			grp.degree = t.D
+		}
+		for i, zi := range g.itemIdx {
+			v := t.Values[zi]
+			vk := v.Key()
+			if m, ok := grp.members[i][vk]; ok {
+				if t.D > m.Mu {
+					m.Mu = t.D
+				}
+			} else {
+				grp.members[i][vk] = &fuzzy.Member{Value: v.Num, Mu: t.D}
+			}
+		}
+	}
+	if err := it.Err(); err != nil {
+		return nil, err
+	}
+
+	out := make([]frel.Tuple, 0, len(order))
+	for _, k := range order {
+		grp := groups[k]
+		vals := append([]frel.Value(nil), grp.key.Values...)
+		skip := false
+		for i, item := range g.Items {
+			set := make([]fuzzy.Member, 0, len(grp.members[i]))
+			for _, m := range grp.members[i] {
+				set = append(set, *m)
+			}
+			a, ok := fuzzy.Aggregate(item.Agg, set)
+			if !ok {
+				skip = true
+				break
+			}
+			vals = append(vals, frel.Num(a))
+		}
+		if skip {
+			continue
+		}
+		out = append(out, frel.Tuple{Values: vals, D: grp.degree})
+	}
+	return &memIterator{tuples: out}, nil
+}

@@ -1,0 +1,159 @@
+package exec
+
+import (
+	"repro/internal/frel"
+	"repro/internal/storage"
+)
+
+// BlockNLJoin is the naive (block) nested-loop join the paper's nested
+// queries must be evaluated with (Sections 1 and 3). Following the
+// experimental setup of Section 9, one buffer page is allocated to the
+// inner relation and the rest of the memory budget to the outer relation:
+// the outer source is consumed in blocks of up to BlockBytes, and for each
+// block the inner source is scanned once, joining every inner tuple with
+// every buffered outer tuple. CPU cost is O(n_R × n_S); I/O cost is
+// b_R + ceil(b_R / (M-1)) × b_S.
+//
+// The emitted tuple is outer ++ inner with degree
+// min(outer.D, inner.D, On(outer, inner)).
+type BlockNLJoin struct {
+	Outer, Inner Source
+	On           JoinPred
+	BlockBytes   int // outer block budget; default one page
+	Counters     *Counters
+
+	schema *frel.Schema
+}
+
+// NewBlockNLJoin builds a block nested-loop join with the given outer
+// block budget in bytes (values < 1 default to one page).
+func NewBlockNLJoin(outer, inner Source, on JoinPred, blockBytes int, counters *Counters) *BlockNLJoin {
+	if blockBytes < 1 {
+		blockBytes = storage.PageSize
+	}
+	if counters == nil {
+		counters = &Counters{}
+	}
+	return &BlockNLJoin{
+		Outer:      outer,
+		Inner:      inner,
+		On:         on,
+		BlockBytes: blockBytes,
+		Counters:   counters,
+		schema:     outer.Schema().Join(inner.Schema()),
+	}
+}
+
+// Schema implements Source.
+func (j *BlockNLJoin) Schema() *frel.Schema { return j.schema }
+
+// Open implements Source.
+func (j *BlockNLJoin) Open() (Iterator, error) {
+	outerIt, err := j.Outer.Open()
+	if err != nil {
+		return nil, err
+	}
+	return &nlIterator{join: j, outer: outerIt}, nil
+}
+
+type nlIterator struct {
+	join  *BlockNLJoin
+	outer Iterator
+
+	block     []frel.Tuple
+	outerDone bool
+
+	inner    Iterator
+	innerCur frel.Tuple
+	innerOK  bool
+	blockPos int
+
+	err error
+}
+
+// fillBlock buffers the next block of outer tuples within the byte budget.
+func (it *nlIterator) fillBlock() bool {
+	it.block = it.block[:0]
+	if it.outerDone {
+		return false
+	}
+	schema := it.join.Outer.Schema()
+	used := 0
+	for used < it.join.BlockBytes {
+		t, ok := it.outer.Next()
+		if !ok {
+			it.outerDone = true
+			break
+		}
+		it.block = append(it.block, t)
+		used += frel.EncodedSize(schema, t)
+	}
+	return len(it.block) > 0
+}
+
+func (it *nlIterator) Next() (frel.Tuple, bool) {
+	for {
+		if it.err != nil {
+			return frel.Tuple{}, false
+		}
+		if it.inner == nil {
+			if !it.fillBlock() {
+				if e := it.outer.Err(); e != nil {
+					it.err = e
+				}
+				return frel.Tuple{}, false
+			}
+			in, err := it.join.Inner.Open()
+			if err != nil {
+				it.err = err
+				return frel.Tuple{}, false
+			}
+			it.inner = in
+			it.innerOK = false
+			it.blockPos = 0
+		}
+		if !it.innerOK {
+			t, ok := it.inner.Next()
+			if !ok {
+				if e := it.inner.Err(); e != nil {
+					it.err = e
+					return frel.Tuple{}, false
+				}
+				it.inner.Close()
+				it.inner = nil
+				continue // next outer block
+			}
+			it.innerCur = t
+			it.innerOK = true
+			it.blockPos = 0
+		}
+		for it.blockPos < len(it.block) {
+			l := it.block[it.blockPos]
+			r := it.innerCur
+			it.blockPos++
+			it.join.Counters.DegreeEvals++
+			d := it.join.On(l, r)
+			if l.D < d {
+				d = l.D
+			}
+			if r.D < d {
+				d = r.D
+			}
+			if d > 0 {
+				it.join.Counters.TuplesOut++
+				return l.Concat(r, d), true
+			}
+		}
+		it.innerOK = false // advance to next inner tuple
+	}
+}
+
+func (it *nlIterator) Err() error { return it.err }
+
+func (it *nlIterator) Close() {
+	if it.inner != nil {
+		it.inner.Close()
+		it.inner = nil
+	}
+	it.outer.Close()
+}

@@ -1,0 +1,267 @@
+package extsort
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/frel"
+	"repro/internal/fuzzy"
+	"repro/internal/storage"
+)
+
+func xSchema() *frel.Schema {
+	return frel.NewSchema("R", frel.Attribute{Name: "X", Kind: frel.KindNumber})
+}
+
+func fillRandom(t *testing.T, h *storage.HeapFile, n int, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		center := rng.Float64() * 1000
+		width := rng.Float64() * 10
+		if err := h.Append(frel.NewTuple(1, frel.Num(fuzzy.Tri(center-width, center, center+width)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSortSmall(t *testing.T) {
+	m := storage.NewManager(t.TempDir(), 16)
+	src, err := m.CreateHeap("src", xSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{5, 3, 9, 1, 7} {
+		if err := src.Append(frel.NewTuple(1, frel.Crisp(v))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	less, err := ByAttr(src.Schema, "X")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, st, err := NewSorter(m, 4).Sort(src, less)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tuples != 5 || st.Runs != 1 || st.MergePasses != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	rel, err := out.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 3, 5, 7, 9}
+	for i, w := range want {
+		if rel.Tuples[i].Values[0].Num.A != w {
+			t.Errorf("tuple %d = %v, want %g", i, rel.Tuples[i], w)
+		}
+	}
+}
+
+func TestSortEmpty(t *testing.T) {
+	m := storage.NewManager(t.TempDir(), 16)
+	src, err := m.CreateHeap("src", xSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	less, _ := ByAttr(src.Schema, "X")
+	out, st, err := NewSorter(m, 4).Sort(src, less)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumTuples() != 0 || st.Tuples != 0 {
+		t.Errorf("empty sort produced %d tuples", out.NumTuples())
+	}
+}
+
+func TestSortExternalMultiRun(t *testing.T) {
+	m := storage.NewManager(t.TempDir(), 16)
+	src, err := m.CreateHeap("src", xSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5000
+	fillRandom(t, src, n, 42)
+	less, _ := ByAttr(src.Schema, "X")
+	// Tiny memory: forces many runs and at least one merge pass.
+	out, st, err := NewSorter(m, 2).Sort(src, less)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Runs < 4 {
+		t.Errorf("runs = %d, want several with a 2-page budget", st.Runs)
+	}
+	if st.MergePasses < 1 {
+		t.Errorf("merge passes = %d, want >= 1", st.MergePasses)
+	}
+	if out.NumTuples() != n {
+		t.Errorf("output tuples = %d, want %d", out.NumTuples(), n)
+	}
+	if pos, err := Check(out, less); err != nil || pos != -1 {
+		t.Errorf("output not sorted at %d (err %v)", pos, err)
+	}
+}
+
+func TestSortMultiPassMerge(t *testing.T) {
+	m := storage.NewManager(t.TempDir(), 16)
+	src, err := m.CreateHeap("src", xSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillRandom(t, src, 8000, 7)
+	less, _ := ByAttr(src.Schema, "X")
+	sorter := NewSorter(m, 2) // fan-in 2: log2(runs) passes
+	out, st, err := sorter.Sort(src, less)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MergePasses < 2 {
+		t.Errorf("merge passes = %d, want >= 2 with fan-in 2", st.MergePasses)
+	}
+	if pos, err := Check(out, less); err != nil || pos != -1 {
+		t.Errorf("not sorted at %d (err %v)", pos, err)
+	}
+}
+
+// TestSortDefinition31Order verifies that the two-level comparison of
+// Definition 3.1 is respected: equal begin points order by end points.
+func TestSortDefinition31Order(t *testing.T) {
+	m := storage.NewManager(t.TempDir(), 16)
+	src, err := m.CreateHeap("src", xSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ivals := []fuzzy.Trapezoid{
+		fuzzy.Interval(30, 35),
+		fuzzy.Interval(20, 35),
+		fuzzy.Interval(20, 28),
+		fuzzy.Interval(20, 30),
+	}
+	for _, iv := range ivals {
+		if err := src.Append(frel.NewTuple(1, frel.Num(iv))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	less, _ := ByAttr(src.Schema, "X")
+	out, _, err := NewSorter(m, 4).Sort(src, less)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, _ := out.ReadAll()
+	want := []fuzzy.Trapezoid{
+		fuzzy.Interval(20, 28),
+		fuzzy.Interval(20, 30),
+		fuzzy.Interval(20, 35),
+		fuzzy.Interval(30, 35),
+	}
+	for i, w := range want {
+		if rel.Tuples[i].Values[0].Num != w {
+			t.Errorf("tuple %d = %v, want %v", i, rel.Tuples[i].Values[0], w)
+		}
+	}
+}
+
+// TestSortStable: duplicates keep their input order (needed so degrees of
+// identical join values are deterministic).
+func TestSortStable(t *testing.T) {
+	schema := frel.NewSchema("R",
+		frel.Attribute{Name: "X", Kind: frel.KindNumber},
+		frel.Attribute{Name: "TAG", Kind: frel.KindString},
+	)
+	m := storage.NewManager(t.TempDir(), 16)
+	src, err := m.CreateHeap("src", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tags := []string{"a", "b", "c", "d"}
+	for _, tag := range tags {
+		if err := src.Append(frel.NewTuple(1, frel.Crisp(5), frel.Str(tag))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	less, _ := ByAttr(schema, "X")
+	out, _, err := NewSorter(m, 4).Sort(src, less)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, _ := out.ReadAll()
+	for i, tag := range tags {
+		if rel.Tuples[i].Values[1].Str != tag {
+			t.Errorf("tuple %d tag = %q, want %q", i, rel.Tuples[i].Values[1].Str, tag)
+		}
+	}
+}
+
+func TestSortPreservesDegreesAndValues(t *testing.T) {
+	m := storage.NewManager(t.TempDir(), 16)
+	src, err := m.CreateHeap("src", xSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := frel.NewRelation(xSchema())
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 300; i++ {
+		tup := frel.NewTuple(rng.Float64()*0.99+0.01, frel.Crisp(rng.Float64()*100))
+		want.Append(tup)
+		if err := src.Append(tup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	less, _ := ByAttr(src.Schema, "X")
+	out, _, err := NewSorter(m, 2).Sort(src, less)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := out.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want, 1e-12) {
+		t.Errorf("sort changed the multiset of tuples")
+	}
+}
+
+func TestByAttrUnknown(t *testing.T) {
+	if _, err := ByAttr(xSchema(), "NOPE"); err == nil {
+		t.Errorf("ByAttr(NOPE): want error")
+	}
+}
+
+func TestSortRelationInMemory(t *testing.T) {
+	r := frel.NewRelation(xSchema())
+	for _, v := range []float64{3, 1, 2} {
+		r.Append(frel.NewTuple(1, frel.Crisp(v)))
+	}
+	less, _ := ByAttr(r.Schema, "X")
+	comps := SortRelation(r, less)
+	if comps <= 0 {
+		t.Errorf("comparisons = %d", comps)
+	}
+	for i, w := range []float64{1, 2, 3} {
+		if r.Tuples[i].Values[0].Num.A != w {
+			t.Errorf("tuple %d = %v", i, r.Tuples[i])
+		}
+	}
+}
+
+func TestCheckDetectsDisorder(t *testing.T) {
+	m := storage.NewManager(t.TempDir(), 16)
+	h, err := m.CreateHeap("h", xSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{1, 3, 2} {
+		if err := h.Append(frel.NewTuple(1, frel.Crisp(v))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	less, _ := ByAttr(h.Schema, "X")
+	pos, err := Check(h, less)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos != 2 {
+		t.Errorf("Check = %d, want 2", pos)
+	}
+}

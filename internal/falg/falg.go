@@ -1,0 +1,292 @@
+// Package falg implements the fuzzy relational algebra underneath Fuzzy
+// SQL. Section 2.2 of the paper argues that, with the possibility-only
+// satisfaction measure, "algebraic operations can be composed and nested
+// query becomes practical" — this package makes those operations concrete
+// so the composability is directly testable.
+//
+// A fuzzy relation is a fuzzy set of tuples; the set-theoretic operations
+// follow Zadeh's fuzzy set operations on tuple membership degrees:
+//
+//	selection     µ(t)  = min(µ_R(t), d(condition(t)))
+//	projection    µ(t') = max over tuples projecting to t' (fuzzy OR)
+//	product/join  µ(rs) = min(µ_R(r), µ_S(s) [, d(join)])
+//	union         µ(t)  = max(µ_R(t), µ_S(t))
+//	intersection  µ(t)  = min(µ_R(t), µ_S(t))
+//	difference    µ(t)  = min(µ_R(t), 1 − µ_S(t))
+//
+// All operations return new relations; inputs are never modified.
+package falg
+
+import (
+	"fmt"
+
+	"repro/internal/frel"
+)
+
+// Pred evaluates a fuzzy condition on a tuple, returning a degree in
+// [0, 1].
+type Pred func(frel.Tuple) float64
+
+// JoinPred evaluates a fuzzy condition across a pair of tuples.
+type JoinPred func(left, right frel.Tuple) float64
+
+// Select returns the fuzzy selection σ_pred(r): each tuple keeps degree
+// min(µ(t), pred(t)); tuples whose degree reaches 0 are dropped.
+func Select(r *frel.Relation, pred Pred) *frel.Relation {
+	out := frel.NewRelation(r.Schema)
+	for _, t := range r.Tuples {
+		d := t.D
+		if g := pred(t); g < d {
+			d = g
+		}
+		if d > 0 {
+			nt := t.Clone()
+			nt.D = d
+			out.Append(nt)
+		}
+	}
+	return out
+}
+
+// Project returns the fuzzy projection π_refs(r) with max-degree duplicate
+// elimination (fuzzy OR over tuples that project to the same value
+// combination).
+func Project(r *frel.Relation, refs ...string) (*frel.Relation, error) {
+	schema, idx, err := r.Schema.Project(refs)
+	if err != nil {
+		return nil, err
+	}
+	out := frel.NewRelation(schema)
+	for _, t := range r.Tuples {
+		if t.D > 0 {
+			out.Append(t.Project(idx))
+		}
+	}
+	out.DedupMax()
+	return out, nil
+}
+
+// Rename returns a copy of r bound to a new relation name.
+func Rename(r *frel.Relation, name string) *frel.Relation {
+	out := r.Clone()
+	out.Schema = out.Schema.WithName(name)
+	return out
+}
+
+// Product returns the fuzzy Cartesian product r × s: every pair of tuples
+// with degree min(µ_R(r), µ_S(s)).
+func Product(r, s *frel.Relation) *frel.Relation {
+	out := frel.NewRelation(r.Schema.Join(s.Schema))
+	for _, a := range r.Tuples {
+		for _, b := range s.Tuples {
+			d := a.D
+			if b.D < d {
+				d = b.D
+			}
+			if d > 0 {
+				out.Append(a.Concat(b, d))
+			}
+		}
+	}
+	return out
+}
+
+// Join returns the fuzzy θ-join r ⋈_on s: pairs with degree
+// min(µ_R(r), µ_S(s), on(r, s)), dropping zero degrees.
+func Join(r, s *frel.Relation, on JoinPred) *frel.Relation {
+	out := frel.NewRelation(r.Schema.Join(s.Schema))
+	for _, a := range r.Tuples {
+		for _, b := range s.Tuples {
+			d := a.D
+			if b.D < d {
+				d = b.D
+			}
+			if d <= 0 {
+				continue
+			}
+			if g := on(a, b); g < d {
+				d = g
+			}
+			if d > 0 {
+				out.Append(a.Concat(b, d))
+			}
+		}
+	}
+	return out
+}
+
+// compatible checks union-compatibility: same arity and attribute kinds.
+func compatible(r, s *frel.Relation) error {
+	if len(r.Schema.Attrs) != len(s.Schema.Attrs) {
+		return fmt.Errorf("falg: relations have %d and %d attributes", len(r.Schema.Attrs), len(s.Schema.Attrs))
+	}
+	for i := range r.Schema.Attrs {
+		if r.Schema.Attrs[i].Kind != s.Schema.Attrs[i].Kind {
+			return fmt.Errorf("falg: attribute %d kinds differ (%v vs %v)",
+				i, r.Schema.Attrs[i].Kind, s.Schema.Attrs[i].Kind)
+		}
+	}
+	return nil
+}
+
+// degreesByKey collapses a relation into value-key → max degree.
+func degreesByKey(r *frel.Relation) (map[string]float64, map[string]frel.Tuple) {
+	deg := make(map[string]float64, r.Len())
+	rep := make(map[string]frel.Tuple, r.Len())
+	for _, t := range r.Tuples {
+		if t.D <= 0 {
+			continue
+		}
+		k := t.Key()
+		if t.D > deg[k] {
+			deg[k] = t.D
+		}
+		if _, ok := rep[k]; !ok {
+			rep[k] = t
+		}
+	}
+	return deg, rep
+}
+
+// Union returns the fuzzy union r ∪ s: µ(t) = max(µ_R(t), µ_S(t)). The
+// result uses r's schema; relations must be union-compatible.
+func Union(r, s *frel.Relation) (*frel.Relation, error) {
+	if err := compatible(r, s); err != nil {
+		return nil, err
+	}
+	dr, repR := degreesByKey(r)
+	ds, repS := degreesByKey(s)
+	out := frel.NewRelation(r.Schema)
+	for k, d := range dr {
+		if e, ok := ds[k]; ok && e > d {
+			d = e
+		}
+		t := repR[k].Clone()
+		t.D = d
+		out.Append(t)
+	}
+	for k, d := range ds {
+		if _, ok := dr[k]; ok {
+			continue
+		}
+		t := repS[k].Clone()
+		t.D = d
+		out.Append(t)
+	}
+	return out, nil
+}
+
+// Intersect returns the fuzzy intersection r ∩ s:
+// µ(t) = min(µ_R(t), µ_S(t)); only tuples present (degree > 0) in both
+// survive.
+func Intersect(r, s *frel.Relation) (*frel.Relation, error) {
+	if err := compatible(r, s); err != nil {
+		return nil, err
+	}
+	dr, repR := degreesByKey(r)
+	ds, _ := degreesByKey(s)
+	out := frel.NewRelation(r.Schema)
+	for k, d := range dr {
+		e, ok := ds[k]
+		if !ok {
+			continue
+		}
+		if e < d {
+			d = e
+		}
+		t := repR[k].Clone()
+		t.D = d
+		out.Append(t)
+	}
+	return out, nil
+}
+
+// Difference returns the fuzzy difference r − s:
+// µ(t) = min(µ_R(t), 1 − µ_S(t)).
+func Difference(r, s *frel.Relation) (*frel.Relation, error) {
+	if err := compatible(r, s); err != nil {
+		return nil, err
+	}
+	dr, repR := degreesByKey(r)
+	ds, _ := degreesByKey(s)
+	out := frel.NewRelation(r.Schema)
+	for k, d := range dr {
+		if e, ok := ds[k]; ok {
+			if c := 1 - e; c < d {
+				d = c
+			}
+		}
+		if d > 0 {
+			t := repR[k].Clone()
+			t.D = d
+			out.Append(t)
+		}
+	}
+	return out, nil
+}
+
+// SemiJoin returns the fuzzy semi-join r ⋉_on s: each r-tuple with degree
+//
+//	µ(r) = min(µ_R(r), max over s of min(µ_S(s), on(r, s))),
+//
+// the possibility that some s-tuple matches. This is the algebraic form of
+// the EXISTS / IN rewrites.
+func SemiJoin(r, s *frel.Relation, on JoinPred) *frel.Relation {
+	out := frel.NewRelation(r.Schema)
+	for _, a := range r.Tuples {
+		best := 0.0
+		for _, b := range s.Tuples {
+			d := b.D
+			if g := on(a, b); g < d {
+				d = g
+			}
+			if d > best {
+				best = d
+				if best == 1 {
+					break
+				}
+			}
+		}
+		d := a.D
+		if best < d {
+			d = best
+		}
+		if d > 0 {
+			t := a.Clone()
+			t.D = d
+			out.Append(t)
+		}
+	}
+	return out
+}
+
+// AntiJoin returns the fuzzy anti-join r ▷_on s: each r-tuple with degree
+//
+//	µ(r) = min(µ_R(r), min over s of (1 − min(µ_S(s), on(r, s)))),
+//
+// the group-minimum form the paper's Query JX′ computes with GROUPBY R.K /
+// MIN(D) (Theorem 5.1).
+func AntiJoin(r, s *frel.Relation, on JoinPred) *frel.Relation {
+	out := frel.NewRelation(r.Schema)
+	for _, a := range r.Tuples {
+		d := a.D
+		for _, b := range s.Tuples {
+			m := b.D
+			if g := on(a, b); g < m {
+				m = g
+			}
+			if pen := 1 - m; pen < d {
+				d = pen
+				if d == 0 {
+					break
+				}
+			}
+		}
+		if d > 0 {
+			t := a.Clone()
+			t.D = d
+			out.Append(t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,316 @@
+package falg
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/frel"
+	"repro/internal/fuzzy"
+)
+
+func relation(name string, pairs ...float64) *frel.Relation {
+	// pairs: value, degree, value, degree, ...
+	r := frel.NewRelation(frel.NewSchema(name, frel.Attribute{Name: "X", Kind: frel.KindNumber}))
+	for i := 0; i+1 < len(pairs); i += 2 {
+		r.Append(frel.NewTuple(pairs[i+1], frel.Crisp(pairs[i])))
+	}
+	return r
+}
+
+func degreeOf(r *frel.Relation, v float64) float64 {
+	for _, t := range r.Tuples {
+		if t.Values[0].Num == fuzzy.Crisp(v) {
+			return t.D
+		}
+	}
+	return 0
+}
+
+func TestSelect(t *testing.T) {
+	r := relation("R", 1, 0.9, 2, 0.5, 3, 1)
+	out := Select(r, func(tp frel.Tuple) float64 {
+		return fuzzy.Lt(tp.Values[0].Num, fuzzy.Crisp(3))
+	})
+	if out.Len() != 2 {
+		t.Fatalf("len = %d", out.Len())
+	}
+	if degreeOf(out, 1) != 0.9 || degreeOf(out, 2) != 0.5 {
+		t.Errorf("degrees = %v", out.Tuples)
+	}
+	// Source unchanged.
+	if r.Len() != 3 || r.Tuples[0].D != 0.9 {
+		t.Errorf("input mutated")
+	}
+}
+
+func TestProjectDedups(t *testing.T) {
+	r := frel.NewRelation(frel.NewSchema("R",
+		frel.Attribute{Name: "A", Kind: frel.KindNumber},
+		frel.Attribute{Name: "B", Kind: frel.KindString},
+	))
+	r.Append(
+		frel.NewTuple(0.4, frel.Crisp(1), frel.Str("x")),
+		frel.NewTuple(0.8, frel.Crisp(2), frel.Str("x")),
+		frel.NewTuple(0.6, frel.Crisp(3), frel.Str("y")),
+	)
+	out, err := Project(r, "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 {
+		t.Fatalf("len = %d", out.Len())
+	}
+	if out.Tuples[0].Values[0].Str != "x" || out.Tuples[0].D != 0.8 {
+		t.Errorf("projection fuzzy OR failed: %v", out.Tuples[0])
+	}
+	if _, err := Project(r, "NOPE"); err == nil {
+		t.Errorf("unknown ref: want error")
+	}
+}
+
+func TestProductAndJoin(t *testing.T) {
+	r := relation("R", 1, 0.9, 2, 0.4)
+	s := relation("S", 1, 0.7, 3, 1)
+	prod := Product(r, s)
+	if prod.Len() != 4 {
+		t.Fatalf("product len = %d", prod.Len())
+	}
+	// Join on equality: only (1, 1) matches.
+	eq := func(a, b frel.Tuple) float64 {
+		return fuzzy.Eq(a.Values[0].Num, b.Values[0].Num)
+	}
+	j := Join(r, s, eq)
+	if j.Len() != 1 || j.Tuples[0].D != 0.7 {
+		t.Fatalf("join = %v", j.Tuples)
+	}
+	// σ_eq(r × s) ≡ r ⋈_eq s — the composability the paper relies on.
+	selected := Select(prod, func(tp frel.Tuple) float64 {
+		return fuzzy.Eq(tp.Values[0].Num, tp.Values[1].Num)
+	})
+	if !selected.Equal(j, 1e-12) {
+		t.Errorf("select-product != join")
+	}
+}
+
+func TestUnionMax(t *testing.T) {
+	r := relation("R", 1, 0.3, 2, 0.9)
+	s := relation("S", 1, 0.8, 3, 0.5)
+	u, err := Union(r, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Len() != 3 {
+		t.Fatalf("len = %d", u.Len())
+	}
+	if degreeOf(u, 1) != 0.8 || degreeOf(u, 2) != 0.9 || degreeOf(u, 3) != 0.5 {
+		t.Errorf("union degrees: %v", u.Tuples)
+	}
+}
+
+func TestIntersectMin(t *testing.T) {
+	r := relation("R", 1, 0.3, 2, 0.9)
+	s := relation("S", 1, 0.8, 3, 0.5)
+	x, err := Intersect(r, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Len() != 1 || degreeOf(x, 1) != 0.3 {
+		t.Errorf("intersection: %v", x.Tuples)
+	}
+}
+
+func TestDifference(t *testing.T) {
+	r := relation("R", 1, 0.9, 2, 0.9)
+	s := relation("S", 1, 0.8)
+	d, err := Difference(r, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// µ(1) = min(0.9, 1 − 0.8) = 0.2; µ(2) = 0.9.
+	got1 := degreeOf(d, 1)
+	if got1 < 0.199 || got1 > 0.201 {
+		t.Errorf("µ(1) = %g, want 0.2", got1)
+	}
+	if degreeOf(d, 2) != 0.9 {
+		t.Errorf("µ(2) = %g", degreeOf(d, 2))
+	}
+}
+
+func TestCompatibility(t *testing.T) {
+	r := relation("R", 1, 1)
+	s := frel.NewRelation(frel.NewSchema("S", frel.Attribute{Name: "N", Kind: frel.KindString}))
+	if _, err := Union(r, s); err == nil {
+		t.Errorf("incompatible union: want error")
+	}
+	if _, err := Intersect(r, s); err == nil {
+		t.Errorf("incompatible intersect: want error")
+	}
+	if _, err := Difference(r, s); err == nil {
+		t.Errorf("incompatible difference: want error")
+	}
+	two := frel.NewRelation(frel.NewSchema("T",
+		frel.Attribute{Name: "A", Kind: frel.KindNumber},
+		frel.Attribute{Name: "B", Kind: frel.KindNumber}))
+	if _, err := Union(r, two); err == nil {
+		t.Errorf("arity mismatch: want error")
+	}
+}
+
+func TestRename(t *testing.T) {
+	r := relation("R", 1, 1)
+	s := Rename(r, "Q")
+	if s.Schema.Name != "Q" || r.Schema.Name != "R" {
+		t.Errorf("rename: %q / %q", s.Schema.Name, r.Schema.Name)
+	}
+}
+
+// randomSet builds a random fuzzy relation over a small crisp domain.
+func randomSet(rng *rand.Rand, name string) *frel.Relation {
+	r := frel.NewRelation(frel.NewSchema(name, frel.Attribute{Name: "X", Kind: frel.KindNumber}))
+	for v := 0; v < 8; v++ {
+		if rng.Intn(2) == 0 {
+			r.Append(frel.NewTuple(rng.Float64()*0.99+0.01, frel.Crisp(float64(v))))
+		}
+	}
+	return r
+}
+
+// TestAlgebraicLaws checks the fuzzy-set laws that underpin composition.
+func TestAlgebraicLaws(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		a := randomSet(rng, "A")
+		b := randomSet(rng, "B")
+		c := randomSet(rng, "C")
+
+		// Commutativity.
+		ab, _ := Union(a, b)
+		ba, _ := Union(b, a)
+		if !ab.Equal(ba, 1e-12) {
+			t.Fatalf("union not commutative")
+		}
+		iab, _ := Intersect(a, b)
+		iba, _ := Intersect(b, a)
+		if !iab.Equal(iba, 1e-12) {
+			t.Fatalf("intersection not commutative")
+		}
+
+		// Associativity of union.
+		ab_c, _ := Union(ab, c)
+		bc, _ := Union(b, c)
+		a_bc, _ := Union(a, bc)
+		if !ab_c.Equal(a_bc, 1e-12) {
+			t.Fatalf("union not associative")
+		}
+
+		// Idempotence.
+		aa, _ := Union(a, a)
+		if !aa.Equal(a, 1e-12) {
+			t.Fatalf("union not idempotent")
+		}
+		iaa, _ := Intersect(a, a)
+		if !iaa.Equal(a, 1e-12) {
+			t.Fatalf("intersection not idempotent")
+		}
+
+		// Absorption: A ∪ (A ∩ B) = A.
+		absorbed, _ := Union(a, iab)
+		if !absorbed.Equal(a, 1e-12) {
+			t.Fatalf("absorption law failed")
+		}
+
+		// Monotonicity of difference: µ(A − B) ≤ µ(A).
+		diff, _ := Difference(a, b)
+		for _, tp := range diff.Tuples {
+			if tp.D > degreeOf(a, tp.Values[0].Num.A)+1e-12 {
+				t.Fatalf("difference exceeded source degree")
+			}
+		}
+	}
+}
+
+// TestSelectCommutesWithUnion: σ(A ∪ B) = σ(A) ∪ σ(B), one of the
+// rewrite-enabling identities.
+func TestSelectCommutesWithUnion(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pred := func(tp frel.Tuple) float64 {
+		return fuzzy.Le(tp.Values[0].Num, fuzzy.Tri(2, 4, 6))
+	}
+	for trial := 0; trial < 30; trial++ {
+		a := randomSet(rng, "A")
+		b := randomSet(rng, "B")
+		u, _ := Union(a, b)
+		lhs := Select(u, pred)
+		ru, _ := Union(Select(a, pred), Select(b, pred))
+		if !lhs.Equal(ru, 1e-12) {
+			t.Fatalf("selection does not commute with union")
+		}
+	}
+}
+
+func TestSemiJoin(t *testing.T) {
+	r := relation("R", 1, 0.9, 2, 0.8)
+	s := relation("S", 1, 0.6, 3, 1)
+	eq := func(a, b frel.Tuple) float64 {
+		return fuzzy.Eq(a.Values[0].Num, b.Values[0].Num)
+	}
+	out := SemiJoin(r, s, eq)
+	if out.Len() != 1 {
+		t.Fatalf("semi-join = %v", out.Tuples)
+	}
+	// µ = min(0.9, max(min(0.6, 1))) = 0.6.
+	if degreeOf(out, 1) != 0.6 {
+		t.Errorf("µ(1) = %g", degreeOf(out, 1))
+	}
+}
+
+func TestAntiJoin(t *testing.T) {
+	r := relation("R", 1, 0.9, 2, 0.8)
+	s := relation("S", 1, 0.6)
+	eq := func(a, b frel.Tuple) float64 {
+		return fuzzy.Eq(a.Values[0].Num, b.Values[0].Num)
+	}
+	out := AntiJoin(r, s, eq)
+	// µ(1) = min(0.9, 1 − min(0.6, 1)) = 0.4; µ(2) = 0.8 (no match).
+	got1 := degreeOf(out, 1)
+	if got1 < 0.399 || got1 > 0.401 {
+		t.Errorf("µ(1) = %g, want 0.4", got1)
+	}
+	if degreeOf(out, 2) != 0.8 {
+		t.Errorf("µ(2) = %g, want 0.8", degreeOf(out, 2))
+	}
+	// Empty s: every tuple keeps its own degree (Theorem 5.1 Case 1).
+	empty := relation("S")
+	out2 := AntiJoin(r, empty, eq)
+	if !out2.Equal(r, 1e-12) {
+		t.Errorf("anti-join with empty right should be identity")
+	}
+}
+
+// TestSemiJoinIsProjectedJoin: r ⋉ s equals projecting r's columns out of
+// r ⋈ s with max-degree dedup — the identity the EXISTS flattening uses.
+func TestSemiJoinIsProjectedJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	eq := func(a, b frel.Tuple) float64 {
+		return fuzzy.Eq(a.Values[0].Num, b.Values[0].Num)
+	}
+	for trial := 0; trial < 30; trial++ {
+		r := randomSet(rng, "R")
+		s := randomSet(rng, "S")
+		semi := SemiJoin(r, s, eq)
+		joined := Join(r, s, eq)
+		proj, err := Project(joined, "R.X")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Compare as fuzzy sets of X values: semi may carry duplicates of
+		// r (it does not dedup), so project it too.
+		semiProj, err := Project(semi, "X")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !semiProj.Equal(proj, 1e-12) {
+			t.Fatalf("semi-join != projected join")
+		}
+	}
+}

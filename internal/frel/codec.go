@@ -1,0 +1,122 @@
+package frel
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/fuzzy"
+)
+
+// Binary tuple codec. The layout, per tuple:
+//
+//	D        float64, little endian (the membership degree)
+//	values   in schema order:
+//	           NUMBER: the four trapezoid corners, 4 × float64
+//	           STRING: uvarint length + raw bytes
+//	padding  Schema.Pad zero bytes
+//
+// The codec is what the storage engine stores in pages; its size is what
+// the tuple-size experiments measure.
+
+// AppendTuple appends the serialized form of t (under schema s) to buf and
+// returns the extended buffer.
+func AppendTuple(buf []byte, s *Schema, t Tuple) ([]byte, error) {
+	if len(t.Values) != len(s.Attrs) {
+		return nil, fmt.Errorf("frel: tuple has %d values, schema %q has %d attributes", len(t.Values), s.Name, len(s.Attrs))
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(t.D))
+	for i, v := range t.Values {
+		if v.Kind != s.Attrs[i].Kind {
+			return nil, fmt.Errorf("frel: value %d of kind %v does not match attribute %q of kind %v", i, v.Kind, s.Attrs[i].Name, s.Attrs[i].Kind)
+		}
+		switch v.Kind {
+		case KindNumber:
+			for _, f := range [4]float64{v.Num.A, v.Num.B, v.Num.C, v.Num.D} {
+				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
+			}
+		case KindString:
+			buf = binary.AppendUvarint(buf, uint64(len(v.Str)))
+			buf = append(buf, v.Str...)
+		}
+	}
+	for i := 0; i < s.Pad; i++ {
+		buf = append(buf, 0)
+	}
+	return buf, nil
+}
+
+// EncodedSize returns the number of bytes AppendTuple will produce for t.
+func EncodedSize(s *Schema, t Tuple) int {
+	n := 8 + s.Pad
+	for _, v := range t.Values {
+		switch v.Kind {
+		case KindNumber:
+			n += 32
+		case KindString:
+			n += uvarintLen(uint64(len(v.Str))) + len(v.Str)
+		}
+	}
+	return n
+}
+
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+// DecodeTuple decodes one tuple (under schema s) from the front of data,
+// returning the tuple and the number of bytes consumed.
+func DecodeTuple(s *Schema, data []byte) (Tuple, int, error) {
+	pos := 0
+	need := func(n int) error {
+		if len(data)-pos < n {
+			return fmt.Errorf("frel: truncated tuple: need %d bytes at offset %d, have %d", n, pos, len(data)-pos)
+		}
+		return nil
+	}
+	if err := need(8); err != nil {
+		return Tuple{}, 0, err
+	}
+	t := Tuple{
+		D:      math.Float64frombits(binary.LittleEndian.Uint64(data[pos:])),
+		Values: make([]Value, len(s.Attrs)),
+	}
+	pos += 8
+	for i, a := range s.Attrs {
+		switch a.Kind {
+		case KindNumber:
+			if err := need(32); err != nil {
+				return Tuple{}, 0, err
+			}
+			var c [4]float64
+			for j := range c {
+				c[j] = math.Float64frombits(binary.LittleEndian.Uint64(data[pos:]))
+				pos += 8
+			}
+			t.Values[i] = Num(fuzzy.Trapezoid{A: c[0], B: c[1], C: c[2], D: c[3]})
+		case KindString:
+			n, used := binary.Uvarint(data[pos:])
+			if used <= 0 {
+				return Tuple{}, 0, fmt.Errorf("frel: corrupt string length at offset %d", pos)
+			}
+			pos += used
+			if err := need(int(n)); err != nil {
+				return Tuple{}, 0, err
+			}
+			t.Values[i] = Str(string(data[pos : pos+int(n)]))
+			pos += int(n)
+		default:
+			return Tuple{}, 0, fmt.Errorf("frel: unknown attribute kind %v", a.Kind)
+		}
+	}
+	if err := need(s.Pad); err != nil {
+		return Tuple{}, 0, err
+	}
+	pos += s.Pad
+	return t, pos, nil
+}

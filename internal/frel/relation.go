@@ -1,0 +1,133 @@
+package frel
+
+import (
+	"sort"
+	"strings"
+)
+
+// Relation is an in-memory fuzzy relation: a schema plus a multiset of
+// fuzzy tuples. The storage engine provides the on-disk counterpart; the
+// nested-query semantics, temporary relations, and tests use this type.
+type Relation struct {
+	Schema *Schema
+	Tuples []Tuple
+}
+
+// NewRelation creates an empty relation with the given schema.
+func NewRelation(s *Schema) *Relation {
+	return &Relation{Schema: s}
+}
+
+// Append adds tuples to the relation.
+func (r *Relation) Append(ts ...Tuple) {
+	r.Tuples = append(r.Tuples, ts...)
+}
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.Tuples) }
+
+// Clone returns a deep copy of the relation.
+func (r *Relation) Clone() *Relation {
+	c := &Relation{Schema: r.Schema.Clone()}
+	c.Tuples = make([]Tuple, len(r.Tuples))
+	for i, t := range r.Tuples {
+		c.Tuples[i] = t.Clone()
+	}
+	return c
+}
+
+// SortBy sorts the tuples in place by the named attribute under the
+// Definition 3.1 interval order (strings lexicographically), the order
+// required by the extended merge-join.
+func (r *Relation) SortBy(attr string) error {
+	i, err := r.Schema.Resolve(attr)
+	if err != nil {
+		return err
+	}
+	sort.SliceStable(r.Tuples, func(a, b int) bool {
+		return Compare(r.Tuples[a].Values[i], r.Tuples[b].Values[i]) < 0
+	})
+	return nil
+}
+
+// DedupMax removes duplicate tuples (identical values), keeping for each
+// distinct value combination the maximum membership degree — the fuzzy OR
+// of Section 2.2 ("the highest membership degree of the identical name
+// pairs will be chosen for the answer"). Tuple order of first occurrence
+// is preserved.
+func (r *Relation) DedupMax() {
+	seen := make(map[string]int, len(r.Tuples))
+	out := r.Tuples[:0]
+	for _, t := range r.Tuples {
+		k := t.Key()
+		if i, ok := seen[k]; ok {
+			if t.D > out[i].D {
+				out[i].D = t.D
+			}
+			continue
+		}
+		seen[k] = len(out)
+		out = append(out, t)
+	}
+	r.Tuples = out
+}
+
+// Threshold removes tuples whose membership degree is below z, the effect
+// of a WITH D >= z clause. Tuples with D <= 0 are never part of a fuzzy
+// relation, so Threshold(0) (the implicit clause of every query) removes
+// exactly those.
+func (r *Relation) Threshold(z float64) {
+	out := r.Tuples[:0]
+	for _, t := range r.Tuples {
+		if t.D > 0 && t.D >= z {
+			out = append(out, t)
+		}
+	}
+	r.Tuples = out
+}
+
+// Equal reports whether two relations contain the same fuzzy set of
+// tuples: the same distinct values with membership degrees equal within
+// tol, regardless of tuple order. It is the notion of query equivalence
+// used by the paper's theorems ("not only the answers contain the same set
+// of tuples but also the corresponding tuples have the same membership
+// degree", Section 2.3).
+func (r *Relation) Equal(s *Relation, tol float64) bool {
+	collect := func(rel *Relation) map[string]float64 {
+		m := make(map[string]float64, len(rel.Tuples))
+		for _, t := range rel.Tuples {
+			if t.D <= 0 {
+				continue
+			}
+			k := t.Key()
+			if t.D > m[k] {
+				m[k] = t.D
+			}
+		}
+		return m
+	}
+	a, b := collect(r), collect(s)
+	if len(a) != len(b) {
+		return false
+	}
+	for k, d := range a {
+		e, ok := b[k]
+		if !ok || d-e > tol || e-d > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the relation, one tuple per line, for debugging and the
+// interactive shell.
+func (r *Relation) String() string {
+	var b strings.Builder
+	b.WriteString(r.Schema.String())
+	b.WriteByte('\n')
+	for _, t := range r.Tuples {
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,82 @@
+package frel
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tuple is a fuzzy tuple: attribute values plus the system-supplied
+// membership degree D. A tuple is "in" its relation iff D > 0
+// (Section 2.2 of the paper).
+type Tuple struct {
+	Values []Value
+	D      float64
+}
+
+// NewTuple builds a tuple with the given membership degree and values.
+func NewTuple(d float64, values ...Value) Tuple {
+	return Tuple{Values: values, D: d}
+}
+
+// Clone returns a deep copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	return Tuple{Values: append([]Value(nil), t.Values...), D: t.D}
+}
+
+// Concat returns the concatenation of t and u with membership degree d,
+// the shape produced by join operators.
+func (t Tuple) Concat(u Tuple, d float64) Tuple {
+	vals := make([]Value, 0, len(t.Values)+len(u.Values))
+	vals = append(vals, t.Values...)
+	vals = append(vals, u.Values...)
+	return Tuple{Values: vals, D: d}
+}
+
+// Project returns the tuple restricted to the given attribute indexes,
+// keeping the membership degree.
+func (t Tuple) Project(idx []int) Tuple {
+	vals := make([]Value, len(idx))
+	for i, j := range idx {
+		vals[i] = t.Values[j]
+	}
+	return Tuple{Values: vals, D: t.D}
+}
+
+// Key returns a canonical byte-string of the tuple's values (excluding D),
+// used for duplicate elimination: two tuples with identical values have
+// equal keys.
+func (t Tuple) Key() string {
+	var b []byte
+	for _, v := range t.Values {
+		b = v.appendKey(b)
+	}
+	return string(b)
+}
+
+// IdenticalValues reports whether two tuples carry exactly the same
+// values, ignoring membership degrees.
+func (t Tuple) IdenticalValues(u Tuple) bool {
+	if len(t.Values) != len(u.Values) {
+		return false
+	}
+	for i := range t.Values {
+		if !t.Values[i].Identical(u.Values[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the tuple with its degree.
+func (t Tuple) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, v := range t.Values {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(v.String())
+	}
+	fmt.Fprintf(&b, " | D=%.4g)", t.D)
+	return b.String()
+}

@@ -1,0 +1,159 @@
+package fsql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // ( ) , . ; *
+	tokOp     // = <> != < <= > >=
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int // byte offset, for error messages
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lexer tokenizes a Fuzzy SQL source string.
+type lexer struct {
+	src string
+	pos int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src} }
+
+func (l *lexer) errf(pos int, format string, args ...interface{}) error {
+	return fmt.Errorf("fsql: at offset %d: %s", pos, fmt.Sprintf(format, args...))
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			// SQL line comment.
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			goto scan
+		}
+	}
+	return token{kind: tokEOF, pos: l.pos}, nil
+
+scan:
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		return token{tokIdent, l.src[start:l.pos], start}, nil
+
+	case c >= '0' && c <= '9' || c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]):
+		seenDot := false
+		for l.pos < len(l.src) {
+			ch := l.src[l.pos]
+			if isDigit(ch) {
+				l.pos++
+				continue
+			}
+			if ch == '.' && !seenDot && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]) {
+				seenDot = true
+				l.pos++
+				continue
+			}
+			break
+		}
+		return token{tokNumber, l.src[start:l.pos], start}, nil
+
+	case c == '\'' || c == '"':
+		quote := c
+		l.pos++
+		var sb strings.Builder
+		for l.pos < len(l.src) {
+			ch := l.src[l.pos]
+			if ch == quote {
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == quote {
+					// Doubled quote escapes itself.
+					sb.WriteByte(quote)
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				return token{tokString, sb.String(), start}, nil
+			}
+			sb.WriteByte(ch)
+			l.pos++
+		}
+		return token{}, l.errf(start, "unterminated string literal")
+
+	case c == '(' || c == ')' || c == ',' || c == '.' || c == ';' || c == '*':
+		l.pos++
+		return token{tokSymbol, string(c), start}, nil
+
+	case c == '=':
+		l.pos++
+		return token{tokOp, "=", start}, nil
+
+	case c == '<':
+		l.pos++
+		if l.pos < len(l.src) && (l.src[l.pos] == '=' || l.src[l.pos] == '>') {
+			l.pos++
+			return token{tokOp, l.src[start:l.pos], start}, nil
+		}
+		return token{tokOp, "<", start}, nil
+
+	case c == '>':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return token{tokOp, ">=", start}, nil
+		}
+		return token{tokOp, ">", start}, nil
+
+	case c == '!':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return token{tokOp, "!=", start}, nil
+		}
+		return token{}, l.errf(start, "unexpected character %q", c)
+
+	case c == '-':
+		l.pos++
+		return token{tokSymbol, "-", start}, nil
+
+	default:
+		return token{}, l.errf(start, "unexpected character %q", rune(c))
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= 0x80 && unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }

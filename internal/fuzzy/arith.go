@@ -1,0 +1,62 @@
+package fuzzy
+
+import "math"
+
+// Fuzzy arithmetic (Section 6 of the paper). With trapezoidal membership
+// functions, a fuzzy value induces two intervals: the 0-cut [A, D] of all
+// values with membership greater than 0 and the 1-cut [B, C] of all values
+// with membership 1. An arithmetic operation takes two values and
+// determines the two intervals of the result by interval arithmetic on the
+// corresponding cuts; e.g. for x + y the 0-cut is [x.A + y.A, x.D + y.D]
+// and the 1-cut is [x.B + y.B, x.C + y.C].
+
+// Add returns the fuzzy sum t + u.
+func Add(t, u Trapezoid) Trapezoid {
+	return Trapezoid{t.A + u.A, t.B + u.B, t.C + u.C, t.D + u.D}
+}
+
+// Sub returns the fuzzy difference t − u.
+func Sub(t, u Trapezoid) Trapezoid {
+	return Trapezoid{t.A - u.D, t.B - u.C, t.C - u.B, t.D - u.A}
+}
+
+// Neg returns the fuzzy negation −t.
+func Neg(t Trapezoid) Trapezoid {
+	return Trapezoid{-t.D, -t.C, -t.B, -t.A}
+}
+
+// Mul returns the fuzzy product t × u, computed by interval multiplication
+// of the 0-cuts and 1-cuts. (For trapezoids this is the standard linear
+// approximation of the extension-principle product.)
+func Mul(t, u Trapezoid) Trapezoid {
+	a, d := intervalMul(t.A, t.D, u.A, u.D)
+	b, c := intervalMul(t.B, t.C, u.B, u.C)
+	// Guard against float rounding breaking the nesting of the cuts.
+	if b < a {
+		b = a
+	}
+	if c > d {
+		c = d
+	}
+	if c < b {
+		c = b
+	}
+	return Trapezoid{a, b, c, d}
+}
+
+func intervalMul(lo1, hi1, lo2, hi2 float64) (lo, hi float64) {
+	p1, p2, p3, p4 := lo1*lo2, lo1*hi2, hi1*lo2, hi1*hi2
+	lo = math.Min(math.Min(p1, p2), math.Min(p3, p4))
+	hi = math.Max(math.Max(p1, p2), math.Max(p3, p4))
+	return lo, hi
+}
+
+// Scale returns the fuzzy value t scaled by the crisp factor k. AVG is
+// defined by fuzzy addition followed by division with the crisp group
+// cardinality, i.e. Scale(sum, 1/n) (Section 6).
+func Scale(t Trapezoid, k float64) Trapezoid {
+	if k >= 0 {
+		return Trapezoid{t.A * k, t.B * k, t.C * k, t.D * k}
+	}
+	return Trapezoid{t.D * k, t.C * k, t.B * k, t.A * k}
+}

@@ -1,0 +1,222 @@
+package fuzzy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Discrete is a discrete possibility distribution, written in the paper's
+// Appendix as µ1/x1 + µ2/x2 + …: the value is possibly x_i with
+// possibility µ_i. Points are kept sorted by X with distinct X values
+// (duplicates merged by fuzzy OR, keeping the maximum possibility).
+//
+// Discrete distributions appear in the Appendix's interpretation examples
+// (e.g. 1/y1 + .8/y2). As the paper notes at the end of Section 3, the
+// extended merge-join requires continuous possibility distributions, so
+// discrete values are supported by the fuzzy substrate and the nested-loop
+// evaluation path only.
+type Discrete struct {
+	points []Point
+}
+
+// Point is one atom of a discrete possibility distribution.
+type Point struct {
+	X  float64 // the candidate value
+	Mu float64 // its possibility, in (0, 1]
+}
+
+// NewDiscrete builds a discrete distribution from the given atoms. Atoms
+// with non-positive possibility are dropped; duplicate X values are merged
+// keeping the maximum possibility; possibilities are clamped to [0, 1].
+func NewDiscrete(points ...Point) Discrete {
+	byX := make(map[float64]float64, len(points))
+	for _, p := range points {
+		mu := clamp01(p.Mu)
+		if mu <= 0 {
+			continue
+		}
+		if mu > byX[p.X] {
+			byX[p.X] = mu
+		}
+	}
+	out := make([]Point, 0, len(byX))
+	for x, mu := range byX {
+		out = append(out, Point{x, mu})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].X < out[j].X })
+	return Discrete{points: out}
+}
+
+// Points returns the atoms of the distribution in increasing X order. The
+// returned slice must not be modified.
+func (d Discrete) Points() []Point { return d.points }
+
+// IsEmpty reports whether the distribution has no possible value.
+func (d Discrete) IsEmpty() bool { return len(d.points) == 0 }
+
+// Mu evaluates the membership function at x.
+func (d Discrete) Mu(x float64) float64 {
+	i := sort.Search(len(d.points), func(i int) bool { return d.points[i].X >= x })
+	if i < len(d.points) && d.points[i].X == x {
+		return d.points[i].Mu
+	}
+	return 0
+}
+
+// Support returns the least and greatest possible values. It panics on an
+// empty distribution.
+func (d Discrete) Support() (lo, hi float64) {
+	if len(d.points) == 0 {
+		panic("fuzzy: Support of empty discrete distribution")
+	}
+	return d.points[0].X, d.points[len(d.points)-1].X
+}
+
+// String renders the distribution in the paper's µ/x + µ/x notation.
+func (d Discrete) String() string {
+	if len(d.points) == 0 {
+		return "<empty>"
+	}
+	var b strings.Builder
+	for i, p := range d.points {
+		if i > 0 {
+			b.WriteString(" + ")
+		}
+		fmt.Fprintf(&b, "%g/%g", p.Mu, p.X)
+	}
+	return b.String()
+}
+
+// EqDD returns the satisfaction degree d(U = V) for two discrete
+// distributions: max over common values of min(µ_U(x), µ_V(x)).
+func EqDD(u, v Discrete) float64 {
+	d := 0.0
+	i, j := 0, 0
+	for i < len(u.points) && j < len(v.points) {
+		switch {
+		case u.points[i].X < v.points[j].X:
+			i++
+		case u.points[i].X > v.points[j].X:
+			j++
+		default:
+			if g := Min(u.points[i].Mu, v.points[j].Mu); g > d {
+				d = g
+			}
+			i++
+			j++
+		}
+	}
+	return d
+}
+
+// EqDT returns the satisfaction degree d(U = V) between a discrete and a
+// trapezoidal distribution: max over u's atoms of min(µ_U(x), µ_V(x)).
+func EqDT(u Discrete, v Trapezoid) float64 {
+	d := 0.0
+	for _, p := range u.points {
+		if g := Min(p.Mu, v.Mu(p.X)); g > d {
+			d = g
+		}
+	}
+	return d
+}
+
+// rightSup returns sup_{y ≥ x} µ_t(y) (strictness is immaterial on the
+// continuous part; callers handle crisp trapezoids separately).
+func (t Trapezoid) rightSup(x float64) float64 {
+	switch {
+	case x <= t.C:
+		return 1
+	case x > t.D:
+		return 0
+	default:
+		return t.Mu(x)
+	}
+}
+
+// leftSup returns sup_{y ≤ x} µ_t(y).
+func (t Trapezoid) leftSup(x float64) float64 {
+	switch {
+	case x >= t.B:
+		return 1
+	case x < t.A:
+		return 0
+	default:
+		return t.Mu(x)
+	}
+}
+
+// DegreeDD returns the satisfaction degree d(U op V) for two discrete
+// distributions: sup over pairs (x, y) with x op y of min(µ_U(x), µ_V(y)).
+// Strict and non-strict inequalities differ here because the domains are
+// atomic.
+func DegreeDD(op Op, u, v Discrete) float64 {
+	if op == OpEq {
+		return EqDD(u, v)
+	}
+	d := 0.0
+	for _, p := range u.points {
+		for _, q := range v.points {
+			if crispHolds(op, p.X, q.X) {
+				if g := Min(p.Mu, q.Mu); g > d {
+					d = g
+				}
+			}
+		}
+	}
+	return d
+}
+
+func crispHolds(op Op, x, y float64) bool {
+	switch op {
+	case OpEq:
+		return x == y
+	case OpNe:
+		return x != y
+	case OpLt:
+		return x < y
+	case OpLe:
+		return x <= y
+	case OpGt:
+		return x > y
+	case OpGe:
+		return x >= y
+	default:
+		panic(fmt.Sprintf("fuzzy: crispHolds of unknown operator %d", int(op)))
+	}
+}
+
+// DegreeDT returns the satisfaction degree d(U op V) between a discrete
+// distribution U and a trapezoidal distribution V.
+func DegreeDT(op Op, u Discrete, v Trapezoid) float64 {
+	if v.IsCrisp() {
+		return DegreeDD(op, u, NewDiscrete(Point{v.A, 1}))
+	}
+	d := 0.0
+	for _, p := range u.points {
+		var s float64
+		switch op {
+		case OpEq:
+			s = v.Mu(p.X)
+		case OpNe:
+			s = 1 // some y ≠ x with µ_V(y) arbitrarily close to 1 exists
+		case OpLt, OpLe:
+			s = v.rightSup(p.X)
+		case OpGt, OpGe:
+			s = v.leftSup(p.X)
+		default:
+			panic(fmt.Sprintf("fuzzy: DegreeDT of unknown operator %d", int(op)))
+		}
+		if g := Min(p.Mu, s); g > d {
+			d = g
+		}
+	}
+	return d
+}
+
+// DegreeTD returns the satisfaction degree d(U op V) between a trapezoidal
+// distribution U and a discrete distribution V.
+func DegreeTD(op Op, u Trapezoid, v Discrete) float64 {
+	return DegreeDT(op.Flip(), v, u)
+}

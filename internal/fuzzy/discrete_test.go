@@ -1,0 +1,223 @@
+package fuzzy
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDiscreteNormalizes(t *testing.T) {
+	d := NewDiscrete(Point{2, 0.5}, Point{1, 1}, Point{2, 0.3}, Point{3, 0}, Point{4, -1}, Point{5, 1.5})
+	pts := d.Points()
+	want := []Point{{1, 1}, {2, 0.5}, {5, 1}}
+	if len(pts) != len(want) {
+		t.Fatalf("Points = %v, want %v", pts, want)
+	}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Errorf("Points[%d] = %v, want %v", i, pts[i], want[i])
+		}
+	}
+}
+
+func TestDiscreteMu(t *testing.T) {
+	d := NewDiscrete(Point{1, 1}, Point{2, 0.8})
+	if got := d.Mu(1); got != 1 {
+		t.Errorf("Mu(1) = %g", got)
+	}
+	if got := d.Mu(2); got != 0.8 {
+		t.Errorf("Mu(2) = %g", got)
+	}
+	if got := d.Mu(1.5); got != 0 {
+		t.Errorf("Mu(1.5) = %g", got)
+	}
+}
+
+func TestDiscreteSupport(t *testing.T) {
+	d := NewDiscrete(Point{3, 0.2}, Point{-1, 0.9})
+	lo, hi := d.Support()
+	if lo != -1 || hi != 3 {
+		t.Errorf("Support = [%g, %g], want [-1, 3]", lo, hi)
+	}
+}
+
+func TestDiscreteSupportPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("Support of empty distribution did not panic")
+		}
+	}()
+	NewDiscrete().Support()
+}
+
+func TestDiscreteString(t *testing.T) {
+	d := NewDiscrete(Point{1, 1}, Point{2, 0.8})
+	if got := d.String(); got != "1/1 + 0.8/2" {
+		t.Errorf("String = %q", got)
+	}
+	if got := NewDiscrete().String(); got != "<empty>" {
+		t.Errorf("String(empty) = %q", got)
+	}
+}
+
+// TestEqDDAppendix reproduces the Appendix example: joining on
+// 1/y1 + 0.8/y2 yields possibilities 1 for y1 and 0.8 for y2.
+func TestEqDDAppendix(t *testing.T) {
+	s := NewDiscrete(Point{1, 1}, Point{2, 0.8}) // 1/y1 + .8/y2 with y1=1, y2=2
+	y1 := NewDiscrete(Point{1, 1})
+	y2 := NewDiscrete(Point{2, 1})
+	if got := EqDD(y1, s); got != 1 {
+		t.Errorf("d(y1 = S.Y) = %g, want 1", got)
+	}
+	if got := EqDD(y2, s); got != 0.8 {
+		t.Errorf("d(y2 = S.Y) = %g, want 0.8", got)
+	}
+	if got := EqDD(NewDiscrete(Point{3, 1}), s); got != 0 {
+		t.Errorf("d(y3 = S.Y) = %g, want 0", got)
+	}
+}
+
+// TestAppendixSecondExample reproduces the Appendix's four-tuple example:
+// R joins S whose Y values are 1/y1+.8/y2 and .9/y3+.7/y4. The paper's
+// single-relation interpretation yields the answer
+// {x1: 1, x2: 0.8, x3: 0.9, x4: 0.7} — instead of the four second-order
+// answer sets {1/x1, .9/x3}, {1/x1, .7/x4}, {.8/x2, .9/x3}, {.8/x2, .7/x4}
+// the rejected enumeration interpretation would produce.
+func TestAppendixSecondExample(t *testing.T) {
+	// Crisp codes for y1..y4.
+	y := []float64{1, 2, 3, 4}
+	s1 := NewDiscrete(Point{y[0], 1}, Point{y[1], 0.8})
+	s2 := NewDiscrete(Point{y[2], 0.9}, Point{y[3], 0.7})
+	want := []float64{1, 0.8, 0.9, 0.7}
+	for i, yi := range y {
+		// d(r_i joins) = max over S tuples of d(y_i = S.Y).
+		ri := NewDiscrete(Point{yi, 1})
+		d := Max(EqDD(ri, s1), EqDD(ri, s2))
+		if !almostEq(d, want[i]) {
+			t.Errorf("x%d possibility = %g, want %g", i+1, d, want[i])
+		}
+	}
+}
+
+func TestEqDT(t *testing.T) {
+	d := NewDiscrete(Point{24, 1}, Point{50, 0.6})
+	my := Trap(20, 25, 30, 35)
+	// Best atom is 24 with µ_my(24) = 0.8.
+	if got := EqDT(d, my); !almostEq(got, 0.8) {
+		t.Errorf("EqDT = %g, want 0.8", got)
+	}
+}
+
+func TestDegreeDD(t *testing.T) {
+	u := NewDiscrete(Point{1, 1}, Point{5, 0.5})
+	v := NewDiscrete(Point{3, 1})
+	tests := []struct {
+		op   Op
+		want float64
+	}{
+		{OpLt, 1},   // 1 < 3 fully possible
+		{OpGt, 0.5}, // only 5 > 3, possibility 0.5
+		{OpEq, 0},
+		{OpNe, 1},
+		{OpLe, 1},
+		{OpGe, 0.5},
+	}
+	for _, tc := range tests {
+		if got := DegreeDD(tc.op, u, v); got != tc.want {
+			t.Errorf("DegreeDD(%v) = %g, want %g", tc.op, got, tc.want)
+		}
+	}
+}
+
+func TestDegreeDDStrictVsNonStrict(t *testing.T) {
+	u := NewDiscrete(Point{3, 1})
+	v := NewDiscrete(Point{3, 1})
+	if got := DegreeDD(OpLt, u, v); got != 0 {
+		t.Errorf("DegreeDD(<) = %g, want 0", got)
+	}
+	if got := DegreeDD(OpLe, u, v); got != 1 {
+		t.Errorf("DegreeDD(<=) = %g, want 1", got)
+	}
+}
+
+func TestDegreeDT(t *testing.T) {
+	u := NewDiscrete(Point{5, 1}, Point{9, 0.4})
+	v := Trap(0, 2, 4, 6)
+	tests := []struct {
+		op   Op
+		want float64
+	}{
+		{OpEq, 0.5}, // µ_v(5) = 0.5
+		{OpLt, 0.5}, // best: x=5, sup_{y>=5} µ_v = 0.5
+		{OpGt, 1},   // x=5 with all of v's core below
+		{OpNe, 1},
+	}
+	for _, tc := range tests {
+		if got := DegreeDT(tc.op, u, v); !almostEq(got, tc.want) {
+			t.Errorf("DegreeDT(%v) = %g, want %g", tc.op, got, tc.want)
+		}
+	}
+}
+
+func TestDegreeDTCrispTrap(t *testing.T) {
+	u := NewDiscrete(Point{3, 1})
+	// A crisp trapezoid behaves like a singleton discrete value, so strict
+	// comparison against an equal point is 0.
+	if got := DegreeDT(OpLt, u, Crisp(3)); got != 0 {
+		t.Errorf("DegreeDT(<, {3}, 3) = %g, want 0", got)
+	}
+	if got := DegreeDT(OpLe, u, Crisp(3)); got != 1 {
+		t.Errorf("DegreeDT(<=, {3}, 3) = %g, want 1", got)
+	}
+}
+
+func TestDegreeTD(t *testing.T) {
+	v := NewDiscrete(Point{5, 1})
+	u := Trap(0, 2, 4, 6)
+	// d(U < V): v=5 and leftSup of u below 5 is 1.
+	if got := DegreeTD(OpLt, u, v); got != 1 {
+		t.Errorf("DegreeTD(<) = %g, want 1", got)
+	}
+	// d(U > V): sup_{x>=5} µ_u(x) = 0.5.
+	if got := DegreeTD(OpGt, u, v); !almostEq(got, 0.5) {
+		t.Errorf("DegreeTD(>) = %g, want 0.5", got)
+	}
+}
+
+func TestQuickDiscreteDegreesBounded(t *testing.T) {
+	f := func(xs [3]float64, mus [3]uint8, vals [4]float64, opByte uint8) bool {
+		var pts []Point
+		for i := range xs {
+			pts = append(pts, Point{float64(int(xs[i]) % 50), float64(mus[i]%101) / 100})
+		}
+		d := NewDiscrete(pts...)
+		tr := randomTrap(vals[0], vals[1], vals[2], vals[3])
+		op := Op(opByte % 6)
+		g1 := DegreeDT(op, d, tr)
+		g2 := DegreeTD(op, tr, d)
+		return g1 >= 0 && g1 <= 1 && g2 >= 0 && g2 <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDTFlipConsistency: DegreeTD(op, t, d) must equal
+// DegreeDT(op.Flip(), d, t) by construction; check against DegreeDD when
+// the trapezoid is crisp.
+func TestQuickDTCrispMatchesDD(t *testing.T) {
+	f := func(xs [3]float64, mus [3]uint8, c int8, opByte uint8) bool {
+		var pts []Point
+		for i := range xs {
+			pts = append(pts, Point{float64(int(xs[i]) % 20), float64(mus[i]%101) / 100})
+		}
+		d := NewDiscrete(pts...)
+		cv := float64(c % 20)
+		op := Op(opByte % 6)
+		viaDT := DegreeDT(op, d, Crisp(cv))
+		viaDD := DegreeDD(op, d, NewDiscrete(Point{cv, 1}))
+		return almostEq(viaDT, viaDD)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,66 @@
+package fuzzy_test
+
+import (
+	"fmt"
+
+	"repro/internal/fuzzy"
+)
+
+// The paper's Fig. 1: "medium young" is fully possible between 25 and 30;
+// 24 belongs to it with degree 0.8, and "about 35" matches it with 0.5.
+func ExampleEq() {
+	mediumYoung := fuzzy.Trap(20, 25, 30, 35)
+	about35 := fuzzy.Tri(30, 35, 40)
+
+	fmt.Println(fuzzy.Eq(fuzzy.Crisp(24), mediumYoung))
+	fmt.Println(fuzzy.Eq(about35, mediumYoung))
+	// Output:
+	// 0.8
+	// 0.5
+}
+
+func ExampleTrapezoid_Mu() {
+	mediumYoung := fuzzy.Trap(20, 25, 30, 35)
+	fmt.Println(mediumYoung.Mu(27))
+	fmt.Println(mediumYoung.Mu(24))
+	fmt.Println(mediumYoung.Mu(19))
+	// Output:
+	// 1
+	// 0.8
+	// 0
+}
+
+// Fuzzy values sort by the Definition 3.1 interval order: first by the
+// begin of the support, then by its end (Example 3.1 of the paper).
+func ExampleTrapezoid_Compare() {
+	r1 := fuzzy.Interval(30, 35)
+	r2 := fuzzy.Interval(20, 28)
+	r3 := fuzzy.Interval(20, 35)
+	fmt.Println(r2.Less(r3), r3.Less(r1))
+	// Output:
+	// true true
+}
+
+func ExampleAggregate() {
+	set := []fuzzy.Member{
+		{Value: fuzzy.Tri(30, 40, 50), Mu: 0.4}, // about 40K
+		{Value: fuzzy.Trap(64, 74, 120, 120), Mu: 1},
+	}
+	max, _ := fuzzy.Aggregate(fuzzy.AggMax, set)
+	count, _ := fuzzy.Aggregate(fuzzy.AggCount, set)
+	fmt.Println(max)
+	fmt.Println(count)
+	// Output:
+	// TRAP(64,74,120,120)
+	// 2
+}
+
+// Approximate equality under a crisp band is the classic band join.
+func ExampleApproxEq() {
+	band := fuzzy.Interval(-5, 5)
+	fmt.Println(fuzzy.ApproxEq(fuzzy.Crisp(10), fuzzy.Crisp(13), band))
+	fmt.Println(fuzzy.ApproxEq(fuzzy.Crisp(10), fuzzy.Crisp(16), band))
+	// Output:
+	// 1
+	// 0
+}

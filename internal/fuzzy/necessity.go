@@ -1,0 +1,42 @@
+package fuzzy
+
+// The necessity measure of the double-measure framework the paper
+// discusses (and deliberately does not adopt) in Section 2.2:
+//
+//	Nec(X θ F) = 1 − Poss(X ¬θ F)
+//
+// Intuitively, possibility measures the "best possibility" for the
+// comparison to succeed; necessity measures the "impossibility" for the
+// opposite comparison to succeed. With convex normal distributions (our
+// trapezoids), necessity never exceeds possibility.
+//
+// The query engine uses possibility only — the paper's Section 2.2
+// explains that double-measure answers split into possibly/necessarily
+// relations, the algebraic operations stop composing, and unnesting
+// becomes impossible. These functions exist so applications can compute
+// the necessity of an answer after the fact, and so the Nec ≤ Poss
+// relationship is testable.
+
+// Nec returns the necessity degree Nec(U op V) = 1 − Poss(U ¬op V).
+func Nec(op Op, u, v Trapezoid) float64 {
+	return 1 - Degree(op.Negate(), u, v)
+}
+
+// NecEq returns the necessity of equality, Nec(U = V).
+func NecEq(u, v Trapezoid) float64 { return Nec(OpEq, u, v) }
+
+// NecIn returns the necessity that v equals some value of the fuzzy set T:
+// 1 − the possibility that v differs from every value of T. Following the
+// same dual construction as Section 7's ALL quantifier:
+//
+//	Nec(v in T) = 1 − d(v <> ALL T).
+func NecIn(v Trapezoid, set []Member) float64 {
+	return 1 - All(OpNe, v, set)
+}
+
+// PossNecInterval returns the [necessity, possibility] pair for one
+// comparison — the double measure of Prade and Testemale that the paper
+// contrasts with its single-measure design.
+func PossNecInterval(op Op, u, v Trapezoid) (nec, poss float64) {
+	return Nec(op, u, v), Degree(op, u, v)
+}

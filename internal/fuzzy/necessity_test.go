@@ -1,0 +1,107 @@
+package fuzzy
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNecCrisp(t *testing.T) {
+	// On crisp values necessity equals possibility (no uncertainty).
+	tests := []struct {
+		op   Op
+		u, v float64
+		want float64
+	}{
+		{OpEq, 5, 5, 1},
+		{OpEq, 5, 6, 0},
+		{OpLt, 5, 6, 1},
+		{OpLt, 6, 5, 0},
+		{OpLe, 5, 5, 1},
+	}
+	for _, tc := range tests {
+		if got := Nec(tc.op, Crisp(tc.u), Crisp(tc.v)); got != tc.want {
+			t.Errorf("Nec(%v, %g, %g) = %g, want %g", tc.op, tc.u, tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestNecEqFuzzyIsZeroForOverlapping(t *testing.T) {
+	// Two genuinely fuzzy values can always differ, so equality is never
+	// necessary: Nec(U = V) = 1 − Poss(U <> V) = 0.
+	u := Tri(0, 2, 4)
+	v := Tri(1, 3, 5)
+	if got := NecEq(u, v); got != 0 {
+		t.Errorf("NecEq = %g, want 0", got)
+	}
+	// Possibility is positive nevertheless — the double measure brackets.
+	if Eq(u, v) <= 0 {
+		t.Errorf("Poss should be positive")
+	}
+}
+
+func TestNecLtSeparatedSupports(t *testing.T) {
+	// With u's support entirely below v's, u < v is necessary.
+	u := Tri(0, 1, 2)
+	v := Tri(5, 6, 7)
+	if got := Nec(OpLt, u, v); got != 1 {
+		t.Errorf("Nec(<) = %g, want 1", got)
+	}
+	if got := Nec(OpGt, u, v); got != 0 {
+		t.Errorf("Nec(>) = %g, want 0", got)
+	}
+}
+
+// TestQuickNecAtMostPoss: with convex normal distributions necessity is
+// always no greater than possibility (Section 2.2 of the paper).
+func TestQuickNecAtMostPoss(t *testing.T) {
+	f := func(vals [8]float64, opByte uint8) bool {
+		u := randomTrap(vals[0], vals[1], vals[2], vals[3])
+		v := randomTrap(vals[4], vals[5], vals[6], vals[7])
+		op := Op(opByte % 6)
+		nec, poss := PossNecInterval(op, u, v)
+		return nec <= poss+1e-9 && nec >= -1e-9 && poss <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNecIn(t *testing.T) {
+	set := []Member{{Crisp(5), 1}}
+	// v = 5 is necessarily in {5}: the only member is fully possible and
+	// cannot differ.
+	if got := NecIn(Crisp(5), set); got != 1 {
+		t.Errorf("NecIn(5, {5}) = %g, want 1", got)
+	}
+	if got := NecIn(Crisp(6), set); got != 0 {
+		t.Errorf("NecIn(6, {5}) = %g, want 0", got)
+	}
+	// A fuzzy v can always miss the set: necessity collapses to 0 even
+	// though possibility is 1.
+	v := Tri(4, 5, 6)
+	if got := NecIn(v, set); got != 0 {
+		t.Errorf("NecIn(fuzzy) = %g, want 0", got)
+	}
+	if got := In(v, set); got != 1 {
+		t.Errorf("In(fuzzy) = %g, want 1", got)
+	}
+	// Empty set: membership is impossible, necessity 0.
+	if got := NecIn(Crisp(5), nil); got != 0 {
+		t.Errorf("NecIn(empty) = %g, want 0", got)
+	}
+}
+
+// TestQuickNecInAtMostIn: the double measure brackets set membership too.
+func TestQuickNecInAtMostIn(t *testing.T) {
+	f := func(vals [4]float64, setVals [3]float64, mus [3]uint8) bool {
+		v := randomTrap(vals[0], vals[1], vals[2], vals[3])
+		var set []Member
+		for i := range setVals {
+			set = append(set, Member{Crisp(float64(int(setVals[i]) % 50)), float64(mus[i]%101) / 100})
+		}
+		return NecIn(v, set) <= In(v, set)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

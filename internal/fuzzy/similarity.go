@@ -1,0 +1,71 @@
+package fuzzy
+
+// Similarity-relation comparisons. Section 2.2 of the paper defines the
+// satisfaction degree for a possibly nonbinary comparison θ:
+//
+//	d(X θ Y) = sup_{x,y} min(µ_U(x), µ_V(y), µ_θ(x, y)).
+//
+// The most useful nonbinary θ in practice is approximate equality with a
+// tolerance: µ_θ(x, y) = µ_T(x − y) for a tolerance distribution T around
+// zero. For that shape the sup-min collapses by the standard sup-min
+// convolution identity into an ordinary equality test against the
+// tolerance-widened operand:
+//
+//	sup_{x,y} min(µ_U(x), µ_V(y), µ_T(x − y)) = d(U = V ⊕ T),
+//
+// where ⊕ is fuzzy addition. A crisp symmetric tolerance [−w, +w] makes
+// this exactly the band join of DeWitt et al. that the paper compares the
+// fuzzy equi-join against (Section 3); a fuzzy tolerance interpolates.
+
+// Tolerance builds a symmetric triangular tolerance distribution around
+// zero: fully acceptable differences up to ±core, decaying to zero at
+// ±support. Tolerance(0, 0) is exact equality.
+func Tolerance(core, support float64) Trapezoid {
+	if core < 0 {
+		core = -core
+	}
+	if support < core {
+		support = core
+	}
+	return Trapezoid{-support, -core, core, support}
+}
+
+// ApproxEq returns the satisfaction degree of the similarity comparison
+// "U approximately equals V" under the tolerance distribution tol (a
+// distribution of acceptable differences x − y, usually symmetric around
+// zero).
+func ApproxEq(u, v Trapezoid, tol Trapezoid) float64 {
+	return Eq(u, Add(v, tol))
+}
+
+// SimilarityFunc is a user-defined similarity relation µ_θ(x, y).
+type SimilarityFunc func(x, y float64) float64
+
+// DegreeSimilarity computes d(U θ V) for an arbitrary similarity relation
+// by numeric sup-min search over the two supports (closed forms exist only
+// for special θ such as ApproxEq). steps controls the grid resolution per
+// axis; the result is a lower bound converging from below.
+func DegreeSimilarity(u, v Trapezoid, sim SimilarityFunc, steps int) float64 {
+	if steps < 2 {
+		steps = 2
+	}
+	uLo, uHi := u.Support()
+	vLo, vHi := v.Support()
+	du := (uHi - uLo) / float64(steps)
+	dv := (vHi - vLo) / float64(steps)
+	best := 0.0
+	for i := 0; i <= steps; i++ {
+		x := uLo + float64(i)*du
+		mu := u.Mu(x)
+		if mu <= best {
+			continue
+		}
+		for j := 0; j <= steps; j++ {
+			y := vLo + float64(j)*dv
+			if g := Min(mu, v.Mu(y), sim(x, y)); g > best {
+				best = g
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,216 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// frameKey identifies a page across all files sharing the pool.
+type frameKey struct {
+	pager *Pager
+	id    PageID
+}
+
+// Frame is a buffered page. Callers obtain frames pinned from the pool,
+// read or modify Data, and must Unpin when done (marking the frame dirty if
+// modified). Pinned frames are never evicted — the property the extended
+// merge-join relies on when it keeps the pages of the current Rng(r) in
+// memory (Section 3 of the paper).
+type Frame struct {
+	pager *Pager
+	ID    PageID
+	Data  []byte
+	pins  int
+	dirty bool
+	elem  *list.Element // position in the LRU list when unpinned
+}
+
+// BufferPool caches up to capacity pages across any number of pagers, with
+// LRU replacement among unpinned frames. It mirrors the fixed-size main
+// memory buffer of the paper's experiments (2 MB = 256 pages).
+type BufferPool struct {
+	capacity int
+	frames   map[frameKey]*Frame
+	lru      *list.List // of *Frame, least recently used in front
+	stats    *Stats
+}
+
+// NewBufferPool creates a pool with the given page capacity (minimum 1).
+func NewBufferPool(capacity int, stats *Stats) *BufferPool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if stats == nil {
+		stats = &Stats{}
+	}
+	return &BufferPool{
+		capacity: capacity,
+		frames:   make(map[frameKey]*Frame, capacity),
+		lru:      list.New(),
+		stats:    stats,
+	}
+}
+
+// Capacity returns the pool's page capacity.
+func (bp *BufferPool) Capacity() int { return bp.capacity }
+
+// SetCapacity changes the pool's page capacity; shrinking takes effect as
+// frames are unpinned and evicted on subsequent fetches.
+func (bp *BufferPool) SetCapacity(capacity int) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	bp.capacity = capacity
+}
+
+// Stats returns the pool's shared I/O statistics.
+func (bp *BufferPool) Stats() *Stats { return bp.stats }
+
+// PinnedPages returns the number of currently pinned frames, for tests and
+// leak detection.
+func (bp *BufferPool) PinnedPages() int {
+	n := 0
+	for _, f := range bp.frames {
+		if f.pins > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Get returns the frame of page id in pager p, pinned. It reads the page
+// from disk on a miss, evicting the least recently used unpinned frame if
+// the pool is full.
+func (bp *BufferPool) Get(p *Pager, id PageID) (*Frame, error) {
+	key := frameKey{p, id}
+	if f, ok := bp.frames[key]; ok {
+		bp.stats.Hits.Add(1)
+		bp.pin(f)
+		return f, nil
+	}
+	f, err := bp.admit(p, id)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.ReadPage(id, f.Data); err != nil {
+		bp.discard(f)
+		return nil, err
+	}
+	return f, nil
+}
+
+// NewPage allocates a fresh page in pager p and returns it pinned with
+// zeroed contents (no physical read).
+func (bp *BufferPool) NewPage(p *Pager) (*Frame, error) {
+	id := p.Allocate()
+	f, err := bp.admit(p, id)
+	if err != nil {
+		return nil, err
+	}
+	for i := range f.Data {
+		f.Data[i] = 0
+	}
+	f.dirty = true
+	return f, nil
+}
+
+// admit makes room for, registers, and pins a new frame for (p, id).
+func (bp *BufferPool) admit(p *Pager, id PageID) (*Frame, error) {
+	if err := bp.makeRoom(); err != nil {
+		return nil, err
+	}
+	f := &Frame{pager: p, ID: id, Data: make([]byte, PageSize), pins: 1}
+	bp.frames[frameKey{p, id}] = f
+	return f, nil
+}
+
+func (bp *BufferPool) makeRoom() error {
+	for len(bp.frames) >= bp.capacity {
+		e := bp.lru.Front()
+		if e == nil {
+			return fmt.Errorf("storage: buffer pool exhausted: all %d frames pinned", len(bp.frames))
+		}
+		victim := e.Value.(*Frame)
+		if err := bp.evict(victim); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (bp *BufferPool) evict(f *Frame) error {
+	if f.dirty {
+		if err := f.pager.WritePage(f.ID, f.Data); err != nil {
+			return err
+		}
+		f.dirty = false
+	}
+	bp.discard(f)
+	bp.stats.Evictions.Add(1)
+	return nil
+}
+
+func (bp *BufferPool) discard(f *Frame) {
+	if f.elem != nil {
+		bp.lru.Remove(f.elem)
+		f.elem = nil
+	}
+	delete(bp.frames, frameKey{f.pager, f.ID})
+}
+
+func (bp *BufferPool) pin(f *Frame) {
+	if f.elem != nil {
+		bp.lru.Remove(f.elem)
+		f.elem = nil
+	}
+	f.pins++
+}
+
+// Unpin releases one pin on f; dirty marks the frame as modified so it is
+// written back before eviction. It panics on unbalanced unpins.
+func (bp *BufferPool) Unpin(f *Frame, dirty bool) {
+	if f.pins <= 0 {
+		panic(fmt.Sprintf("storage: unpin of unpinned frame %d", f.ID))
+	}
+	if dirty {
+		f.dirty = true
+	}
+	f.pins--
+	if f.pins == 0 {
+		f.elem = bp.lru.PushBack(f)
+	}
+}
+
+// FlushAll writes every dirty frame back to its pager. Pins are left
+// untouched.
+func (bp *BufferPool) FlushAll() error {
+	for _, f := range bp.frames {
+		if f.dirty {
+			if err := f.pager.WritePage(f.ID, f.Data); err != nil {
+				return err
+			}
+			f.dirty = false
+		}
+	}
+	return nil
+}
+
+// DropPager flushes and forgets every frame belonging to p, e.g. before
+// removing a temporary file. Frames of p must be unpinned.
+func (bp *BufferPool) DropPager(p *Pager) error {
+	for key, f := range bp.frames {
+		if key.pager != p {
+			continue
+		}
+		if f.pins > 0 {
+			return fmt.Errorf("storage: DropPager: page %d still pinned", f.ID)
+		}
+		if f.dirty {
+			if err := p.WritePage(f.ID, f.Data); err != nil {
+				return err
+			}
+		}
+		bp.discard(f)
+	}
+	return nil
+}

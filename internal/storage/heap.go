@@ -1,0 +1,291 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"path/filepath"
+
+	"repro/internal/frel"
+)
+
+// Heap page layout:
+//
+//	[0:2]  uint16 record count
+//	then records back to back, each: uint16 length + payload
+//
+// Records never span pages; the maximum record size is
+// PageSize - pageHeader - recHeader bytes.
+const (
+	pageHeader = 2
+	recHeader  = 2
+
+	// MaxRecordSize is the largest serialized tuple a heap page can hold.
+	MaxRecordSize = PageSize - pageHeader - recHeader
+)
+
+// HeapFile is an append-only file of serialized fuzzy tuples in page
+// order. It is the on-disk representation of a fuzzy relation.
+type HeapFile struct {
+	Schema *frel.Schema
+	pager  *Pager
+	pool   *BufferPool
+
+	numPages  int64
+	numTuples int64
+
+	// Append cursor.
+	lastPage PageID
+	lastUsed int // bytes used in the last page (including header)
+	buf      []byte
+}
+
+// NewHeapFile creates an empty heap file backed by the given pager.
+func NewHeapFile(schema *frel.Schema, pager *Pager, pool *BufferPool) *HeapFile {
+	return &HeapFile{Schema: schema, pager: pager, pool: pool, lastPage: -1}
+}
+
+// RecoverHeapFile reconstructs a heap file over an existing pager (opened
+// with OpenPagerExisting): it walks the page headers to recover the tuple
+// count and the append cursor, so the file can be both scanned and
+// appended to.
+func RecoverHeapFile(schema *frel.Schema, pager *Pager, pool *BufferPool) (*HeapFile, error) {
+	h := NewHeapFile(schema, pager, pool)
+	h.numPages = pager.NumPages()
+	if h.numPages == 0 {
+		return h, nil
+	}
+	for pid := int64(0); pid < h.numPages; pid++ {
+		f, err := pool.Get(pager, PageID(pid))
+		if err != nil {
+			return nil, err
+		}
+		count := int(binary.LittleEndian.Uint16(f.Data[0:2]))
+		h.numTuples += int64(count)
+		if pid == h.numPages-1 {
+			// Recover the append cursor by walking the last page.
+			off := pageHeader
+			for i := 0; i < count; i++ {
+				recLen := int(binary.LittleEndian.Uint16(f.Data[off:]))
+				off += recHeader + recLen
+				if off > PageSize {
+					pool.Unpin(f, false)
+					return nil, fmt.Errorf("storage: corrupt heap page %d: record overruns the page", pid)
+				}
+			}
+			h.lastPage = PageID(pid)
+			h.lastUsed = off
+		}
+		pool.Unpin(f, false)
+	}
+	return h, nil
+}
+
+// NumTuples returns the number of tuples appended so far.
+func (h *HeapFile) NumTuples() int64 { return h.numTuples }
+
+// NumPages returns the number of pages the file occupies.
+func (h *HeapFile) NumPages() int64 { return h.numPages }
+
+// Bytes returns the total size of the file in bytes.
+func (h *HeapFile) Bytes() int64 { return h.numPages * PageSize }
+
+// Pager returns the backing pager.
+func (h *HeapFile) Pager() *Pager { return h.pager }
+
+// Append serializes t and appends it to the file.
+func (h *HeapFile) Append(t frel.Tuple) error {
+	var err error
+	h.buf, err = frel.AppendTuple(h.buf[:0], h.Schema, t)
+	if err != nil {
+		return err
+	}
+	rec := h.buf
+	if len(rec) > MaxRecordSize {
+		return fmt.Errorf("storage: tuple of %d bytes exceeds max record size %d", len(rec), MaxRecordSize)
+	}
+	need := recHeader + len(rec)
+	if h.lastPage < 0 || h.lastUsed+need > PageSize {
+		f, err := h.pool.NewPage(h.pager)
+		if err != nil {
+			return err
+		}
+		h.lastPage = f.ID
+		h.lastUsed = pageHeader
+		h.numPages++
+		h.pool.Unpin(f, true)
+	}
+	f, err := h.pool.Get(h.pager, h.lastPage)
+	if err != nil {
+		return err
+	}
+	count := binary.LittleEndian.Uint16(f.Data[0:2])
+	binary.LittleEndian.PutUint16(f.Data[h.lastUsed:], uint16(len(rec)))
+	copy(f.Data[h.lastUsed+recHeader:], rec)
+	binary.LittleEndian.PutUint16(f.Data[0:2], count+1)
+	h.lastUsed += need
+	h.numTuples++
+	h.pool.Unpin(f, true)
+	return nil
+}
+
+// AppendAll appends every tuple of an in-memory relation.
+func (h *HeapFile) AppendAll(r *frel.Relation) error {
+	for _, t := range r.Tuples {
+		if err := h.Append(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush writes any buffered dirty pages of this file to disk.
+func (h *HeapFile) Flush() error {
+	return h.pool.FlushAll()
+}
+
+// Drop flushes the pool's view of the file and deletes it.
+func (h *HeapFile) Drop() error {
+	if err := h.pool.DropPager(h.pager); err != nil {
+		return err
+	}
+	return h.pager.Remove()
+}
+
+// Scanner iterates the tuples of a heap file in storage order through the
+// buffer pool. It holds a pin on the current page only, so a scan touches
+// each page once (the access pattern the paper's cost analysis assumes).
+type Scanner struct {
+	h       *HeapFile
+	pageIdx int64
+	frame   *Frame
+	off     int
+	remain  int // records remaining in the current page
+	err     error
+}
+
+// Scan returns a scanner positioned before the first tuple.
+func (h *HeapFile) Scan() *Scanner {
+	return &Scanner{h: h}
+}
+
+// Next returns the next tuple. ok is false when the scan is exhausted or
+// an error occurred; check Err afterwards.
+func (s *Scanner) Next() (t frel.Tuple, ok bool) {
+	for {
+		if s.err != nil {
+			return frel.Tuple{}, false
+		}
+		if s.frame == nil {
+			if s.pageIdx >= s.h.numPages {
+				return frel.Tuple{}, false
+			}
+			f, err := s.h.pool.Get(s.h.pager, PageID(s.pageIdx))
+			if err != nil {
+				s.err = err
+				return frel.Tuple{}, false
+			}
+			s.frame = f
+			s.remain = int(binary.LittleEndian.Uint16(f.Data[0:2]))
+			s.off = pageHeader
+		}
+		if s.remain == 0 {
+			s.h.pool.Unpin(s.frame, false)
+			s.frame = nil
+			s.pageIdx++
+			continue
+		}
+		recLen := int(binary.LittleEndian.Uint16(s.frame.Data[s.off:]))
+		payload := s.frame.Data[s.off+recHeader : s.off+recHeader+recLen]
+		tup, _, err := frel.DecodeTuple(s.h.Schema, payload)
+		if err != nil {
+			s.err = err
+			return frel.Tuple{}, false
+		}
+		s.off += recHeader + recLen
+		s.remain--
+		return tup, true
+	}
+}
+
+// Close releases the scanner's page pin.
+func (s *Scanner) Close() {
+	if s.frame != nil {
+		s.h.pool.Unpin(s.frame, false)
+		s.frame = nil
+	}
+}
+
+// Err returns the first error the scanner encountered, if any.
+func (s *Scanner) Err() error { return s.err }
+
+// ReadAll materializes the whole heap file as an in-memory relation.
+func (h *HeapFile) ReadAll() (*frel.Relation, error) {
+	r := frel.NewRelation(h.Schema)
+	sc := h.Scan()
+	defer sc.Close()
+	for {
+		t, ok := sc.Next()
+		if !ok {
+			break
+		}
+		r.Append(t)
+	}
+	return r, sc.Err()
+}
+
+// Manager creates heap files inside one directory, sharing a buffer pool
+// and I/O statistics. It is the storage root of a database session.
+type Manager struct {
+	dir   string
+	pool  *BufferPool
+	stats *Stats
+	seq   int
+}
+
+// NewManager creates a manager over dir with a buffer pool of the given
+// page capacity. dir must exist.
+func NewManager(dir string, poolPages int) *Manager {
+	stats := &Stats{}
+	return &Manager{dir: dir, pool: NewBufferPool(poolPages, stats), stats: stats}
+}
+
+// Pool returns the shared buffer pool.
+func (m *Manager) Pool() *BufferPool { return m.pool }
+
+// Stats returns the shared I/O statistics.
+func (m *Manager) Stats() *Stats { return m.stats }
+
+// Dir returns the managed directory.
+func (m *Manager) Dir() string { return m.dir }
+
+// CreateHeap creates an empty heap file named name.heap in the managed
+// directory.
+func (m *Manager) CreateHeap(name string, schema *frel.Schema) (*HeapFile, error) {
+	p, err := OpenPager(filepath.Join(m.dir, name+".heap"), m.stats)
+	if err != nil {
+		return nil, err
+	}
+	return NewHeapFile(schema, p, m.pool), nil
+}
+
+// OpenHeap reopens an existing heap file named name.heap in the managed
+// directory, recovering its tuple count and append cursor.
+func (m *Manager) OpenHeap(name string, schema *frel.Schema) (*HeapFile, error) {
+	p, err := OpenPagerExisting(filepath.Join(m.dir, name+".heap"), m.stats)
+	if err != nil {
+		return nil, err
+	}
+	h, err := RecoverHeapFile(schema, p, m.pool)
+	if err != nil {
+		p.Close()
+		return nil, err
+	}
+	return h, nil
+}
+
+// CreateTemp creates a uniquely named temporary heap file (for sort runs
+// and materialized intermediates). Callers should Drop it when done.
+func (m *Manager) CreateTemp(schema *frel.Schema) (*HeapFile, error) {
+	m.seq++
+	return m.CreateHeap(fmt.Sprintf("tmp-%06d", m.seq), schema)
+}

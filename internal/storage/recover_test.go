@@ -1,0 +1,201 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/frel"
+)
+
+func TestOpenPagerExisting(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.pg")
+	stats := &Stats{}
+	p, err := OpenPager(path, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, PageSize)
+	for i := 0; i < 3; i++ {
+		id := p.Allocate()
+		buf[0] = byte(i + 1)
+		if err := p.WritePage(id, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, err := OpenPagerExisting(path, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if p2.NumPages() != 3 {
+		t.Errorf("NumPages = %d, want 3", p2.NumPages())
+	}
+	in := make([]byte, PageSize)
+	if err := p2.ReadPage(1, in); err != nil {
+		t.Fatal(err)
+	}
+	if in[0] != 2 {
+		t.Errorf("page 1 byte = %d", in[0])
+	}
+}
+
+func TestOpenPagerExistingErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := OpenPagerExisting(filepath.Join(dir, "absent.pg"), &Stats{}); err == nil {
+		t.Errorf("missing file: want error")
+	}
+	// Misaligned file.
+	bad := filepath.Join(dir, "bad.pg")
+	if err := os.WriteFile(bad, []byte("short"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenPagerExisting(bad, &Stats{}); err == nil {
+		t.Errorf("misaligned file: want error")
+	}
+	if _, err := OpenPagerExisting(filepath.Join(dir, "x.pg"), nil); err == nil {
+		t.Errorf("nil stats: want error")
+	}
+}
+
+func TestRecoverHeapFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	m := NewManager(dir, 8)
+	schema := testSchema()
+	h, err := m.CreateHeap("r", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := frel.NewRelation(schema)
+	for i := 0; i < 1200; i++ {
+		tup := frel.NewTuple(0.25+float64(i%4)/8, frel.Crisp(float64(i)), frel.Str("n"))
+		want.Append(tup)
+		if err := h.Append(tup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if h.Bytes() != h.NumPages()*PageSize {
+		t.Errorf("Bytes = %d", h.Bytes())
+	}
+
+	m2 := NewManager(dir, 8)
+	h2, err := m2.OpenHeap("r", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.NumTuples() != 1200 || h2.NumPages() != h.NumPages() {
+		t.Errorf("recovered %d tuples / %d pages, want %d / %d",
+			h2.NumTuples(), h2.NumPages(), h.NumTuples(), h.NumPages())
+	}
+	got, err := h2.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want, 0) {
+		t.Errorf("recovered data differs")
+	}
+
+	// Appending continues in the last page when there is room.
+	pagesBefore := h2.NumPages()
+	if err := h2.Append(frel.NewTuple(1, frel.Crisp(1200), frel.Str("n"))); err != nil {
+		t.Fatal(err)
+	}
+	if h2.NumPages() != pagesBefore {
+		t.Errorf("append after recovery allocated a new page unnecessarily")
+	}
+	if err := h2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	m3 := NewManager(dir, 8)
+	h3, err := m3.OpenHeap("r", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h3.NumTuples() != 1201 {
+		t.Errorf("NumTuples after second recovery = %d", h3.NumTuples())
+	}
+}
+
+func TestRecoverHeapFileEmpty(t *testing.T) {
+	dir := t.TempDir()
+	m := NewManager(dir, 8)
+	if _, err := m.CreateHeap("r", testSchema()); err != nil {
+		t.Fatal(err)
+	}
+	m2 := NewManager(dir, 8)
+	h, err := m2.OpenHeap("r", testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumTuples() != 0 || h.NumPages() != 0 {
+		t.Errorf("empty heap recovered as %d/%d", h.NumTuples(), h.NumPages())
+	}
+}
+
+func TestRecoverHeapFileCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	m := NewManager(dir, 8)
+	h, err := m.CreateHeap("r", testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Append(frel.NewTuple(1, frel.Crisp(1), frel.Str("x"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the record length of the first record so it overruns.
+	path := h.Pager().Path()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[2] = 0xFF
+	data[3] = 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m2 := NewManager(dir, 8)
+	if _, err := m2.OpenHeap("r", testSchema()); err == nil {
+		t.Errorf("corrupt heap: want error")
+	}
+}
+
+func TestAppendAll(t *testing.T) {
+	m := NewManager(t.TempDir(), 8)
+	h, err := m.CreateHeap("r", testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := frel.NewRelation(testSchema())
+	for i := 0; i < 25; i++ {
+		rel.Append(frel.NewTuple(1, frel.Crisp(float64(i)), frel.Str("y")))
+	}
+	if err := h.AppendAll(rel); err != nil {
+		t.Fatal(err)
+	}
+	if h.NumTuples() != 25 {
+		t.Errorf("NumTuples = %d", h.NumTuples())
+	}
+}
+
+func TestManagerDirAndPoolStats(t *testing.T) {
+	dir := t.TempDir()
+	m := NewManager(dir, 8)
+	if m.Dir() != dir {
+		t.Errorf("Dir = %q", m.Dir())
+	}
+	if m.Pool().Stats() != m.Stats() {
+		t.Errorf("pool and manager should share stats")
+	}
+}

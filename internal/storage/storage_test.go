@@ -1,0 +1,389 @@
+package storage
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/frel"
+)
+
+func testSchema() *frel.Schema {
+	return frel.NewSchema("R",
+		frel.Attribute{Name: "X", Kind: frel.KindNumber},
+		frel.Attribute{Name: "NAME", Kind: frel.KindString},
+	)
+}
+
+func newManager(t *testing.T, pages int) *Manager {
+	t.Helper()
+	return NewManager(t.TempDir(), pages)
+}
+
+func TestPagerReadWrite(t *testing.T) {
+	stats := &Stats{}
+	p, err := OpenPager(filepath.Join(t.TempDir(), "x.pg"), stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Remove()
+	id := p.Allocate()
+	out := make([]byte, PageSize)
+	copy(out, "hello page")
+	if err := p.WritePage(id, out); err != nil {
+		t.Fatal(err)
+	}
+	in := make([]byte, PageSize)
+	if err := p.ReadPage(id, in); err != nil {
+		t.Fatal(err)
+	}
+	if string(in[:10]) != "hello page" {
+		t.Errorf("read back %q", in[:10])
+	}
+	if r, w, _, _ := stats.Snapshot(); r != 1 || w != 1 {
+		t.Errorf("stats = %v", stats)
+	}
+}
+
+func TestPagerBoundsAndBufferChecks(t *testing.T) {
+	p, err := OpenPager(filepath.Join(t.TempDir(), "x.pg"), &Stats{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Remove()
+	buf := make([]byte, PageSize)
+	if err := p.ReadPage(0, buf); err == nil {
+		t.Errorf("read of unallocated page: want error")
+	}
+	id := p.Allocate()
+	if err := p.ReadPage(id, make([]byte, 10)); err == nil {
+		t.Errorf("short buffer: want error")
+	}
+	if err := p.WritePage(id, make([]byte, 10)); err == nil {
+		t.Errorf("short write buffer: want error")
+	}
+	if err := p.WritePage(id+1, buf); err == nil {
+		t.Errorf("write of unallocated page: want error")
+	}
+}
+
+func TestPagerUnflushedPageReadsZero(t *testing.T) {
+	p, err := OpenPager(filepath.Join(t.TempDir(), "x.pg"), &Stats{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Remove()
+	id := p.Allocate()
+	buf := make([]byte, PageSize)
+	buf[0] = 0xFF
+	if err := p.ReadPage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0 {
+		t.Errorf("unflushed page should read as zeroes, got %x", buf[0])
+	}
+}
+
+func TestBufferPoolHitAndEvict(t *testing.T) {
+	stats := &Stats{}
+	p, err := OpenPager(filepath.Join(t.TempDir(), "x.pg"), stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Remove()
+	bp := NewBufferPool(2, stats)
+
+	f1, err := bp.NewPage(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1.Data[0] = 1
+	bp.Unpin(f1, true)
+	f2, err := bp.NewPage(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2.Data[0] = 2
+	bp.Unpin(f2, true)
+
+	// Hit: page 0 still resident.
+	g, err := bp.Get(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Data[0] != 1 {
+		t.Errorf("page 0 byte = %d", g.Data[0])
+	}
+	bp.Unpin(g, false)
+	if _, _, hits, _ := stats.Snapshot(); hits != 1 {
+		t.Errorf("hits = %d, want 1", hits)
+	}
+
+	// Third page forces an eviction (of page 1, LRU) and a writeback.
+	f3, err := bp.NewPage(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp.Unpin(f3, true)
+	if _, _, _, ev := stats.Snapshot(); ev != 1 {
+		t.Errorf("evictions = %d, want 1", ev)
+	}
+
+	// Page 1 must come back from disk with its data intact.
+	g1, err := bp.Get(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.Data[0] != 2 {
+		t.Errorf("page 1 byte after reload = %d", g1.Data[0])
+	}
+	bp.Unpin(g1, false)
+}
+
+func TestBufferPoolAllPinned(t *testing.T) {
+	p, err := OpenPager(filepath.Join(t.TempDir(), "x.pg"), &Stats{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Remove()
+	bp := NewBufferPool(1, nil)
+	f, err := bp.NewPage(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bp.NewPage(p); err == nil {
+		t.Errorf("pool exhausted: want error")
+	}
+	bp.Unpin(f, false)
+	if _, err := bp.NewPage(p); err != nil {
+		t.Errorf("after unpin: %v", err)
+	}
+}
+
+func TestBufferPoolUnpinPanicsWhenUnbalanced(t *testing.T) {
+	p, err := OpenPager(filepath.Join(t.TempDir(), "x.pg"), &Stats{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Remove()
+	bp := NewBufferPool(2, nil)
+	f, err := bp.NewPage(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp.Unpin(f, false)
+	defer func() {
+		if recover() == nil {
+			t.Errorf("double unpin did not panic")
+		}
+	}()
+	bp.Unpin(f, false)
+}
+
+func TestHeapAppendScanRoundTrip(t *testing.T) {
+	m := newManager(t, 8)
+	h, err := m.CreateHeap("r", testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 1000
+	for i := 0; i < n; i++ {
+		tup := frel.NewTuple(0.5, frel.Crisp(float64(i)), frel.Str(fmt.Sprintf("name-%d", i)))
+		if err := h.Append(tup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.NumTuples() != n {
+		t.Errorf("NumTuples = %d", h.NumTuples())
+	}
+	if h.NumPages() < 2 {
+		t.Errorf("NumPages = %d, want multiple pages", h.NumPages())
+	}
+	if err := h.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	sc := h.Scan()
+	defer sc.Close()
+	i := 0
+	for {
+		tup, ok := sc.Next()
+		if !ok {
+			break
+		}
+		if tup.Values[0].Num.A != float64(i) || tup.Values[1].Str != fmt.Sprintf("name-%d", i) {
+			t.Fatalf("tuple %d = %v", i, tup)
+		}
+		i++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if i != n {
+		t.Errorf("scanned %d tuples, want %d", i, n)
+	}
+	if m.Pool().PinnedPages() != 0 {
+		t.Errorf("pinned pages after scan = %d", m.Pool().PinnedPages())
+	}
+}
+
+func TestHeapScanColdIsOneReadPerPage(t *testing.T) {
+	m := newManager(t, 4)
+	h, err := m.CreateHeap("r", testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		if err := h.Append(frel.NewTuple(1, frel.Crisp(float64(i)), frel.Str("x"))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Read something else to push the heap's pages out.
+	other, err := m.CreateHeap("other", testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if err := other.Append(frel.NewTuple(1, frel.Crisp(0), frel.Str("y"))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Stats().Reset()
+	sc := h.Scan()
+	for {
+		if _, ok := sc.Next(); !ok {
+			break
+		}
+	}
+	sc.Close()
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	reads, _, _, _ := m.Stats().Snapshot()
+	if reads != h.NumPages() {
+		t.Errorf("cold scan reads = %d, want %d (one per page)", reads, h.NumPages())
+	}
+}
+
+func TestHeapReadAll(t *testing.T) {
+	m := newManager(t, 8)
+	h, err := m.CreateHeap("r", testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := frel.NewRelation(testSchema())
+	for i := 0; i < 50; i++ {
+		tup := frel.NewTuple(float64(i%10)/10+0.05, frel.Crisp(float64(i)), frel.Str("n"))
+		want.Append(tup)
+		if err := h.Append(tup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := h.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want, 1e-12) {
+		t.Errorf("ReadAll mismatch")
+	}
+}
+
+func TestHeapRecordTooLarge(t *testing.T) {
+	schema := testSchema()
+	schema.Pad = PageSize // forces the record over MaxRecordSize
+	m := newManager(t, 8)
+	h, err := m.CreateHeap("r", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = h.Append(frel.NewTuple(1, frel.Crisp(1), frel.Str("x")))
+	if err == nil || !strings.Contains(err.Error(), "max record size") {
+		t.Errorf("oversized record: got %v", err)
+	}
+}
+
+func TestHeapPaddingGrowsPages(t *testing.T) {
+	small := testSchema()
+	big := testSchema()
+	big.Pad = 1024
+	m := newManager(t, 64)
+	hs, _ := m.CreateHeap("s", small)
+	hb, _ := m.CreateHeap("b", big)
+	for i := 0; i < 200; i++ {
+		tup := frel.NewTuple(1, frel.Crisp(float64(i)), frel.Str("x"))
+		if err := hs.Append(tup); err != nil {
+			t.Fatal(err)
+		}
+		if err := hb.Append(tup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hb.NumPages() <= hs.NumPages() {
+		t.Errorf("padded heap pages %d, plain %d", hb.NumPages(), hs.NumPages())
+	}
+}
+
+func TestHeapDrop(t *testing.T) {
+	m := newManager(t, 8)
+	h, err := m.CreateHeap("r", testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Append(frel.NewTuple(1, frel.Crisp(1), frel.Str("x"))); err != nil {
+		t.Fatal(err)
+	}
+	path := h.Pager().Path()
+	if err := h.Drop(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenPager(path, m.Stats()); err != nil {
+		// Re-creating over the removed path must succeed (file is gone).
+		t.Errorf("path not reusable after Drop: %v", err)
+	}
+}
+
+func TestCreateTempUnique(t *testing.T) {
+	m := newManager(t, 8)
+	a, err := m.CreateTemp(testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.CreateTemp(testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Pager().Path() == b.Pager().Path() {
+		t.Errorf("temp files share a path: %s", a.Pager().Path())
+	}
+}
+
+func TestStatsIOAndReset(t *testing.T) {
+	s := &Stats{}
+	s.Reads.Add(3)
+	s.Writes.Add(4)
+	if s.IO() != 7 {
+		t.Errorf("IO = %d", s.IO())
+	}
+	s.Reset()
+	if s.IO() != 0 {
+		t.Errorf("IO after reset = %d", s.IO())
+	}
+	if !strings.Contains(s.String(), "reads=0") {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestBufferPoolSetCapacity(t *testing.T) {
+	bp := NewBufferPool(10, nil)
+	if bp.Capacity() != 10 {
+		t.Errorf("Capacity = %d", bp.Capacity())
+	}
+	bp.SetCapacity(0)
+	if bp.Capacity() != 1 {
+		t.Errorf("Capacity after SetCapacity(0) = %d, want clamp to 1", bp.Capacity())
+	}
+}

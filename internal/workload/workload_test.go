@@ -1,0 +1,156 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/frel"
+	"repro/internal/fuzzy"
+	"repro/internal/storage"
+)
+
+func TestSchemaTupleSize(t *testing.T) {
+	for _, size := range []int{128, 256, 512, 1024, 2048} {
+		s, err := Schema("R", size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tup := frel.NewTuple(1, frel.Crisp(1), frel.Crisp(2), frel.Crisp(3))
+		if got := frel.EncodedSize(s, tup); got != size {
+			t.Errorf("tuple size = %d, want %d", got, size)
+		}
+	}
+	if _, err := Schema("R", 32); err == nil {
+		t.Errorf("undersized tuple: want error")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := Params{Name: "R", Tuples: 100, TupleBytes: 128, Fanout: 7, Width: 5, Jitter: 0.5, Seed: 3}
+	a, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b, 0) {
+		t.Errorf("same seed should generate identical relations")
+	}
+	p.Seed = 4
+	c, _ := Generate(p)
+	if a.Equal(c, 0) {
+		t.Errorf("different seeds should differ")
+	}
+}
+
+// TestGenerateFanout: the average number of join partners (pairs whose B/B
+// supports intersect) must be close to C.
+func TestGenerateFanout(t *testing.T) {
+	for _, c := range []int{1, 7, 32} {
+		n := 2000
+		r, err := Generate(Params{Name: "R", Tuples: n, TupleBytes: 128, Fanout: c, Width: 5, Jitter: 0.5, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := Generate(Params{Name: "S", Tuples: n, TupleBytes: 128, Fanout: c, Width: 5, Jitter: 0.5, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bi, _ := r.Schema.Resolve("B")
+		// Count intersecting pairs on a sample of R to keep the test fast.
+		sample := 200
+		matches := 0
+		for i := 0; i < sample; i++ {
+			rv := r.Tuples[i].Values[bi].Num
+			for _, st := range s.Tuples {
+				if rv.Intersects(st.Values[bi].Num) {
+					matches++
+				}
+			}
+		}
+		avg := float64(matches) / float64(sample)
+		if avg < float64(c)*0.5 || avg > float64(c)*2 {
+			t.Errorf("C = %d: measured fanout %.2f out of range", c, avg)
+		}
+	}
+}
+
+// TestGenerateCorrelatedAttrs: A and B of one tuple share a centre, so a
+// pair matching on A also matches on B (the type J query joins on both).
+func TestGenerateCorrelatedAttrs(t *testing.T) {
+	r, err := Generate(Params{Name: "R", Tuples: 500, TupleBytes: 128, Fanout: 5, Width: 5, Jitter: 0.5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ai, _ := r.Schema.Resolve("A")
+	bi, _ := r.Schema.Resolve("B")
+	for _, tup := range r.Tuples {
+		if !tup.Values[ai].Num.Intersects(tup.Values[bi].Num) {
+			t.Fatalf("A and B of one tuple should share a centre: %v", tup)
+		}
+	}
+}
+
+// TestGenerateDegreesPositive: every generated tuple is a member of its
+// relation, and same-centre values join with positive degree.
+func TestGenerateDegreesPositive(t *testing.T) {
+	r, err := Generate(Params{Name: "R", Tuples: 50, TupleBytes: 128, Fanout: 50, Width: 5, Jitter: 0.3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bi, _ := r.Schema.Resolve("B")
+	// Fanout 50 of 50 tuples: single centre; all pairs must join.
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			d := fuzzy.Eq(r.Tuples[i].Values[bi].Num, r.Tuples[j].Values[bi].Num)
+			if d <= 0 {
+				t.Fatalf("same-centre pair has zero join degree")
+			}
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	base := Params{Name: "R", Tuples: 10, TupleBytes: 128, Fanout: 1, Width: 5, Jitter: 0}
+	bad := []func(*Params){
+		func(p *Params) { p.Tuples = -1 },
+		func(p *Params) { p.Fanout = 0 },
+		func(p *Params) { p.Width = 0 },
+		func(p *Params) { p.Width = centreSpacing },
+		func(p *Params) { p.Jitter = 2 },
+		func(p *Params) { p.TupleBytes = 10 },
+	}
+	for i, mutate := range bad {
+		p := base
+		mutate(&p)
+		if _, err := Generate(p); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}
+
+func TestLoad(t *testing.T) {
+	cat := catalog.New(storage.NewManager(t.TempDir(), 16))
+	p := Params{Name: "R", Tuples: 300, TupleBytes: 256, Fanout: 3, Width: 5, Jitter: 0.5, Seed: 1}
+	h, err := Load(cat, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumTuples() != 300 {
+		t.Errorf("NumTuples = %d", h.NumTuples())
+	}
+	// 256-byte tuples: at least 300*256/8192 ≈ 10 pages.
+	if h.NumPages() < 10 {
+		t.Errorf("NumPages = %d, want >= 10", h.NumPages())
+	}
+	back, err := h.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := Generate(p)
+	if !back.Equal(want, 0) {
+		t.Errorf("loaded relation differs from generated one")
+	}
+}
