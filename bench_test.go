@@ -229,7 +229,81 @@ func BenchmarkAblationIntervalWidth(b *testing.B) {
 				}
 				drainJoin(b, mj)
 			}
-			b.ReportMetric(float64(c.Comparisons)/float64(b.N), "pairExams/op")
+			b.ReportMetric(float64(c.Comparisons.Load())/float64(b.N), "pairExams/op")
+		})
+	}
+}
+
+// BenchmarkAblationParallelism measures the partitioned parallel
+// merge-join against the serial operator on the Table 1 workload (equal
+// relations, C = 7, 128-byte tuples), at 2, 4, and 8 workers. The inputs
+// are pre-sorted so the comparison isolates the join itself; the parallel
+// operator returns the identical fuzzy relation (see
+// exec.TestParallelMergeJoinEquivalence).
+func BenchmarkAblationParallelism(b *testing.B) {
+	r, s := ablationRelations(b, 8000, 5)
+	run := func(b *testing.B, mk func() (exec.Source, error)) {
+		want := -1
+		for i := 0; i < b.N; i++ {
+			src, err := mk()
+			if err != nil {
+				b.Fatal(err)
+			}
+			n := drainJoin(b, src)
+			if want < 0 {
+				want = n
+			} else if n != want {
+				b.Fatalf("answer cardinality changed: %d vs %d", n, want)
+			}
+		}
+	}
+	b.Run("serial", func(b *testing.B) {
+		run(b, func() (exec.Source, error) {
+			return exec.NewMergeJoin(exec.NewMemSource(r), exec.NewMemSource(s), "R.B", "S.B", nil, nil)
+		})
+	})
+	for _, workers := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			run(b, func() (exec.Source, error) {
+				return exec.NewParallelMergeJoin(exec.NewMemSource(r), exec.NewMemSource(s),
+					"R.B", "S.B", fuzzy.Crisp(0), nil, nil, workers)
+			})
+		})
+	}
+}
+
+// BenchmarkAblationParallelSort measures parallel run generation in the
+// external sort (serial vs 4 workers) on the Table 1 workload spilled to
+// disk with a small memory budget.
+func BenchmarkAblationParallelSort(b *testing.B) {
+	rel, err := workload.Generate(workload.Params{
+		Name: "R", Tuples: 8000, TupleBytes: 128, Fanout: 7, Width: 5, Jitter: 0.5, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				mgr := storage.NewManager(b.TempDir(), 16)
+				cat := catalog.New(mgr)
+				h, err := cat.CreateRelation("R", rel.Schema)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := h.AppendAll(rel); err != nil {
+					b.Fatal(err)
+				}
+				less, err := extsort.ByAttr(h.Schema, "B")
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				sorter := extsort.NewSorter(mgr, 4).WithParallelism(workers)
+				if _, _, err := sorter.Sort(h, less); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

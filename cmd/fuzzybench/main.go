@@ -32,16 +32,18 @@ func main() {
 		cpuFactor  = flag.Float64("cpufactor", 100, "scale measured compute time in the response model, representing the paper's ~100x slower 1995 CPU; set 1 for raw measurements")
 		verify     = flag.Bool("verify", false, "cross-check that both methods return identical answers")
 		seed       = flag.Int64("seed", 1, "workload random seed")
+		parallel   = flag.Int("parallel", 1, "merge-join worker count: 1 reproduces the paper's serial execution, 0 uses all CPUs")
 	)
 	flag.Parse()
 
 	cfg := bench.Config{
-		Dir:       *dir,
-		ScaleDiv:  *scaleDiv,
-		IOLatency: *ioLatency,
-		CPUFactor: *cpuFactor,
-		Verify:    *verify,
-		Seed:      *seed,
+		Dir:         *dir,
+		ScaleDiv:    *scaleDiv,
+		IOLatency:   *ioLatency,
+		CPUFactor:   *cpuFactor,
+		Parallelism: *parallel,
+		Verify:      *verify,
+		Seed:        *seed,
 	}
 
 	names := bench.Names

@@ -23,10 +23,13 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 
 	"repro/internal/core"
@@ -63,7 +66,10 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := a.runScript(string(src)); err != nil {
+		// SIGINT cancels the running statement and aborts the script.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		if err := a.runScript(ctx, string(src)); err != nil {
 			fatal(err)
 		}
 		return
@@ -84,14 +90,16 @@ type app struct {
 	out  io.Writer
 }
 
-// runScript parses and executes a script, printing every query answer.
-func (a *app) runScript(src string) error {
+// runScript parses and executes a script under ctx, printing every query
+// answer. A cancelled context aborts the running statement and skips the
+// rest of the script.
+func (a *app) runScript(ctx context.Context, src string) error {
 	stmts, err := fsql.ParseScript(src)
 	if err != nil {
 		return err
 	}
 	for _, st := range stmts {
-		rel, err := a.sess.Exec(st)
+		rel, err := a.sess.ExecContext(ctx, st)
 		if err != nil {
 			return fmt.Errorf("%s: %w", st, err)
 		}
@@ -102,8 +110,13 @@ func (a *app) runScript(src string) error {
 	return nil
 }
 
-// repl reads statements from in until EOF or \q.
+// repl reads statements from in until EOF or \q. SIGINT cancels the
+// running statement (returning to the prompt) and is ignored while idle;
+// quit with \q or EOF.
 func (a *app) repl(in io.Reader) {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	defer signal.Stop(sig)
 	fmt.Fprintln(a.out, "fuzzydb — Fuzzy SQL shell (statements end with ';', \\q quits, \\d lists relations)")
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -132,7 +145,29 @@ func (a *app) repl(in io.Reader) {
 		src := buf.String()
 		buf.Reset()
 		prompt = "fuzzydb> "
-		if err := a.runScript(src); err != nil {
+		// Ctrl-C while the statement runs cancels it and returns to the
+		// prompt rather than killing the shell.
+		select {
+		case <-sig: // drop any interrupt typed at the prompt
+		default:
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() {
+			select {
+			case <-sig:
+				cancel()
+			case <-done:
+			}
+		}()
+		err := a.runScript(ctx, src)
+		close(done)
+		cancel()
+		switch {
+		case err == nil:
+		case errors.Is(err, context.Canceled):
+			fmt.Fprintln(a.out, "cancelled")
+		default:
 			fmt.Fprintln(a.out, "error:", err)
 		}
 	}
@@ -155,7 +190,7 @@ func (a *app) meta(cmd string) bool {
 		stats := a.sess.Catalog().Manager().Stats()
 		fmt.Fprintf(a.out, "physical I/O: %s\n", stats)
 		fmt.Fprintf(a.out, "work: degree evals=%d comparisons=%d tuples out=%d\n",
-			a.sess.Env.Counters.DegreeEvals, a.sess.Env.Counters.Comparisons, a.sess.Env.Counters.TuplesOut)
+			a.sess.Env.Counters.DegreeEvals.Load(), a.sess.Env.Counters.Comparisons.Load(), a.sess.Env.Counters.TuplesOut.Load())
 	case cmd == "\\terms":
 		for _, name := range a.sess.Catalog().Terms() {
 			t, _ := a.sess.Catalog().Term(name)

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -20,7 +21,7 @@ func newApp(t *testing.T) (*app, *bytes.Buffer) {
 
 func TestRunScriptPrintsAnswers(t *testing.T) {
 	a, out := newApp(t)
-	err := a.runScript(`
+	err := a.runScript(context.Background(), `
 		CREATE TABLE W (ID NUMBER, AGE NUMBER);
 		INSERT INTO W VALUES (1, 24);
 		INSERT INTO W VALUES (2, 'about 35');
@@ -39,17 +40,17 @@ func TestRunScriptPrintsAnswers(t *testing.T) {
 
 func TestRunScriptError(t *testing.T) {
 	a, _ := newApp(t)
-	if err := a.runScript(`SELECT X.Y FROM NOPE;`); err == nil {
+	if err := a.runScript(context.Background(), `SELECT X.Y FROM NOPE;`); err == nil {
 		t.Errorf("want error for unknown relation")
 	}
-	if err := a.runScript(`NOT SQL AT ALL`); err == nil {
+	if err := a.runScript(context.Background(), `NOT SQL AT ALL`); err == nil {
 		t.Errorf("want parse error")
 	}
 }
 
 func TestMetaCommands(t *testing.T) {
 	a, out := newApp(t)
-	if err := a.runScript(`CREATE TABLE W (X NUMBER);`); err != nil {
+	if err := a.runScript(context.Background(), `CREATE TABLE W (X NUMBER);`); err != nil {
 		t.Fatal(err)
 	}
 
@@ -121,7 +122,7 @@ func TestReplEOF(t *testing.T) {
 
 func TestCSVExportImportMeta(t *testing.T) {
 	a, out := newApp(t)
-	if err := a.runScript(`
+	if err := a.runScript(context.Background(), `
 		CREATE TABLE W (NAME STRING, AGE NUMBER);
 		INSERT INTO W VALUES ('Ann', 'about 35');
 		INSERT INTO W VALUES ('Bob', 24) DEGREE 0.5;
@@ -135,7 +136,7 @@ func TestCSVExportImportMeta(t *testing.T) {
 	}
 
 	// Import back into a second relation.
-	if err := a.runScript(`CREATE TABLE W2 (NAME STRING, AGE NUMBER);`); err != nil {
+	if err := a.runScript(context.Background(), `CREATE TABLE W2 (NAME STRING, AGE NUMBER);`); err != nil {
 		t.Fatal(err)
 	}
 	out.Reset()
@@ -144,7 +145,7 @@ func TestCSVExportImportMeta(t *testing.T) {
 		t.Fatalf("import output: %q", out.String())
 	}
 	out.Reset()
-	if err := a.runScript(`SELECT W2.NAME FROM W2 ORDER BY D DESC;`); err != nil {
+	if err := a.runScript(context.Background(), `SELECT W2.NAME FROM W2 ORDER BY D DESC;`); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "(2 tuples)") {
@@ -166,7 +167,7 @@ func TestCSVExportImportMeta(t *testing.T) {
 
 func TestStatsMeta(t *testing.T) {
 	a, out := newApp(t)
-	if err := a.runScript(`
+	if err := a.runScript(context.Background(), `
 		CREATE TABLE W (X NUMBER);
 		INSERT INTO W VALUES (1);
 		SELECT W.X FROM W WHERE W.X > 0;

@@ -8,16 +8,15 @@
 //     its temporary relation T = {about 40K: 0.4, high: 1}, and the final
 //     answer {Ann: 0.7, Betty: 0.7} — via both the naive nested evaluation
 //     and the unnested merge-join evaluation.
+//
+// Uses only the public embedding API (package repro/pkg/fuzzydb).
 package main
 
 import (
 	"fmt"
 	"log"
-	"os"
 
-	"repro/internal/core"
-	"repro/internal/frel"
-	"repro/internal/fsql"
+	"repro/pkg/fuzzydb"
 )
 
 const schemaAndData = `
@@ -51,46 +50,41 @@ const query2 = `
 	       WHERE M.AGE = 'middle age')`
 
 func main() {
-	dir, err := os.MkdirTemp("", "dating-*")
+	db, err := fuzzydb.Open("") // paper terms preloaded
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer os.RemoveAll(dir)
-	sess, err := core.OpenSession(dir, 256)
-	if err != nil {
-		log.Fatal(err)
-	} // paper terms preloaded
+	defer db.Close()
 
-	if _, err := sess.ExecScript(schemaAndData); err != nil {
+	if err := db.Exec(schemaAndData); err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Println("Query 1 — about the same age, he earns more than 'medium high':")
-	show(sess, query1)
+	show(db, query1)
 
 	fmt.Println("\nQuery 2, inner block — T = incomes of middle-aged men:")
-	show(sess, `SELECT M.INCOME FROM M WHERE M.AGE = 'middle age'`)
+	show(db, `SELECT M.INCOME FROM M WHERE M.AGE = 'middle age'`)
 
 	fmt.Println("\nQuery 2 — medium young women with a middle-aged man's income:")
-	q, err := fsql.ParseQuery(query2)
+	strategy, err := db.Explain(query2)
 	if err != nil {
 		log.Fatal(err)
 	}
-	plan := sess.Env.Explain(q)
-	fmt.Printf("  (unnesting strategy: %s — %s)\n", plan.Strategy, plan.Note)
+	fmt.Printf("  (unnesting strategy: %s)\n", strategy)
 
-	naive, err := sess.Env.EvalNaive(q)
+	naive, err := db.QueryNaive(query2)
 	if err != nil {
 		log.Fatal(err)
 	}
-	unnested, err := sess.Env.EvalUnnested(q)
+	unnested, err := db.Query(query2)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("  naive nested evaluation:")
-	printRel(naive, "    ")
+	printResult(naive, "    ")
 	fmt.Println("  unnested merge-join evaluation:")
-	printRel(unnested, "    ")
+	printResult(unnested, "    ")
 	if naive.Equal(unnested, 1e-9) {
 		fmt.Println("  ✓ identical fuzzy relations (Theorem 4.1)")
 	} else {
@@ -98,23 +92,23 @@ func main() {
 	}
 }
 
-func show(sess *core.Session, src string) {
-	answers, err := sess.ExecScript(src)
+func show(db *fuzzydb.DB, src string) {
+	res, err := db.Query(src)
 	if err != nil {
 		log.Fatal(err)
 	}
-	printRel(answers[0], "  ")
+	printResult(res, "  ")
 }
 
-func printRel(rel *frel.Relation, indent string) {
-	for _, t := range rel.Tuples {
+func printResult(res *fuzzydb.Result, indent string) {
+	for i := 0; i < res.Len(); i++ {
 		fmt.Print(indent)
-		for i, v := range t.Values {
-			if i > 0 {
+		for j, v := range res.Row(i) {
+			if j > 0 {
 				fmt.Print(", ")
 			}
 			fmt.Print(v)
 		}
-		fmt.Printf("  |  D = %.4g\n", t.D)
+		fmt.Printf("  |  D = %.4g\n", res.Degree(i))
 	}
 }

@@ -1,32 +1,26 @@
 // Quickstart: create a fuzzy relation, define a linguistic term, insert
 // ill-known data, and run a fuzzy query — the minimal end-to-end use of
-// the public API.
+// the public API (package repro/pkg/fuzzydb).
 package main
 
 import (
 	"fmt"
 	"log"
-	"os"
 
-	"repro/internal/core"
-	"repro/internal/fsql"
+	"repro/pkg/fuzzydb"
 )
 
 func main() {
-	dir, err := os.MkdirTemp("", "quickstart-*")
+	// "" opens a throwaway temporary database (removed by Close), with
+	// the paper's linguistic terms ("medium young", "about 35", …)
+	// preloaded.
+	db, err := fuzzydb.Open("")
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer os.RemoveAll(dir)
+	defer db.Close()
 
-	// A session bundles the storage manager, the catalog (preloaded with
-	// the paper's linguistic terms) and the query evaluators.
-	sess, err := core.OpenSession(dir, 256)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	answers, err := sess.ExecScript(`
+	err = db.Exec(`
 		CREATE TABLE PEOPLE (ID NUMBER, NAME STRING, AGE NUMBER);
 
 		-- A custom linguistic term: a trapezoidal possibility distribution.
@@ -38,36 +32,40 @@ func main() {
 		INSERT INTO PEOPLE VALUES (2, 'Bob',  'about 35');
 		INSERT INTO PEOPLE VALUES (3, 'Cora', 'thirty something');
 		INSERT INTO PEOPLE VALUES (4, 'Dan',  61) DEGREE 0.9;
-
-		-- A fuzzy selection: every answer tuple carries the degree to which
-		-- it satisfies the condition.
-		SELECT PEOPLE.NAME FROM PEOPLE
-		WHERE PEOPLE.AGE = 'medium young'
-		WITH D >= 0.1;
 	`)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("who is medium young (TRAP 20,25,30,35)?")
-	for _, t := range answers[0].Tuples {
-		fmt.Printf("  %-5s with possibility %.2f\n", t.Values[0].Str, t.D)
-	}
 
-	// Nested queries are unnested automatically; Explain shows how.
-	q, err := fsql.ParseQuery(`
-		SELECT P.NAME FROM PEOPLE P
-		WHERE P.AGE IN (SELECT Q.AGE FROM PEOPLE Q WHERE Q.NAME = 'Bob')`)
+	// A fuzzy selection: every answer tuple carries the degree to which
+	// it satisfies the condition.
+	res, err := db.Query(`
+		SELECT PEOPLE.NAME FROM PEOPLE
+		WHERE PEOPLE.AGE = 'medium young'
+		WITH D >= 0.1`)
 	if err != nil {
 		log.Fatal(err)
 	}
-	plan := sess.Env.Explain(q)
-	fmt.Printf("\nnested query strategy: %s (%s)\n", plan.Strategy, plan.Note)
-	rel, err := sess.Env.EvalUnnested(q)
+	fmt.Println("who is medium young (TRAP 20,25,30,35)?")
+	for i := 0; i < res.Len(); i++ {
+		fmt.Printf("  %-5s with possibility %.2f\n", res.Row(i)[0], res.Degree(i))
+	}
+
+	// Nested queries are unnested automatically; Explain shows how.
+	nested := `
+		SELECT P.NAME FROM PEOPLE P
+		WHERE P.AGE IN (SELECT Q.AGE FROM PEOPLE Q WHERE Q.NAME = 'Bob')`
+	strategy, err := db.Explain(nested)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nnested query strategy: %s\n", strategy)
+	res, err = db.Query(nested)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("who possibly has Bob's age?")
-	for _, t := range rel.Tuples {
-		fmt.Printf("  %-5s with possibility %.2f\n", t.Values[0].Str, t.D)
+	for i := 0; i < res.Len(); i++ {
+		fmt.Printf("  %-5s with possibility %.2f\n", res.Row(i)[0], res.Degree(i))
 	}
 }

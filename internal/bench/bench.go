@@ -57,6 +57,10 @@ type Config struct {
 	// same work than this machine (default 1: raw measurements; the
 	// recorded experiments use 100, see EXPERIMENTS.md).
 	CPUFactor float64
+	// Parallelism is the worker count for the merge-join method's
+	// partitioned joins and sort run generation: 0 uses the engine default
+	// (all CPUs), 1 forces fully serial execution (the paper's setting).
+	Parallelism int
 	// Verify cross-checks that both methods return identical answers.
 	Verify bool
 	// Seed randomizes the workload.
@@ -215,6 +219,7 @@ func (c Config) measure(method Method, nOuter, nInner int) (Measurement, *frel.R
 	env := core.NewEnv(cat)
 	env.SortMemPages = c.bufferPages()
 	env.NLBlockBytes = (c.bufferPages() - 1) * storage.PageSize
+	env.Parallelism = c.Parallelism
 
 	if _, err := workload.Load(cat, workload.Params{
 		Name: "R", Tuples: nOuter, TupleBytes: c.TupleBytes,
@@ -250,8 +255,8 @@ func (c Config) measure(method Method, nOuter, nInner int) (Measurement, *frel.R
 	meas := Measurement{
 		Wall:        wall,
 		IOs:         mgr.Stats().IO(),
-		DegreeEvals: env.Counters.DegreeEvals,
-		Comparisons: env.Counters.Comparisons,
+		DegreeEvals: env.Counters.DegreeEvals.Load(),
+		Comparisons: env.Counters.Comparisons.Load(),
 		SortWall:    env.Phases.SortWall,
 		SortIOs:     env.Phases.SortIOs,
 		IOLatency:   c.IOLatency,

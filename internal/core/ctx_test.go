@@ -1,0 +1,76 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/frel"
+	"repro/internal/fsql"
+)
+
+// TestEvalContextCancelled: a cancelled context refuses evaluation up
+// front, for both evaluators and for Session.ExecContext.
+func TestEvalContextCancelled(t *testing.T) {
+	e := NewMemEnv()
+	r := frel.NewRelation(frel.NewSchema("R", frel.Attribute{Name: "X", Kind: frel.KindNumber}))
+	r.Append(frel.NewTuple(1, frel.Crisp(1)))
+	e.RegisterRelation("R", r)
+	q, err := fsql.ParseQuery("SELECT R.X FROM R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.EvalUnnestedContext(ctx, q); !errors.Is(err, context.Canceled) {
+		t.Errorf("EvalUnnestedContext: err = %v, want context.Canceled", err)
+	}
+	if _, err := e.EvalNaiveContext(ctx, q); !errors.Is(err, context.Canceled) {
+		t.Errorf("EvalNaiveContext: err = %v, want context.Canceled", err)
+	}
+
+	sess, err := OpenSession(t.TempDir(), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.ExecContext(ctx, q); !errors.Is(err, context.Canceled) {
+		t.Errorf("ExecContext: err = %v, want context.Canceled", err)
+	}
+	if _, err := sess.ExecScriptContext(ctx, "SELECT R.X FROM R;"); !errors.Is(err, context.Canceled) {
+		t.Errorf("ExecScriptContext: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestEvalContextMidQueryCancel: cancelling during evaluation surfaces the
+// context error through the leaf scans (exercised with a nested query the
+// naive evaluator re-scans per outer tuple).
+func TestEvalContextMidQueryCancel(t *testing.T) {
+	e := NewMemEnv()
+	mk := func(name string, n int) *frel.Relation {
+		r := frel.NewRelation(frel.NewSchema(name, frel.Attribute{Name: "X", Kind: frel.KindNumber}))
+		for i := 0; i < n; i++ {
+			r.Append(frel.NewTuple(1, frel.Crisp(float64(i))))
+		}
+		return r
+	}
+	e.RegisterRelation("R", mk("R", 2000))
+	e.RegisterRelation("S", mk("S", 2000))
+	q, err := fsql.ParseQuery("SELECT R.X FROM R WHERE R.X IN (SELECT S.X FROM S)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Let the evaluation start, then pull the plug.
+		for i := 0; i < 1000; i++ {
+		}
+		cancel()
+	}()
+	_, evalErr := e.EvalNaiveContext(ctx, q)
+	<-done
+	if evalErr != nil && !errors.Is(evalErr, context.Canceled) {
+		t.Errorf("mid-query cancel: err = %v, want nil or context.Canceled", evalErr)
+	}
+}

@@ -19,6 +19,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -49,6 +50,15 @@ type Env struct {
 	// and keeps the syntactic relation order (ablation switch).
 	DisableJoinReorder bool
 
+	// Parallelism is the worker count for the partitioned merge-join and
+	// for sort run generation: 0 means exec.DefaultParallelism()
+	// (GOMAXPROCS), 1 forces fully serial execution.
+	Parallelism int
+
+	// ctx, when non-nil, is observed by the leaf scans of every evaluation
+	// (set for the duration of a *Context evaluation call).
+	ctx context.Context
+
 	// Counters accumulates operator work across evaluations.
 	Counters exec.Counters
 	// Phases attributes evaluation work to phases; the experiments use it
@@ -64,7 +74,7 @@ type PhaseStats struct {
 
 // ResetStats clears the accumulated counters and phase statistics.
 func (e *Env) ResetStats() {
-	e.Counters = exec.Counters{}
+	e.Counters.Reset()
 	e.Phases = PhaseStats{}
 }
 
@@ -132,6 +142,25 @@ func termKey(name string) string {
 	return string(out)
 }
 
+// withContext installs ctx as the evaluation context and returns the
+// restore function for the caller to defer.
+func (e *Env) withContext(ctx context.Context) func() {
+	prev := e.ctx
+	e.ctx = ctx
+	return func() { e.ctx = prev }
+}
+
+// workers resolves the Parallelism knob to an effective worker count.
+func (e *Env) workers() int {
+	if e.Parallelism == 0 {
+		return exec.DefaultParallelism()
+	}
+	if e.Parallelism < 1 {
+		return 1
+	}
+	return e.Parallelism
+}
+
 // term resolves a linguistic term.
 func (e *Env) term(name string) (fuzzy.Trapezoid, bool) {
 	if e.cat != nil {
@@ -150,20 +179,20 @@ func (e *Env) source(tr fsql.TableRef) (exec.Source, error) {
 	if r, ok := e.mem[relKey(name)]; ok {
 		if alias != "" && relKey(alias) != r.Schema.Name {
 			aliased := &frel.Relation{Schema: r.Schema.WithName(relKey(alias)), Tuples: r.Tuples}
-			return exec.NewMemSource(aliased), nil
+			return exec.WithContext(e.ctx, exec.NewMemSource(aliased)), nil
 		}
-		return exec.NewMemSource(r), nil
+		return exec.WithContext(e.ctx, exec.NewMemSource(r)), nil
 	}
 	if e.cat != nil {
 		h, err := e.cat.Relation(name)
 		if err != nil {
 			return nil, err
 		}
-		src := exec.NewHeapSource(h)
+		var src exec.Source = exec.NewHeapSource(h)
 		if alias != "" && relKey(alias) != h.Schema.Name {
-			return &renameSource{Source: src, schema: h.Schema.WithName(relKey(alias))}, nil
+			src = &renameSource{Source: src, schema: h.Schema.WithName(relKey(alias))}
 		}
-		return src, nil
+		return exec.WithContext(e.ctx, src), nil
 	}
 	return nil, fmt.Errorf("core: unknown relation %q", name)
 }
@@ -251,14 +280,14 @@ func (e *Env) sortSource(src exec.Source, attr string, total bool) (exec.Source,
 		}
 		start := time.Now()
 		iosBefore := mgr.Stats().IO()
-		sorter := extsort.NewSorter(mgr, e.SortMemPages)
+		sorter := extsort.NewSorter(mgr, e.SortMemPages).WithParallelism(e.workers())
 		sorted, st, err := sorter.Sort(tmp, less)
 		if err != nil {
 			return nil, err
 		}
 		e.Phases.SortWall += time.Since(start)
 		e.Phases.SortIOs += mgr.Stats().IO() - iosBefore
-		e.Counters.Comparisons += st.Comparisons
+		e.Counters.Comparisons.Add(st.Comparisons)
 		if derr := tmp.Drop(); derr != nil {
 			return nil, derr
 		}
@@ -270,7 +299,7 @@ func (e *Env) sortSource(src exec.Source, attr string, total bool) (exec.Source,
 	}
 	rel = rel.Clone()
 	start := time.Now()
-	e.Counters.Comparisons += extsort.SortRelation(rel, less)
+	e.Counters.Comparisons.Add(extsort.SortRelation(rel, less))
 	e.Phases.SortWall += time.Since(start)
 	return exec.NewMemSource(rel), nil
 }

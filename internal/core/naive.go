@@ -259,7 +259,7 @@ func (e *Env) compileBlockPred(fullSchema *frel.Schema, p fsql.Predicate) (block
 			if err != nil {
 				return 0, err
 			}
-			e.Counters.DegreeEvals += int64(len(set))
+			e.Counters.DegreeEvals.Add(int64(len(set)))
 			v := leftGet(t)
 			switch kind {
 			case fsql.PredIn:
@@ -329,7 +329,7 @@ func (e *Env) compileBlockPred(fullSchema *frel.Schema, p fsql.Predicate) (block
 			if !ok {
 				return 0, nil // NULL aggregate satisfies nothing
 			}
-			e.Counters.DegreeEvals++
+			e.Counters.DegreeEvals.Add(1)
 			return frel.Degree(op, leftGet(t), frel.Num(a)), nil
 		}, nil
 

@@ -117,7 +117,7 @@ func (e *Env) compilePred(schema *frel.Schema, p fsql.Predicate) (exec.Pred, err
 	}
 	counters := &e.Counters
 	return func(t frel.Tuple) float64 {
-		counters.DegreeEvals++
+		counters.DegreeEvals.Add(1)
 		return deg(l.get(t), r.get(t))
 	}, nil
 }
@@ -166,7 +166,7 @@ func (e *Env) compileJoinPred(left, right *frel.Schema, p fsql.Predicate) (exec.
 		}
 	}
 	return func(lt, rt frel.Tuple) float64 {
-		counters.DegreeEvals++
+		counters.DegreeEvals.Add(1)
 		return deg(pick(l, lt, rt), pick(r, lt, rt))
 	}, nil
 }

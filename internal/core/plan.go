@@ -272,6 +272,9 @@ func (e *Env) joinStep(cur, next exec.Source, joinPreds []predHome, applicable [
 		if err != nil {
 			return nil, err
 		}
+		if w := e.workers(); w > 1 {
+			return exec.NewParallelMergeJoin(sortedCur, sortedNext, curAttr, nextAttr, mergeTol, extra, &e.Counters, w)
+		}
 		mj, err := exec.NewBandMergeJoin(sortedCur, sortedNext, curAttr, nextAttr, mergeTol, extra, &e.Counters)
 		if err != nil {
 			return nil, err

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/catalog"
@@ -30,9 +31,19 @@ func (s *Session) Catalog() *catalog.Catalog { return s.cat }
 // other statements return nil. Statements that change the catalog (DDL
 // and term definitions) persist it, so the database survives reopening.
 func (s *Session) Exec(stmt fsql.Statement) (*frel.Relation, error) {
+	return s.ExecContext(context.Background(), stmt)
+}
+
+// ExecContext is Exec observing ctx: cancelling the context aborts a
+// running query (its leaf scans check for cancellation periodically) and
+// refuses to start further work.
+func (s *Session) ExecContext(ctx context.Context, stmt fsql.Statement) (*frel.Relation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	switch st := stmt.(type) {
 	case *fsql.Select:
-		return s.Env.EvalUnnested(st)
+		return s.Env.EvalUnnestedContext(ctx, st)
 
 	case *fsql.CreateTable:
 		schema := frel.NewSchema(st.Name, st.Attrs...)
@@ -67,13 +78,19 @@ func (s *Session) Exec(stmt fsql.Statement) (*frel.Relation, error) {
 // ExecScript parses and executes a semicolon-separated script, returning
 // the answer of each SELECT in order.
 func (s *Session) ExecScript(src string) ([]*frel.Relation, error) {
+	return s.ExecScriptContext(context.Background(), src)
+}
+
+// ExecScriptContext is ExecScript observing ctx between and during
+// statements.
+func (s *Session) ExecScriptContext(ctx context.Context, src string) ([]*frel.Relation, error) {
 	stmts, err := fsql.ParseScript(src)
 	if err != nil {
 		return nil, err
 	}
 	var answers []*frel.Relation
 	for _, st := range stmts {
-		rel, err := s.Exec(st)
+		rel, err := s.ExecContext(ctx, st)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", st, err)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -90,6 +91,26 @@ func (e *Env) EvalUnnested(q *fsql.Select) (*frel.Relation, error) {
 	}
 	_ = plan
 	return run()
+}
+
+// EvalUnnestedContext is EvalUnnested observing ctx: the evaluation's leaf
+// scans periodically check for cancellation, so a cancelled context aborts
+// long joins and sorts with the context's error.
+func (e *Env) EvalUnnestedContext(ctx context.Context, q *fsql.Select) (*frel.Relation, error) {
+	defer e.withContext(ctx)()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return e.EvalUnnested(q)
+}
+
+// EvalNaiveContext is EvalNaive observing ctx like EvalUnnestedContext.
+func (e *Env) EvalNaiveContext(ctx context.Context, q *fsql.Select) (*frel.Relation, error) {
+	defer e.withContext(ctx)()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return e.EvalNaive(q)
 }
 
 // classify picks the strategy and returns a closure executing it.
@@ -553,7 +574,7 @@ func (it *nlAntiIterator) Next() (frel.Tuple, bool) {
 		}
 		d := l.D
 		for _, r := range it.src.inner {
-			it.src.counters.DegreeEvals++
+			it.src.counters.DegreeEvals.Add(1)
 			if g := it.src.penalty(l, r); g < d {
 				d = g
 				if d == 0 {
@@ -563,7 +584,7 @@ func (it *nlAntiIterator) Next() (frel.Tuple, bool) {
 		}
 		if d > 0 {
 			l.D = d
-			it.src.counters.TuplesOut++
+			it.src.counters.TuplesOut.Add(1)
 			return l, true
 		}
 	}
@@ -645,7 +666,7 @@ func (e *Env) classifyJA(q *fsql.Select, compares []fsql.Predicate, sub fsql.Pre
 				}
 				counters := &e.Counters
 				result = exec.NewFilter(outer, func(t frel.Tuple) float64 {
-					counters.DegreeEvals++
+					counters.DegreeEvals.Add(1)
 					return frel.Degree(op, t.Values[yi], frel.Num(a))
 				})
 			}

@@ -149,12 +149,12 @@ func (it *groupAggIterator) computeGroup(u frel.Value) {
 	}
 	byKey := make(map[string]*memberEntry)
 	for _, s := range candidates {
-		j.Counters.Comparisons++
+		j.Counters.Comparisons.Add(1)
 		sv := s.Values[j.vi]
 		if it.win != nil && !u.Num.Intersects(sv.Num) {
 			continue // dangling tuple in the range
 		}
-		j.Counters.DegreeEvals++
+		j.Counters.DegreeEvals.Add(1)
 		d := frel.Degree(j.Op2, sv, u)
 		if s.D < d {
 			d = s.D
@@ -217,7 +217,7 @@ func (it *groupAggIterator) Next() (frel.Tuple, bool) {
 		if !it.aggOK {
 			continue // A′(u) is NULL and the aggregate is not COUNT
 		}
-		it.j.Counters.DegreeEvals++
+		it.j.Counters.DegreeEvals.Add(1)
 		d := fuzzy.Degree(it.j.Op1, r.Values[it.j.yi].Num, it.aggVal)
 		if r.D < d {
 			d = r.D
@@ -225,7 +225,7 @@ func (it *groupAggIterator) Next() (frel.Tuple, bool) {
 		if d > 0 {
 			out := r
 			out.D = d
-			it.j.Counters.TuplesOut++
+			it.j.Counters.TuplesOut.Add(1)
 			return out, true
 		}
 	}

@@ -251,12 +251,12 @@ func (it *mergeJoinIterator) Next() (frel.Tuple, bool) {
 		for it.curPos < len(it.curActive) {
 			s := it.curActive[it.curPos]
 			it.curPos++
-			it.j.Counters.Comparisons++
+			it.j.Counters.Comparisons.Add(1)
 			sX := fuzzy.Add(s.Values[it.j.ii].Num, it.j.Tol)
 			if !lX.Intersects(sX) {
 				continue // dangling tuple inside the range
 			}
-			it.j.Counters.DegreeEvals++
+			it.j.Counters.DegreeEvals.Add(1)
 			d := fuzzy.Eq(lX, sX)
 			if it.cur.D < d {
 				d = it.cur.D
@@ -265,13 +265,13 @@ func (it *mergeJoinIterator) Next() (frel.Tuple, bool) {
 				d = s.D
 			}
 			if d > 0 && it.j.Extra != nil {
-				it.j.Counters.DegreeEvals++
+				it.j.Counters.DegreeEvals.Add(1)
 				if g := it.j.Extra(it.cur, s); g < d {
 					d = g
 				}
 			}
 			if d > 0 {
-				it.j.Counters.TuplesOut++
+				it.j.Counters.TuplesOut.Add(1)
 				return it.cur.Concat(s, d), true
 			}
 		}
@@ -383,11 +383,11 @@ func (it *antiMinIterator) Next() (frel.Tuple, bool) {
 		d := l.D
 		lX := l.Values[it.j.oi].Num
 		for _, s := range it.win.active() {
-			it.j.Counters.Comparisons++
+			it.j.Counters.Comparisons.Add(1)
 			if !lX.Intersects(s.Values[it.j.ii].Num) {
 				continue // Penalty would be 1
 			}
-			it.j.Counters.DegreeEvals++
+			it.j.Counters.DegreeEvals.Add(1)
 			if g := it.j.Penalty(l, s); g < d {
 				d = g
 				if d == 0 {
@@ -398,7 +398,7 @@ func (it *antiMinIterator) Next() (frel.Tuple, bool) {
 		if d > 0 {
 			out := l
 			out.D = d
-			it.j.Counters.TuplesOut++
+			it.j.Counters.TuplesOut.Add(1)
 			return out, true
 		}
 	}

@@ -131,7 +131,7 @@ func (it *nlIterator) Next() (frel.Tuple, bool) {
 			l := it.block[it.blockPos]
 			r := it.innerCur
 			it.blockPos++
-			it.join.Counters.DegreeEvals++
+			it.join.Counters.DegreeEvals.Add(1)
 			d := it.join.On(l, r)
 			if l.D < d {
 				d = l.D
@@ -140,7 +140,7 @@ func (it *nlIterator) Next() (frel.Tuple, bool) {
 				d = r.D
 			}
 			if d > 0 {
-				it.join.Counters.TuplesOut++
+				it.join.Counters.TuplesOut.Add(1)
 				return l.Concat(r, d), true
 			}
 		}

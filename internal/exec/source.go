@@ -13,6 +13,8 @@
 package exec
 
 import (
+	"sync/atomic"
+
 	"repro/internal/frel"
 	"repro/internal/storage"
 )
@@ -36,18 +38,27 @@ type Source interface {
 // Counters accumulates the CPU-side work measures reported by the
 // experiments: fuzzy degree evaluations (the dominant cost the paper
 // attributes to "calls to the fuzzy library functions") and tuple
-// comparisons made by merges.
+// comparisons made by merges. The fields are atomic so one Counters may be
+// shared by the partition workers of a parallel merge-join; Counters must
+// not be copied after first use.
 type Counters struct {
-	DegreeEvals int64
-	Comparisons int64
-	TuplesOut   int64
+	DegreeEvals atomic.Int64
+	Comparisons atomic.Int64
+	TuplesOut   atomic.Int64
 }
 
 // Add accumulates other into c.
-func (c *Counters) Add(other Counters) {
-	c.DegreeEvals += other.DegreeEvals
-	c.Comparisons += other.Comparisons
-	c.TuplesOut += other.TuplesOut
+func (c *Counters) Add(other *Counters) {
+	c.DegreeEvals.Add(other.DegreeEvals.Load())
+	c.Comparisons.Add(other.Comparisons.Load())
+	c.TuplesOut.Add(other.TuplesOut.Load())
+}
+
+// Reset zeroes all counters.
+func (c *Counters) Reset() {
+	c.DegreeEvals.Store(0)
+	c.Comparisons.Store(0)
+	c.TuplesOut.Store(0)
 }
 
 // MemSource serves tuples from an in-memory relation.

@@ -172,11 +172,20 @@ func TestEarlyCloseJoins(t *testing.T) {
 }
 
 func TestCountersAdd(t *testing.T) {
-	a := Counters{DegreeEvals: 1, Comparisons: 2, TuplesOut: 3}
-	b := Counters{DegreeEvals: 10, Comparisons: 20, TuplesOut: 30}
-	a.Add(b)
-	if a.DegreeEvals != 11 || a.Comparisons != 22 || a.TuplesOut != 33 {
-		t.Errorf("Add = %+v", a)
+	var a, b Counters
+	a.DegreeEvals.Store(1)
+	a.Comparisons.Store(2)
+	a.TuplesOut.Store(3)
+	b.DegreeEvals.Store(10)
+	b.Comparisons.Store(20)
+	b.TuplesOut.Store(30)
+	a.Add(&b)
+	if a.DegreeEvals.Load() != 11 || a.Comparisons.Load() != 22 || a.TuplesOut.Load() != 33 {
+		t.Errorf("Add = %d/%d/%d", a.DegreeEvals.Load(), a.Comparisons.Load(), a.TuplesOut.Load())
+	}
+	a.Reset()
+	if a.DegreeEvals.Load() != 0 || a.Comparisons.Load() != 0 || a.TuplesOut.Load() != 0 {
+		t.Errorf("Reset left counters nonzero")
 	}
 }
 

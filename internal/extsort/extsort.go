@@ -15,6 +15,8 @@ package extsort
 import (
 	"container/heap"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/frel"
 	"repro/internal/storage"
@@ -61,6 +63,7 @@ type Stats struct {
 type Sorter struct {
 	mgr      *storage.Manager
 	memPages int
+	workers  int
 }
 
 // NewSorter creates a sorter that uses at most memPages pages worth of
@@ -70,7 +73,29 @@ func NewSorter(mgr *storage.Manager, memPages int) *Sorter {
 	if memPages < 2 {
 		memPages = 2
 	}
-	return &Sorter{mgr: mgr, memPages: memPages}
+	return &Sorter{mgr: mgr, memPages: memPages, workers: 1}
+}
+
+// WithParallelism sets the worker count for run generation (sorting and
+// writing initial runs): while the input scan stays sequential, up to
+// workers full batches are sorted and written to their run files
+// concurrently. Each in-flight batch holds its own memory budget, so peak
+// tuple memory grows to workers × memPages; the worker count is capped
+// below the buffer-pool capacity so concurrent run writers (one transient
+// page pin each) can never exhaust the pool. workers <= 1 restores the
+// serial behavior.
+func (s *Sorter) WithParallelism(workers int) *Sorter {
+	if workers < 1 {
+		workers = 1
+	}
+	if cap := s.mgr.Pool().Capacity() - 1; workers > cap {
+		workers = cap
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	s.workers = workers
+	return s
 }
 
 // Sort sorts src by less into a fresh temporary heap file. src is not
@@ -82,7 +107,7 @@ func (s *Sorter) Sort(src *storage.HeapFile, less Less) (*storage.HeapFile, Stat
 		return less(a, b)
 	}
 
-	runs, err := s.makeRuns(src, counting, &st)
+	runs, err := s.makeRuns(src, less, &st)
 	if err != nil {
 		return nil, st, err
 	}
@@ -120,9 +145,20 @@ func (s *Sorter) Sort(src *storage.HeapFile, less Less) (*storage.HeapFile, Stat
 }
 
 // makeRuns splits src into sorted runs that each fit in the memory budget.
+// With parallelism, run sorting and writing overlap the input scan (and
+// each other) on a bounded worker pool; run order, contents, and the
+// comparison count stay identical to the serial execution because batches
+// are cut at the same points and sorted with the same stable sort.
 func (s *Sorter) makeRuns(src *storage.HeapFile, less Less, st *Stats) ([]*storage.HeapFile, error) {
 	budget := s.memPages * storage.PageSize
-	var runs []*storage.HeapFile
+	var (
+		runs        []*storage.HeapFile
+		comparisons atomic.Int64
+		wg          sync.WaitGroup
+		errOnce     sync.Once
+		firstErr    error
+		sem         = make(chan struct{}, s.workers)
+	)
 	var batch []frel.Tuple
 	batchBytes := 0
 
@@ -130,25 +166,41 @@ func (s *Sorter) makeRuns(src *storage.HeapFile, less Less, st *Stats) ([]*stora
 		if len(batch) == 0 {
 			return nil
 		}
-		sort.SliceStable(batch, func(i, j int) bool { return less(batch[i], batch[j]) })
+		// The run file is created here, in scan order, so the run list is
+		// deterministic; only sorting and appending move to the worker.
 		run, err := s.mgr.CreateTemp(src.Schema)
 		if err != nil {
 			return err
 		}
-		for _, t := range batch {
-			if err := run.Append(t); err != nil {
-				return err
-			}
-		}
 		runs = append(runs, run)
 		st.Runs++
-		batch = batch[:0]
+		b := batch
+		batch = nil
 		batchBytes = 0
+		sem <- struct{}{} // bound in-flight batches (and their memory)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			var local int64
+			sort.SliceStable(b, func(i, j int) bool {
+				local++
+				return less(b[i], b[j])
+			})
+			comparisons.Add(local)
+			for _, t := range b {
+				if err := run.Append(t); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					return
+				}
+			}
+		}()
 		return nil
 	}
 
 	sc := src.Scan()
 	defer sc.Close()
+	var scanErr error
 	for {
 		t, ok := sc.Next()
 		if !ok {
@@ -159,15 +211,27 @@ func (s *Sorter) makeRuns(src *storage.HeapFile, less Less, st *Stats) ([]*stora
 		batchBytes += frel.EncodedSize(src.Schema, t)
 		if batchBytes >= budget {
 			if err := flush(); err != nil {
-				return nil, err
+				scanErr = err
+				break
 			}
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return nil, err
+	if scanErr == nil {
+		scanErr = sc.Err()
 	}
-	if err := flush(); err != nil {
-		return nil, err
+	if scanErr == nil {
+		scanErr = flush()
+	}
+	wg.Wait()
+	st.Comparisons += comparisons.Load()
+	if scanErr == nil {
+		scanErr = firstErr
+	}
+	if scanErr != nil {
+		for _, r := range runs {
+			r.Drop()
+		}
+		return nil, scanErr
 	}
 	return runs, nil
 }

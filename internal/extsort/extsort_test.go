@@ -265,3 +265,62 @@ func TestCheckDetectsDisorder(t *testing.T) {
 		t.Errorf("Check = %d, want 2", pos)
 	}
 }
+
+// TestSortParallelRunGeneration checks that parallel run generation
+// produces the identical sorted file and statistics as the serial sorter,
+// at several worker counts, including counts above the pool-capacity cap.
+func TestSortParallelRunGeneration(t *testing.T) {
+	const n = 6000
+	mkSrc := func(m *storage.Manager) *storage.HeapFile {
+		src, err := m.CreateHeap("src", xSchema())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fillRandom(t, src, n, 99)
+		return src
+	}
+	serialMgr := storage.NewManager(t.TempDir(), 16)
+	less, _ := ByAttr(xSchema(), "X")
+	serialOut, serialSt, err := NewSorter(serialMgr, 2).Sort(mkSrc(serialMgr), less)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialRel, err := serialOut.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 64} {
+		m := storage.NewManager(t.TempDir(), 16)
+		out, st, err := NewSorter(m, 2).WithParallelism(workers).Sort(mkSrc(m), less)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if st != serialSt {
+			t.Errorf("workers=%d: stats %+v, serial %+v", workers, st, serialSt)
+		}
+		rel, err := out.ReadAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rel.Equal(serialRel, 0) {
+			t.Errorf("workers=%d: sorted output differs from serial", workers)
+		}
+	}
+}
+
+// TestWithParallelismClamps verifies the worker cap: never below 1, never
+// at or above the buffer-pool capacity (each concurrent run writer pins a
+// page transiently).
+func TestWithParallelismClamps(t *testing.T) {
+	m := storage.NewManager(t.TempDir(), 4)
+	s := NewSorter(m, 2)
+	if s.WithParallelism(0); s.workers != 1 {
+		t.Errorf("workers(0) = %d, want 1", s.workers)
+	}
+	if s.WithParallelism(100); s.workers != 3 {
+		t.Errorf("workers(100) = %d, want pool capacity - 1 = 3", s.workers)
+	}
+	if s.WithParallelism(2); s.workers != 2 {
+		t.Errorf("workers(2) = %d, want 2", s.workers)
+	}
+}

@@ -3,6 +3,7 @@ package storage
 import (
 	"container/list"
 	"fmt"
+	"sync"
 )
 
 // frameKey identifies a page across all files sharing the pool.
@@ -28,7 +29,17 @@ type Frame struct {
 // BufferPool caches up to capacity pages across any number of pagers, with
 // LRU replacement among unpinned frames. It mirrors the fixed-size main
 // memory buffer of the paper's experiments (2 MB = 256 pages).
+//
+// The pool is safe for concurrent use: a single mutex guards the frame
+// table, the LRU list, and pin counts, so the partition workers of a
+// parallel merge-join (and parallel sort-run writers) can share one pool.
+// Physical page I/O performed on a miss or an eviction happens under the
+// lock, serializing disk access exactly like the single disk arm of the
+// paper's testbed. Frame.Data of a pinned frame may be read or written
+// without the lock — a pinned frame is never evicted or handed to another
+// page — but two goroutines must not share one pinned frame.
 type BufferPool struct {
+	mu       sync.Mutex
 	capacity int
 	frames   map[frameKey]*Frame
 	lru      *list.List // of *Frame, least recently used in front
@@ -52,7 +63,11 @@ func NewBufferPool(capacity int, stats *Stats) *BufferPool {
 }
 
 // Capacity returns the pool's page capacity.
-func (bp *BufferPool) Capacity() int { return bp.capacity }
+func (bp *BufferPool) Capacity() int {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.capacity
+}
 
 // SetCapacity changes the pool's page capacity; shrinking takes effect as
 // frames are unpinned and evicted on subsequent fetches.
@@ -60,6 +75,8 @@ func (bp *BufferPool) SetCapacity(capacity int) {
 	if capacity < 1 {
 		capacity = 1
 	}
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
 	bp.capacity = capacity
 }
 
@@ -69,6 +86,8 @@ func (bp *BufferPool) Stats() *Stats { return bp.stats }
 // PinnedPages returns the number of currently pinned frames, for tests and
 // leak detection.
 func (bp *BufferPool) PinnedPages() int {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
 	n := 0
 	for _, f := range bp.frames {
 		if f.pins > 0 {
@@ -82,6 +101,8 @@ func (bp *BufferPool) PinnedPages() int {
 // from disk on a miss, evicting the least recently used unpinned frame if
 // the pool is full.
 func (bp *BufferPool) Get(p *Pager, id PageID) (*Frame, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
 	key := frameKey{p, id}
 	if f, ok := bp.frames[key]; ok {
 		bp.stats.Hits.Add(1)
@@ -102,6 +123,8 @@ func (bp *BufferPool) Get(p *Pager, id PageID) (*Frame, error) {
 // NewPage allocates a fresh page in pager p and returns it pinned with
 // zeroed contents (no physical read).
 func (bp *BufferPool) NewPage(p *Pager) (*Frame, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
 	id := p.Allocate()
 	f, err := bp.admit(p, id)
 	if err != nil {
@@ -169,6 +192,8 @@ func (bp *BufferPool) pin(f *Frame) {
 // Unpin releases one pin on f; dirty marks the frame as modified so it is
 // written back before eviction. It panics on unbalanced unpins.
 func (bp *BufferPool) Unpin(f *Frame, dirty bool) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
 	if f.pins <= 0 {
 		panic(fmt.Sprintf("storage: unpin of unpinned frame %d", f.ID))
 	}
@@ -184,6 +209,8 @@ func (bp *BufferPool) Unpin(f *Frame, dirty bool) {
 // FlushAll writes every dirty frame back to its pager. Pins are left
 // untouched.
 func (bp *BufferPool) FlushAll() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
 	for _, f := range bp.frames {
 		if f.dirty {
 			if err := f.pager.WritePage(f.ID, f.Data); err != nil {
@@ -198,6 +225,8 @@ func (bp *BufferPool) FlushAll() error {
 // DropPager flushes and forgets every frame belonging to p, e.g. before
 // removing a temporary file. Frames of p must be unpinned.
 func (bp *BufferPool) DropPager(p *Pager) error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
 	for key, f := range bp.frames {
 		if key.pager != p {
 			continue

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"path/filepath"
+	"sync"
 
 	"repro/internal/frel"
 )
@@ -239,7 +240,9 @@ type Manager struct {
 	dir   string
 	pool  *BufferPool
 	stats *Stats
-	seq   int
+
+	mu  sync.Mutex // guards seq against concurrent CreateTemp calls
+	seq int
 }
 
 // NewManager creates a manager over dir with a buffer pool of the given
@@ -286,6 +289,9 @@ func (m *Manager) OpenHeap(name string, schema *frel.Schema) (*HeapFile, error) 
 // CreateTemp creates a uniquely named temporary heap file (for sort runs
 // and materialized intermediates). Callers should Drop it when done.
 func (m *Manager) CreateTemp(schema *frel.Schema) (*HeapFile, error) {
+	m.mu.Lock()
 	m.seq++
-	return m.CreateHeap(fmt.Sprintf("tmp-%06d", m.seq), schema)
+	seq := m.seq
+	m.mu.Unlock()
+	return m.CreateHeap(fmt.Sprintf("tmp-%06d", seq), schema)
 }

@@ -1,0 +1,199 @@
+// Package fuzzydb is the public embedding API of the fuzzy relational
+// database engine: a possibilistic database with Fuzzy SQL, linguistic
+// terms, and automatic unnesting of nested fuzzy queries (the rewrites of
+// "Efficient Processing of Nested Fuzzy SQL Queries").
+//
+// Open a database, execute Fuzzy SQL, read answers:
+//
+//	db, err := fuzzydb.Open("") // "" = throwaway temporary database
+//	defer db.Close()
+//	err = db.Exec(`CREATE TABLE F (NAME STRING, AGE NUMBER);
+//	               INSERT INTO F VALUES ('Ann', 'about 35');`)
+//	res, err := db.Query(`SELECT F.NAME FROM F WHERE F.AGE = 'middle age'`)
+//	for i := 0; i < res.Len(); i++ {
+//	    fmt.Println(res.Row(i), res.Degree(i))
+//	}
+//
+// The package wraps the internal engine without exposing its types: rows
+// come back as rendered strings plus a membership degree per tuple.
+package fuzzydb
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/fsql"
+)
+
+// config collects the Open options.
+type config struct {
+	bufferPages int
+	parallelism int
+}
+
+// Option customizes Open.
+type Option func(*config) error
+
+// WithBufferPoolPages sets the buffer pool capacity in 8 KiB pages. The
+// default, 256 pages (2 MB), matches the paper's experimental setup.
+func WithBufferPoolPages(pages int) Option {
+	return func(c *config) error {
+		if pages < 2 {
+			return fmt.Errorf("fuzzydb: buffer pool needs at least 2 pages, got %d", pages)
+		}
+		c.bufferPages = pages
+		return nil
+	}
+}
+
+// WithParallelism sets the worker count for parallel query execution
+// (partitioned merge-joins and sort run generation). 0, the default, uses
+// all available CPUs; 1 forces serial execution.
+func WithParallelism(workers int) Option {
+	return func(c *config) error {
+		if workers < 0 {
+			return fmt.Errorf("fuzzydb: negative parallelism %d", workers)
+		}
+		c.parallelism = workers
+		return nil
+	}
+}
+
+// DB is an open fuzzy database. It is not safe for concurrent use by
+// multiple goroutines (one DB = one session); open several DBs over
+// distinct directories for concurrent work.
+type DB struct {
+	sess    *core.Session
+	dir     string
+	ownsDir bool
+	closed  bool
+}
+
+// Open opens (or creates) the database stored in dir. An existing
+// database directory is recovered with its relations and terms; a fresh
+// one starts empty with the paper's linguistic-term dictionary preloaded.
+// The empty string opens a throwaway database in a temporary directory
+// that Close removes.
+func Open(dir string, opts ...Option) (*DB, error) {
+	c := config{bufferPages: 256}
+	for _, opt := range opts {
+		if err := opt(&c); err != nil {
+			return nil, err
+		}
+	}
+	ownsDir := false
+	if dir == "" {
+		d, err := os.MkdirTemp("", "fuzzydb-*")
+		if err != nil {
+			return nil, err
+		}
+		dir, ownsDir = d, true
+	}
+	sess, err := core.OpenSession(dir, c.bufferPages)
+	if err != nil {
+		if ownsDir {
+			os.RemoveAll(dir)
+		}
+		return nil, err
+	}
+	sess.Env.Parallelism = c.parallelism
+	return &DB{sess: sess, dir: dir, ownsDir: ownsDir}, nil
+}
+
+// Dir returns the database directory.
+func (db *DB) Dir() string { return db.dir }
+
+// Close releases the database. A temporary database (opened with dir "")
+// is deleted. Close is idempotent.
+func (db *DB) Close() error {
+	if db.closed {
+		return nil
+	}
+	db.closed = true
+	if db.ownsDir {
+		return os.RemoveAll(db.dir)
+	}
+	return nil
+}
+
+// Exec executes a Fuzzy SQL script (one or more ';'-separated statements:
+// DDL, INSERT, DELETE, DEFINE TERM, SELECT), discarding query answers.
+func (db *DB) Exec(sql string) error {
+	return db.ExecContext(context.Background(), sql)
+}
+
+// ExecContext is Exec observing ctx: cancellation aborts the running
+// statement.
+func (db *DB) ExecContext(ctx context.Context, sql string) error {
+	if err := db.check(); err != nil {
+		return err
+	}
+	_, err := db.sess.ExecScriptContext(ctx, sql)
+	return err
+}
+
+// Query evaluates one SELECT (through the unnesting rewrites) and returns
+// its answer.
+func (db *DB) Query(sql string) (*Result, error) {
+	return db.QueryContext(context.Background(), sql)
+}
+
+// QueryContext is Query observing ctx.
+func (db *DB) QueryContext(ctx context.Context, sql string) (*Result, error) {
+	q, err := db.parseQuery(sql)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := db.sess.Env.EvalUnnestedContext(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	return newResult(rel), nil
+}
+
+// QueryNaive evaluates one SELECT by the nested execution semantics
+// directly (the paper's baseline). It returns the same fuzzy relation as
+// Query — useful for cross-checking — but nested queries cost a full
+// inner evaluation per outer tuple.
+func (db *DB) QueryNaive(sql string) (*Result, error) {
+	q, err := db.parseQuery(sql)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := db.sess.Env.EvalNaiveContext(context.Background(), q)
+	if err != nil {
+		return nil, err
+	}
+	return newResult(rel), nil
+}
+
+// Explain reports the unnesting strategy Query would use for the SELECT,
+// e.g. "merge-join chain (type N query, Theorem 4.1)".
+func (db *DB) Explain(sql string) (string, error) {
+	q, err := db.parseQuery(sql)
+	if err != nil {
+		return "", err
+	}
+	plan := db.sess.Env.Explain(q)
+	if plan.Note == "" {
+		return fmt.Sprint(plan.Strategy), nil
+	}
+	return fmt.Sprintf("%s (%s)", plan.Strategy, plan.Note), nil
+}
+
+func (db *DB) parseQuery(sql string) (*fsql.Select, error) {
+	if err := db.check(); err != nil {
+		return nil, err
+	}
+	return fsql.ParseQuery(strings.TrimSuffix(strings.TrimSpace(sql), ";"))
+}
+
+func (db *DB) check() error {
+	if db.closed {
+		return fmt.Errorf("fuzzydb: database is closed")
+	}
+	return nil
+}
