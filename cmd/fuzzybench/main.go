@@ -8,6 +8,12 @@
 //
 //	fuzzybench [-experiment table1|table2|table3|table4|fig3|all]
 //	           [-scalediv 32] [-iolatency 10ms] [-dir DIR] [-verify]
+//	           [-json]
+//
+// With -json, instead of the experiment tables, both methods run once on
+// the standard workload pair with EXPLAIN ANALYZE collection and the
+// per-operator statistics are printed as a machine-readable JSON report
+// (schema in DESIGN.md).
 //
 // Absolute times are not comparable across three decades of hardware; the
 // point of the reproduction is the shape: who wins, by how much, and how
@@ -15,6 +21,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -33,6 +40,7 @@ func main() {
 		verify     = flag.Bool("verify", false, "cross-check that both methods return identical answers")
 		seed       = flag.Int64("seed", 1, "workload random seed")
 		parallel   = flag.Int("parallel", 1, "merge-join worker count: 1 reproduces the paper's serial execution, 0 uses all CPUs")
+		jsonStats  = flag.Bool("json", false, "run both methods once with EXPLAIN ANALYZE collection and print the per-operator statistics as JSON")
 	)
 	flag.Parse()
 
@@ -44,6 +52,25 @@ func main() {
 		Parallelism: *parallel,
 		Verify:      *verify,
 		Seed:        *seed,
+	}
+
+	if *jsonStats {
+		n := 8000 / cfg.ScaleDiv
+		if n < 50 {
+			n = 50
+		}
+		rep, err := cfg.AnalyzePair(n, n)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fuzzybench: analyze: %v\n", err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(os.Stderr, "fuzzybench: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	names := bench.Names

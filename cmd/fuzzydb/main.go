@@ -14,11 +14,13 @@
 //	    AND F.INCOME IN (SELECT M.INCOME FROM M WHERE M.AGE = 'middle age')
 //	    WITH D >= 0.5;
 //	DROP TABLE F;
+//	EXPLAIN SELECT …;          -- show the unnesting strategy
+//	EXPLAIN ANALYZE SELECT …;  -- run it and print per-operator statistics
 //
 // The paper's Fig. 1 / Fig. 2 linguistic terms ("medium young", "middle
 // age", "high", …) are predefined; DEFINE TERM adds or overrides terms.
 // Meta commands: \d (list relations), \terms (list terms),
-// \explain SELECT … (show the unnesting strategy), \q (quit).
+// \explain SELECT … (shorthand for EXPLAIN), \q (quit).
 package main
 
 import (

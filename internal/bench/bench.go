@@ -207,16 +207,18 @@ func (c Config) MeasureOne(m Method, nOuter, nInner int) (Measurement, error) {
 	return meas, err
 }
 
-func (c Config) measure(method Method, nOuter, nInner int) (Measurement, *frel.Relation, error) {
+// setupWorkload builds a fresh environment with generated R/S relations
+// and the parsed type J query; cleanup removes the scratch directory.
+func (c Config) setupWorkload(nOuter, nInner int) (env *core.Env, mgr *storage.Manager, q *fsql.Select, cleanup func(), err error) {
 	dir, err := os.MkdirTemp(c.Dir, "bench-*")
 	if err != nil {
-		return Measurement{}, nil, err
+		return nil, nil, nil, nil, err
 	}
-	defer os.RemoveAll(dir)
+	cleanup = func() { os.RemoveAll(dir) }
 
-	mgr := storage.NewManager(dir, c.bufferPages())
+	mgr = storage.NewManager(dir, c.bufferPages())
 	cat := catalog.New(mgr)
-	env := core.NewEnv(cat)
+	env = core.NewEnv(cat)
 	env.SortMemPages = c.bufferPages()
 	env.NLBlockBytes = (c.bufferPages() - 1) * storage.PageSize
 	env.Parallelism = c.Parallelism
@@ -225,19 +227,31 @@ func (c Config) measure(method Method, nOuter, nInner int) (Measurement, *frel.R
 		Name: "R", Tuples: nOuter, TupleBytes: c.TupleBytes,
 		Fanout: c.Fanout, Width: c.Width, Jitter: 0.5, Seed: c.Seed,
 	}); err != nil {
-		return Measurement{}, nil, err
+		cleanup()
+		return nil, nil, nil, nil, err
 	}
 	if _, err := workload.Load(cat, workload.Params{
 		Name: "S", Tuples: nInner, TupleBytes: c.TupleBytes,
 		Fanout: c.Fanout, Width: c.Width, Jitter: 0.5, Seed: c.Seed + 1,
 	}); err != nil {
-		return Measurement{}, nil, err
+		cleanup()
+		return nil, nil, nil, nil, err
 	}
 
-	q, err := fsql.ParseQuery(TypeJQuery)
+	q, err = fsql.ParseQuery(TypeJQuery)
+	if err != nil {
+		cleanup()
+		return nil, nil, nil, nil, err
+	}
+	return env, mgr, q, cleanup, nil
+}
+
+func (c Config) measure(method Method, nOuter, nInner int) (Measurement, *frel.Relation, error) {
+	env, mgr, q, cleanup, err := c.setupWorkload(nOuter, nInner)
 	if err != nil {
 		return Measurement{}, nil, err
 	}
+	defer cleanup()
 
 	env.ResetStats()
 	mgr.Stats().Reset()

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/frel"
+	"repro/internal/fsql"
+)
+
+// ExecStats is the result of an EXPLAIN ANALYZE evaluation: the chosen
+// strategy plus a per-operator tree of runtime measures. The per-operator
+// counters are deterministic for serial execution and aggregate exactly
+// across parallel partitions — the same query reports identical row and
+// comparison totals at any Parallelism setting — so they double as
+// correctness oracles for the partitioned operators.
+type ExecStats struct {
+	Strategy Strategy
+	Note     string
+	Wall     time.Duration // total evaluation wall time
+	Answer   int           // answer cardinality (after thresholding)
+	Pruned   int64         // rows dropped by WITH D >= thresholding
+	PoolHits int64         // buffer-pool page hits during the evaluation
+	// PoolMisses counts buffer-pool misses (each one is a physical page
+	// read).
+	PoolMisses int64
+	Root       *exec.OpStats // root of the operator tree (never nil on success)
+}
+
+// Plan snapshots the operator tree into plain serializable values.
+func (s *ExecStats) Plan() *exec.StatsSnapshot {
+	if s.Root == nil {
+		return nil
+	}
+	return s.Root.Snapshot()
+}
+
+// Lines renders the stats as text lines: a strategy header, a summary
+// line, and one indented line per operator.
+func (s *ExecStats) Lines() []string {
+	lines := []string{
+		fmt.Sprintf("strategy: %s (%s)", s.Strategy, s.Note),
+		fmt.Sprintf("wall: %s  answer: %d tuples  pruned by WITH: %d  pool: %d hits / %d misses",
+			s.Wall.Round(time.Microsecond), s.Answer, s.Pruned, s.PoolHits, s.PoolMisses),
+	}
+	if snap := s.Plan(); snap != nil {
+		lines = append(lines, strings.Split(strings.TrimRight(snap.Render(), "\n"), "\n")...)
+	}
+	return lines
+}
+
+// Render returns the Lines joined with newlines.
+func (s *ExecStats) Render() string {
+	return strings.Join(s.Lines(), "\n") + "\n"
+}
+
+// withAnalyze installs es as the active stats collection and returns the
+// restore function for the caller to defer.
+func (e *Env) withAnalyze(es *ExecStats) func() {
+	prev := e.analyze
+	e.analyze = es
+	return func() { e.analyze = prev }
+}
+
+// newNode creates a stats node when an EXPLAIN ANALYZE collection is
+// active, nil otherwise (operators treat a nil node as "don't measure").
+func (e *Env) newNode(op, label string) *exec.OpStats {
+	if e.analyze == nil {
+		return nil
+	}
+	return exec.NewOpStats(op, label)
+}
+
+// attach wires node into the stats tree: the nodes of already-wrapped
+// inputs become its children, node becomes the current root candidate
+// (the outermost operator wrapped last wins), and src is wrapped so its
+// rows out and wall time are measured. Identity when node is nil.
+func (e *Env) attach(node *exec.OpStats, src exec.Source, inputs ...exec.Source) exec.Source {
+	if node == nil {
+		return src
+	}
+	for _, in := range inputs {
+		if st, ok := in.(*exec.Stated); ok {
+			node.AddChild(st.Node)
+		}
+	}
+	e.analyze.Root = node
+	return exec.NewStated(src, node)
+}
+
+// stated creates a node and attaches it in one step.
+func (e *Env) stated(op, label string, src exec.Source, inputs ...exec.Source) exec.Source {
+	return e.attach(e.newNode(op, label), src, inputs...)
+}
+
+// notePruned accounts rows dropped by the answer threshold.
+func (e *Env) notePruned(n int) {
+	if e.analyze != nil && n > 0 {
+		e.analyze.Pruned += int64(n)
+		if e.analyze.Root != nil {
+			e.analyze.Root.Pruned.Add(int64(n))
+		}
+	}
+}
+
+// runAnalyzed executes run with stats collection active, filling es.
+func (e *Env) runAnalyzed(es *ExecStats, run func() (*frel.Relation, error)) (*frel.Relation, error) {
+	defer e.withAnalyze(es)()
+	var reads0, hits0 int64
+	if e.cat != nil {
+		reads0, _, hits0, _ = e.cat.Manager().Stats().Snapshot()
+	}
+	cmp0 := e.Counters.Comparisons.Load()
+	deg0 := e.Counters.DegreeEvals.Load()
+	start := time.Now()
+	rel, err := run()
+	es.Wall = time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+	es.Answer = rel.Len()
+	if es.Root == nil {
+		// The naive evaluator has no per-operator pipeline to hook; its
+		// work is reported as one node from the global counter deltas.
+		root := exec.NewOpStats(StrategyNaive.String(), "")
+		root.RowsOut.Store(int64(rel.Len()))
+		root.Comparisons.Store(e.Counters.Comparisons.Load() - cmp0)
+		root.DegreeEvals.Store(e.Counters.DegreeEvals.Load() - deg0)
+		root.Pruned.Store(es.Pruned)
+		root.WallNanos.Store(es.Wall.Nanoseconds())
+		es.Root = root
+	}
+	if e.cat != nil {
+		reads1, _, hits1, _ := e.cat.Manager().Stats().Snapshot()
+		es.PoolHits, es.PoolMisses = hits1-hits0, reads1-reads0
+		es.Root.PoolHits.Store(es.PoolHits)
+		es.Root.PoolMisses.Store(es.PoolMisses)
+	}
+	return rel, nil
+}
+
+// EvalUnnestedAnalyze is EvalUnnestedContext with per-operator statistics
+// collection: it evaluates the query via the unnesting rewrites and
+// returns the answer together with the populated stats tree.
+func (e *Env) EvalUnnestedAnalyze(ctx context.Context, q *fsql.Select) (*frel.Relation, *ExecStats, error) {
+	defer e.withContext(ctx)()
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	plan, run, err := e.classify(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	es := &ExecStats{Strategy: plan.Strategy, Note: plan.Note}
+	rel, err := e.runAnalyzed(es, run)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rel, es, nil
+}
+
+// EvalNaiveAnalyze is EvalNaiveContext with statistics collection; the
+// naive evaluator reports its work as a single root node.
+func (e *Env) EvalNaiveAnalyze(ctx context.Context, q *fsql.Select) (*frel.Relation, *ExecStats, error) {
+	defer e.withContext(ctx)()
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	es := &ExecStats{Strategy: StrategyNaive, Note: "nested-loop evaluation of the nested form"}
+	rel, err := e.runAnalyzed(es, func() (*frel.Relation, error) { return e.EvalNaive(q) })
+	if err != nil {
+		return nil, nil, err
+	}
+	return rel, es, nil
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/frel"
+	"repro/internal/fsql"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// analyzeEnv builds a disk-backed environment with generated R/S
+// relations (the bench workload shape) at the given parallelism.
+func analyzeEnv(t *testing.T, tuples, workers int) *Env {
+	t.Helper()
+	mgr := storage.NewManager(t.TempDir(), 16)
+	cat := catalog.New(mgr)
+	env := NewEnv(cat)
+	env.SortMemPages = 8
+	env.NLBlockBytes = 7 * storage.PageSize
+	env.Parallelism = workers
+	for i, name := range []string{"R", "S"} {
+		if _, err := workload.Load(cat, workload.Params{
+			Name: name, Tuples: tuples, TupleBytes: 128,
+			Fanout: 7, Width: 5, Jitter: 0.5, Seed: int64(1 + i),
+		}); err != nil {
+			t.Fatalf("load %s: %v", name, err)
+		}
+	}
+	return env
+}
+
+const analyzeQuery = `SELECT R.K FROM R WHERE R.B IN (SELECT S.B FROM S WHERE S.A = R.A)`
+
+// TestExplainAnalyzeCollectsStats checks that an analyzed run attaches a
+// populated operator tree: nonzero rows, comparisons and wall time, a
+// merge-join node with Rng(r) observations for every outer tuple, and
+// sort nodes carrying run/spill statistics.
+func TestExplainAnalyzeCollectsStats(t *testing.T) {
+	env := analyzeEnv(t, 400, 1)
+	q, err := fsql.ParseQuery(analyzeQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, es, err := env.EvalUnnestedAnalyze(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if es.Strategy != StrategyChain {
+		t.Fatalf("strategy = %v, want %v", es.Strategy, StrategyChain)
+	}
+	if es.Root == nil {
+		t.Fatal("no stats tree collected")
+	}
+	if es.Answer != rel.Len() {
+		t.Fatalf("Answer = %d, want %d", es.Answer, rel.Len())
+	}
+	snap := es.Plan()
+	rows, cmp, deg := snap.Totals()
+	if rows == 0 || cmp == 0 || deg == 0 {
+		t.Fatalf("zero work counters: rows=%d cmp=%d deg=%d", rows, cmp, deg)
+	}
+	if es.Wall <= 0 {
+		t.Fatalf("non-positive wall time %v", es.Wall)
+	}
+	mj := snap.Find("merge-join")
+	if mj == nil {
+		t.Fatalf("no merge-join node in:\n%s", snap.Render())
+	}
+	if mj.RngCount != 400 {
+		t.Fatalf("merge-join RngCount = %d, want one observation per outer tuple (400)", mj.RngCount)
+	}
+	if mj.Comparisons == 0 || mj.RngMax == 0 {
+		t.Fatalf("empty merge-join stats: %+v", mj)
+	}
+	sortNode := snap.Find("sort")
+	if sortNode == nil {
+		t.Fatalf("no sort node in:\n%s", snap.Render())
+	}
+	if sortNode.SortRuns == 0 || sortNode.SpillBytes == 0 {
+		t.Fatalf("external sort reported no runs/spill: %+v", sortNode)
+	}
+	if snap.Find("scan") == nil || snap.Find("project") == nil {
+		t.Fatalf("missing scan/project nodes in:\n%s", snap.Render())
+	}
+}
+
+// TestAnalyzeNaiveRootSynthesis checks that the naive evaluator (which
+// has no operator pipeline) still reports a stats root built from the
+// global counter deltas.
+func TestAnalyzeNaiveRootSynthesis(t *testing.T) {
+	env := analyzeEnv(t, 100, 1)
+	q, err := fsql.ParseQuery(analyzeQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, es, err := env.EvalNaiveAnalyze(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if es.Strategy != StrategyNaive {
+		t.Fatalf("strategy = %v, want %v", es.Strategy, StrategyNaive)
+	}
+	if es.Root == nil {
+		t.Fatal("no synthesized root")
+	}
+	snap := es.Plan()
+	if snap.RowsOut != int64(rel.Len()) {
+		t.Fatalf("RowsOut = %d, want %d", snap.RowsOut, rel.Len())
+	}
+	if snap.DegreeEvals == 0 {
+		t.Fatal("synthesized root has no degree evaluations")
+	}
+}
+
+// TestAnalyzePrunedCount checks WITH D >= thresholding is accounted.
+func TestAnalyzePrunedCount(t *testing.T) {
+	env := NewMemEnv()
+	r := frel.NewRelation(frel.NewSchema("R",
+		frel.Attribute{Name: "K", Kind: frel.KindNumber},
+		frel.Attribute{Name: "B", Kind: frel.KindNumber}))
+	r.Append(frel.NewTuple(1, frel.Crisp(1), frel.Crisp(10)))
+	r.Append(frel.NewTuple(0.4, frel.Crisp(2), frel.Crisp(20)))
+	r.Append(frel.NewTuple(0.2, frel.Crisp(3), frel.Crisp(30)))
+	env.RegisterRelation("R", r)
+	q, err := fsql.ParseQuery(`SELECT R.K FROM R WHERE R.B >= 0 WITH D >= 0.3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, es, err := env.EvalUnnestedAnalyze(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 2 {
+		t.Fatalf("answer = %d tuples, want 2", rel.Len())
+	}
+	if es.Pruned != 1 {
+		t.Fatalf("Pruned = %d, want 1", es.Pruned)
+	}
+}
+
+// TestAnalyzeParallelInvariance is the property test of the stats
+// contract: serial and parallel executions of the same query must return
+// identical answers AND identical aggregated work counters (rows,
+// comparisons, degree evaluations, and the full Rng(r) distribution).
+func TestAnalyzeParallelInvariance(t *testing.T) {
+	q, err := fsql.ParseQuery(analyzeQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type run struct {
+		workers              int
+		rel                  *frel.Relation
+		rows, cmp, deg       int64
+		rngN, rngMin, rngMax int64
+		rngSum               float64
+	}
+	var runs []run
+	for _, workers := range []int{1, 2, 4, 8} {
+		env := analyzeEnv(t, 600, workers)
+		rel, es, err := env.EvalUnnestedAnalyze(context.Background(), q)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		snap := es.Plan()
+		rows, cmp, deg := snap.Totals()
+		mj := snap.Find("merge-join")
+		if mj == nil {
+			t.Fatalf("workers=%d: no merge-join node in:\n%s", workers, snap.Render())
+		}
+		runs = append(runs, run{
+			workers: workers, rel: rel,
+			rows: rows, cmp: cmp, deg: deg,
+			rngN: mj.RngCount, rngMin: mj.RngMin, rngMax: mj.RngMax,
+			rngSum: mj.RngAvg * float64(mj.RngCount),
+		})
+	}
+	base := runs[0]
+	for _, r := range runs[1:] {
+		if !base.rel.Equal(r.rel, 1e-9) {
+			t.Errorf("workers=%d: answer differs from serial (%d vs %d tuples)",
+				r.workers, r.rel.Len(), base.rel.Len())
+		}
+		if r.rows != base.rows || r.cmp != base.cmp || r.deg != base.deg {
+			t.Errorf("workers=%d: work totals differ from serial: rows %d/%d cmp %d/%d deg %d/%d",
+				r.workers, r.rows, base.rows, r.cmp, base.cmp, r.deg, base.deg)
+		}
+		if r.rngN != base.rngN || r.rngMin != base.rngMin || r.rngMax != base.rngMax ||
+			math.Abs(r.rngSum-base.rngSum) > 1e-6 {
+			t.Errorf("workers=%d: Rng distribution differs from serial: n %d/%d min %d/%d max %d/%d sum %.1f/%.1f",
+				r.workers, r.rngN, base.rngN, r.rngMin, base.rngMin, r.rngMax, base.rngMax, r.rngSum, base.rngSum)
+		}
+	}
+}

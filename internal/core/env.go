@@ -59,6 +59,11 @@ type Env struct {
 	// (set for the duration of a *Context evaluation call).
 	ctx context.Context
 
+	// analyze, when non-nil, is the EXPLAIN ANALYZE collection the run
+	// path attaches per-operator stats nodes to (set for the duration of
+	// an *Analyze evaluation call).
+	analyze *ExecStats
+
 	// Counters accumulates operator work across evaluations.
 	Counters exec.Counters
 	// Phases attributes evaluation work to phases; the experiments use it
@@ -285,13 +290,23 @@ func (e *Env) sortSource(src exec.Source, attr string, total bool) (exec.Source,
 		if err != nil {
 			return nil, err
 		}
-		e.Phases.SortWall += time.Since(start)
+		elapsed := time.Since(start)
+		e.Phases.SortWall += elapsed
 		e.Phases.SortIOs += mgr.Stats().IO() - iosBefore
 		e.Counters.Comparisons.Add(st.Comparisons)
 		if derr := tmp.Drop(); derr != nil {
 			return nil, derr
 		}
-		return exec.NewHeapSource(sorted), nil
+		out := exec.Source(exec.NewHeapSource(sorted))
+		if node := e.newNode("sort", attr); node != nil {
+			node.SortRuns.Store(int64(st.Runs))
+			node.MergePasses.Store(int64(st.MergePasses))
+			node.SpillBytes.Store(st.SpillBytes)
+			node.Comparisons.Store(st.Comparisons)
+			node.WallNanos.Store(elapsed.Nanoseconds())
+			out = e.attach(node, out, src)
+		}
+		return out, nil
 	}
 	rel, err := exec.Collect(src)
 	if err != nil {
@@ -299,7 +314,15 @@ func (e *Env) sortSource(src exec.Source, attr string, total bool) (exec.Source,
 	}
 	rel = rel.Clone()
 	start := time.Now()
-	e.Counters.Comparisons.Add(extsort.SortRelation(rel, less))
-	e.Phases.SortWall += time.Since(start)
-	return exec.NewMemSource(rel), nil
+	cmp := extsort.SortRelation(rel, less)
+	e.Counters.Comparisons.Add(cmp)
+	elapsed := time.Since(start)
+	e.Phases.SortWall += elapsed
+	out := exec.Source(exec.NewMemSource(rel))
+	if node := e.newNode("sort", attr); node != nil {
+		node.Comparisons.Store(cmp)
+		node.WallNanos.Store(elapsed.Nanoseconds())
+		out = e.attach(node, out, src)
+	}
+	return out, nil
 }

@@ -130,17 +130,24 @@ func (e *Env) evalBlock(q *fsql.Select, outer *outerCtx) (*frel.Relation, error)
 	} else {
 		out.DedupMax()
 	}
-	if err := finalizeAnswer(out, q); err != nil {
+	pruned, err := finalizeAnswer(out, q)
+	if err != nil {
 		return nil, err
+	}
+	if outer == nil {
+		e.notePruned(pruned)
 	}
 	return out, nil
 }
 
 // finalizeAnswer applies the answer-shaping clauses: the WITH threshold,
 // ORDER BY (by degree or by an attribute under the Definition 3.1 order,
-// with a deterministic tie-break on the tuple values), and LIMIT.
-func finalizeAnswer(rel *frel.Relation, q *fsql.Select) error {
+// with a deterministic tie-break on the tuple values), and LIMIT. It
+// returns the number of tuples the threshold dropped.
+func finalizeAnswer(rel *frel.Relation, q *fsql.Select) (int, error) {
+	before := rel.Len()
 	rel.Threshold(q.With)
+	pruned := before - rel.Len()
 	if q.OrderBy != "" {
 		if strings.EqualFold(q.OrderBy, "D") {
 			sortTuples(rel, func(a, b frel.Tuple) int {
@@ -156,7 +163,7 @@ func finalizeAnswer(rel *frel.Relation, q *fsql.Select) error {
 		} else {
 			i, err := rel.Schema.Resolve(q.OrderBy)
 			if err != nil {
-				return err
+				return pruned, err
 			}
 			sortTuples(rel, func(a, b frel.Tuple) int {
 				return frel.CompareTotal(a.Values[i], b.Values[i])
@@ -166,7 +173,7 @@ func finalizeAnswer(rel *frel.Relation, q *fsql.Select) error {
 	if q.HasLimit && rel.Len() > q.Limit {
 		rel.Tuples = rel.Tuples[:q.Limit]
 	}
-	return nil
+	return pruned, nil
 }
 
 // sortTuples sorts by cmp (optionally reversed), breaking ties by the

@@ -66,7 +66,7 @@ func (e *Env) evalFlat(fq *flatQuery) (*frel.Relation, error) {
 		if err != nil {
 			return nil, err
 		}
-		srcs[i] = s
+		srcs[i] = e.stated("scan", tr.Binding(), s)
 		schemas[i] = s.Schema()
 	}
 
@@ -124,6 +124,11 @@ func (e *Env) evalFlat(fq *flatQuery) (*frel.Relation, error) {
 			return nil, fmt.Errorf("core: predicate %v references more than two relations", h.pred)
 		}
 	}
+	for i := range filtered {
+		if filtered[i] != srcs[i] {
+			filtered[i] = e.stated("filter", schemas[i].Name, filtered[i], srcs[i])
+		}
+	}
 
 	order, err := e.joinOrder(srcs, joinPreds)
 	if err != nil {
@@ -170,6 +175,9 @@ func (e *Env) evalFlat(fq *flatQuery) (*frel.Relation, error) {
 		}
 		out = exec.NewFilter(out, pred)
 	}
+	if out != cur {
+		out = e.stated("filter", "constant predicates", out, cur)
+	}
 
 	// Final projection / grouping.
 	hasAgg := false
@@ -192,14 +200,16 @@ func (e *Env) evalFlat(fq *flatQuery) (*frel.Relation, error) {
 		if err != nil {
 			return nil, err
 		}
-		rel, err = exec.Collect(proj)
+		rel, err = exec.Collect(e.stated("project", "", proj, out))
 		if err != nil {
 			return nil, err
 		}
 	}
-	if err := finalizeAnswer(rel, fq.shape()); err != nil {
+	pruned, err := finalizeAnswer(rel, fq.shape())
+	if err != nil {
 		return nil, err
 	}
+	e.notePruned(pruned)
 	return rel, nil
 }
 
@@ -272,20 +282,30 @@ func (e *Env) joinStep(cur, next exec.Source, joinPreds []predHome, applicable [
 		if err != nil {
 			return nil, err
 		}
+		node := e.newNode("merge-join", curAttr+" = "+nextAttr)
 		if w := e.workers(); w > 1 {
-			return exec.NewParallelMergeJoin(sortedCur, sortedNext, curAttr, nextAttr, mergeTol, extra, &e.Counters, w)
+			pj, err := exec.NewParallelMergeJoin(sortedCur, sortedNext, curAttr, nextAttr, mergeTol, extra, &e.Counters, w)
+			if err != nil {
+				return nil, err
+			}
+			pj.Stats = node
+			return e.attach(node, pj, sortedCur, sortedNext), nil
 		}
 		mj, err := exec.NewBandMergeJoin(sortedCur, sortedNext, curAttr, nextAttr, mergeTol, extra, &e.Counters)
 		if err != nil {
 			return nil, err
 		}
-		return mj, nil
+		mj.Stats = node
+		return e.attach(node, mj, sortedCur, sortedNext), nil
 	}
 	on := extra
 	if on == nil {
 		on = func(l, r frel.Tuple) float64 { return 1 }
 	}
-	return exec.NewBlockNLJoin(cur, next, on, e.NLBlockBytes, &e.Counters), nil
+	node := e.newNode("nl-join", "")
+	nl := exec.NewBlockNLJoin(cur, next, on, e.NLBlockBytes, &e.Counters)
+	nl.Stats = node
+	return e.attach(node, nl, cur, next), nil
 }
 
 // predHome is a predicate together with the relations it references
@@ -465,8 +485,8 @@ func bestFanout(rest, j, n int, edges [][]bool, fanout [][]float64) float64 {
 // measurement that follows); other sources keep the paper's
 // constant-fanout assumption.
 func (e *Env) sampleFanout(a, b exec.Source, p fsql.Predicate) float64 {
-	ma, okA := a.(*exec.MemSource)
-	mb, okB := b.(*exec.MemSource)
+	ma, okA := exec.Unwrap(a).(*exec.MemSource)
+	mb, okB := exec.Unwrap(b).(*exec.MemSource)
 	if !okA || !okB || ma.Rel.Len() == 0 || mb.Rel.Len() == 0 {
 		return assumedFanout
 	}
@@ -511,7 +531,7 @@ func sampleTuples(ts []frel.Tuple, max int) []frel.Tuple {
 
 // sourceSize estimates a source's cardinality for the planner.
 func sourceSize(s exec.Source) float64 {
-	switch src := s.(type) {
+	switch src := exec.Unwrap(s).(type) {
 	case *exec.MemSource:
 		return float64(src.Rel.Len())
 	case *exec.HeapSource:

@@ -45,6 +45,17 @@ func (s *Session) ExecContext(ctx context.Context, stmt fsql.Statement) (*frel.R
 	case *fsql.Select:
 		return s.Env.EvalUnnestedContext(ctx, st)
 
+	case *fsql.Explain:
+		if st.Analyze {
+			_, stats, err := s.Env.EvalUnnestedAnalyze(ctx, st.Query)
+			if err != nil {
+				return nil, err
+			}
+			return planRelation(stats.Lines()), nil
+		}
+		plan := s.Env.Explain(st.Query)
+		return planRelation([]string{fmt.Sprintf("strategy: %s (%s)", plan.Strategy, plan.Note)}), nil
+
 	case *fsql.CreateTable:
 		schema := frel.NewSchema(st.Name, st.Attrs...)
 		if _, err := s.cat.CreateRelation(st.Name, schema); err != nil {
@@ -73,6 +84,16 @@ func (s *Session) ExecContext(ctx context.Context, stmt fsql.Statement) (*frel.R
 	default:
 		return nil, fmt.Errorf("core: unsupported statement %T", stmt)
 	}
+}
+
+// planRelation packs text lines into a single-column crisp relation, the
+// shape EXPLAIN output flows through the shell's relation printer with.
+func planRelation(lines []string) *frel.Relation {
+	rel := frel.NewRelation(frel.NewSchema("", frel.Attribute{Name: "PLAN", Kind: frel.KindString}))
+	for _, ln := range lines {
+		rel.Append(frel.NewTuple(1, frel.Str(ln)))
+	}
+	return rel
 }
 
 // ExecScript parses and executes a semicolon-separated script, returning

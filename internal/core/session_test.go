@@ -179,3 +179,60 @@ func TestSessionExplainThroughEnv(t *testing.T) {
 		t.Errorf("strategy = %v", plan.Strategy)
 	}
 }
+
+// TestSessionExplain checks EXPLAIN and EXPLAIN ANALYZE through the
+// statement interface: both return a single-column PLAN relation, the
+// ANALYZE form with the populated per-operator tree.
+func TestSessionExplain(t *testing.T) {
+	sess, err := OpenSession(t.TempDir(), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.ExecScript(`
+		CREATE TABLE R (K NUMBER, A NUMBER, B NUMBER);
+		CREATE TABLE S (A NUMBER, B NUMBER);
+		INSERT INTO R VALUES (1, 1, 10);
+		INSERT INTO R VALUES (2, 2, 20);
+		INSERT INTO S VALUES (1, 10);
+		INSERT INTO S VALUES (2, 99);
+	`); err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(src string) string {
+		t.Helper()
+		st, err := fsql.ParseStatement(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel, err := sess.Exec(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := rel.Schema.Attrs[0].Name; got != "PLAN" {
+			t.Fatalf("column = %q, want PLAN", got)
+		}
+		var b strings.Builder
+		for _, tup := range rel.Tuples {
+			b.WriteString(tup.Values[0].Str)
+			b.WriteByte('\n')
+		}
+		return b.String()
+	}
+
+	const q = `SELECT R.K FROM R WHERE R.B IN (SELECT S.B FROM S WHERE S.A = R.A)`
+	plain := run(`EXPLAIN ` + q)
+	if !strings.Contains(plain, "strategy: chain-join") {
+		t.Errorf("EXPLAIN output:\n%s", plain)
+	}
+	if strings.Contains(plain, "wall:") {
+		t.Errorf("plain EXPLAIN must not execute the query:\n%s", plain)
+	}
+
+	analyzed := run(`EXPLAIN ANALYZE ` + q)
+	for _, want := range []string{"strategy: chain-join", "wall:", "answer: 1 tuples", "merge-join", "scan [S]"} {
+		if !strings.Contains(analyzed, want) {
+			t.Errorf("EXPLAIN ANALYZE missing %q:\n%s", want, analyzed)
+		}
+	}
+}

@@ -366,12 +366,17 @@ func (e *Env) prepareSingleBlock(from fsql.TableRef, schemaOnly bool, preds []fs
 	if schemaOnly {
 		return src, nil
 	}
+	base := e.stated("scan", from.Binding(), src)
+	src = base
 	for _, p := range preds {
 		pred, err := e.compilePred(src.Schema(), p)
 		if err != nil {
 			return nil, err
 		}
 		src = exec.NewFilter(src, pred)
+	}
+	if src != base {
+		src = e.stated("filter", from.Binding(), src, base)
 	}
 	return src, nil
 }
@@ -383,13 +388,15 @@ func (e *Env) finishProject(src exec.Source, q *fsql.Select) (*frel.Relation, er
 	if err != nil {
 		return nil, err
 	}
-	rel, err := exec.Collect(proj)
+	rel, err := exec.Collect(e.stated("project", "", proj, src))
 	if err != nil {
 		return nil, err
 	}
-	if err := finalizeAnswer(rel, q); err != nil {
+	pruned, err := finalizeAnswer(rel, q)
+	if err != nil {
 		return nil, err
 	}
+	e.notePruned(pruned)
 	return rel, nil
 }
 
@@ -525,7 +532,9 @@ func (e *Env) classifyAnti(q *fsql.Select, compares []fsql.Predicate, sub fsql.P
 			if err != nil {
 				return nil, err
 			}
-			result = am
+			node := e.newNode("merge-anti-join", rangeOuter+" = "+rangeInner)
+			am.Stats = node
+			result = e.attach(node, am, sortedOuter, sortedInner)
 		} else {
 			// No usable merge order (e.g. string attributes): unnested
 			// anti-join by materializing the inner once.
@@ -533,7 +542,9 @@ func (e *Env) classifyAnti(q *fsql.Select, compares []fsql.Predicate, sub fsql.P
 			if err != nil {
 				return nil, err
 			}
-			result = &nlAntiSource{outer: outer, inner: innerRel.Tuples, penalty: penalty, counters: &e.Counters}
+			node := e.newNode("nl-anti-join", "")
+			nas := &nlAntiSource{outer: outer, inner: innerRel.Tuples, penalty: penalty, counters: &e.Counters, stats: node}
+			result = e.attach(node, nas, outer)
 		}
 		return e.finishProject(result, q)
 	}
@@ -549,6 +560,7 @@ type nlAntiSource struct {
 	inner    []frel.Tuple
 	penalty  exec.JoinPred
 	counters *exec.Counters
+	stats    *exec.OpStats
 }
 
 func (s *nlAntiSource) Schema() *frel.Schema { return s.outer.Schema() }
@@ -575,6 +587,10 @@ func (it *nlAntiIterator) Next() (frel.Tuple, bool) {
 		d := l.D
 		for _, r := range it.src.inner {
 			it.src.counters.DegreeEvals.Add(1)
+			if st := it.src.stats; st != nil {
+				st.Comparisons.Add(1)
+				st.DegreeEvals.Add(1)
+			}
 			if g := it.src.penalty(l, r); g < d {
 				d = g
 				if d == 0 {
@@ -665,10 +681,15 @@ func (e *Env) classifyJA(q *fsql.Select, compares []fsql.Predicate, sub fsql.Pre
 					return nil, err
 				}
 				counters := &e.Counters
+				node := e.newNode("filter", "uncorrelated subquery")
 				result = exec.NewFilter(outer, func(t frel.Tuple) float64 {
 					counters.DegreeEvals.Add(1)
+					if node != nil {
+						node.DegreeEvals.Add(1)
+					}
 					return frel.Degree(op, t.Values[yi], frel.Num(a))
 				})
+				result = e.attach(node, result, outer)
 			}
 			return e.finishProject(result, q)
 		}
@@ -766,7 +787,9 @@ func (e *Env) classifyJA(q *fsql.Select, compares []fsql.Predicate, sub fsql.Pre
 		if err != nil {
 			return nil, err
 		}
-		return e.finishProject(ga, q)
+		node := e.newNode("group-agg-join", fmt.Sprintf("%v(%s) by %s", agg, zRef, uRef))
+		ga.Stats = node
+		return e.finishProject(e.attach(node, ga, sortedOuter, inner), q)
 	}
 	return Plan{StrategyGroupAgg, note}, run, nil
 }

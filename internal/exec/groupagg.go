@@ -42,6 +42,11 @@ type GroupAggJoin struct {
 
 	Counters *Counters
 
+	// Stats, when non-nil, receives the per-operator EXPLAIN ANALYZE
+	// measures (see MergeJoin.Stats for the counting conventions); the
+	// Rng observations are the per-group candidate scan lengths.
+	Stats *OpStats
+
 	ui, vi, zi, yi int
 }
 
@@ -148,11 +153,17 @@ func (it *groupAggIterator) computeGroup(u frel.Value) {
 		mu  float64
 	}
 	byKey := make(map[string]*memberEntry)
+	var rng int64
 	for _, s := range candidates {
 		j.Counters.Comparisons.Add(1)
 		sv := s.Values[j.vi]
 		if it.win != nil && !u.Num.Intersects(sv.Num) {
 			continue // dangling tuple in the range
+		}
+		rng++
+		if j.Stats != nil {
+			j.Stats.Comparisons.Add(1)
+			j.Stats.DegreeEvals.Add(1)
 		}
 		j.Counters.DegreeEvals.Add(1)
 		d := frel.Degree(j.Op2, sv, u)
@@ -171,6 +182,9 @@ func (it *groupAggIterator) computeGroup(u frel.Value) {
 		} else {
 			byKey[k] = &memberEntry{val: z, mu: d}
 		}
+	}
+	if j.Stats != nil {
+		j.Stats.ObserveRng(rng)
 	}
 	if j.Agg == fuzzy.AggCount {
 		// COUNT of an empty T′(u) is 0: comparing r.Y against Crisp(0) is
@@ -216,6 +230,9 @@ func (it *groupAggIterator) Next() (frel.Tuple, bool) {
 		}
 		if !it.aggOK {
 			continue // A′(u) is NULL and the aggregate is not COUNT
+		}
+		if st := it.j.Stats; st != nil {
+			st.DegreeEvals.Add(1)
 		}
 		it.j.Counters.DegreeEvals.Add(1)
 		d := fuzzy.Degree(it.j.Op1, r.Values[it.j.yi].Num, it.aggVal)

@@ -146,6 +146,15 @@ type MergeJoin struct {
 	// The zero value is Crisp(0): exact fuzzy equality.
 	Tol fuzzy.Trapezoid
 
+	// Stats, when non-nil, receives the per-operator EXPLAIN ANALYZE
+	// measures. Unlike Counters.Comparisons (which counts every window
+	// tuple examined, including dangling tuples, and so differs between
+	// serial and partitioned execution), Stats.Comparisons counts only
+	// support-intersecting pairs — a partition-invariant quantity — and
+	// the Rng(r) scan length of each outer tuple is reported through
+	// Stats.ObserveRng.
+	Stats *OpStats
+
 	schema *frel.Schema
 	oi, ii int
 }
@@ -209,6 +218,7 @@ type mergeJoinIterator struct {
 	curActive []frel.Tuple
 	curPos    int
 	haveCur   bool
+	curRng    int64 // intersecting inner tuples seen for cur (Rng(r))
 
 	prevBegin float64
 	seenAny   bool
@@ -246,6 +256,7 @@ func (it *mergeJoinIterator) Next() (frel.Tuple, bool) {
 			it.curActive = it.win.active()
 			it.curPos = 0
 			it.haveCur = true
+			it.curRng = 0
 		}
 		lX := it.cur.Values[it.j.oi].Num
 		for it.curPos < len(it.curActive) {
@@ -255,6 +266,11 @@ func (it *mergeJoinIterator) Next() (frel.Tuple, bool) {
 			sX := fuzzy.Add(s.Values[it.j.ii].Num, it.j.Tol)
 			if !lX.Intersects(sX) {
 				continue // dangling tuple inside the range
+			}
+			it.curRng++
+			if st := it.j.Stats; st != nil {
+				st.Comparisons.Add(1)
+				st.DegreeEvals.Add(1)
 			}
 			it.j.Counters.DegreeEvals.Add(1)
 			d := fuzzy.Eq(lX, sX)
@@ -266,6 +282,9 @@ func (it *mergeJoinIterator) Next() (frel.Tuple, bool) {
 			}
 			if d > 0 && it.j.Extra != nil {
 				it.j.Counters.DegreeEvals.Add(1)
+				if st := it.j.Stats; st != nil {
+					st.DegreeEvals.Add(1)
+				}
 				if g := it.j.Extra(it.cur, s); g < d {
 					d = g
 				}
@@ -274,6 +293,9 @@ func (it *mergeJoinIterator) Next() (frel.Tuple, bool) {
 				it.j.Counters.TuplesOut.Add(1)
 				return it.cur.Concat(s, d), true
 			}
+		}
+		if st := it.j.Stats; st != nil {
+			st.ObserveRng(it.curRng)
 		}
 		it.haveCur = false
 	}
@@ -302,6 +324,10 @@ type MergeAntiMin struct {
 	OuterAttr, InnerAttr string
 	Penalty              JoinPred
 	Counters             *Counters
+
+	// Stats, when non-nil, receives the per-operator EXPLAIN ANALYZE
+	// measures (see MergeJoin.Stats for the counting conventions).
+	Stats *OpStats
 
 	oi, ii int
 }
@@ -382,10 +408,16 @@ func (it *antiMinIterator) Next() (frel.Tuple, bool) {
 		}
 		d := l.D
 		lX := l.Values[it.j.oi].Num
+		var rng int64
 		for _, s := range it.win.active() {
 			it.j.Counters.Comparisons.Add(1)
 			if !lX.Intersects(s.Values[it.j.ii].Num) {
 				continue // Penalty would be 1
+			}
+			rng++
+			if st := it.j.Stats; st != nil {
+				st.Comparisons.Add(1)
+				st.DegreeEvals.Add(1)
 			}
 			it.j.Counters.DegreeEvals.Add(1)
 			if g := it.j.Penalty(l, s); g < d {
@@ -394,6 +426,9 @@ func (it *antiMinIterator) Next() (frel.Tuple, bool) {
 					break
 				}
 			}
+		}
+		if st := it.j.Stats; st != nil {
+			st.ObserveRng(rng)
 		}
 		if d > 0 {
 			out := l

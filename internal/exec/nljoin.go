@@ -22,6 +22,11 @@ type BlockNLJoin struct {
 	BlockBytes   int // outer block budget; default one page
 	Counters     *Counters
 
+	// Stats, when non-nil, receives the per-operator EXPLAIN ANALYZE
+	// measures; every outer×inner pair counts as one comparison and one
+	// degree evaluation.
+	Stats *OpStats
+
 	schema *frel.Schema
 }
 
@@ -132,6 +137,10 @@ func (it *nlIterator) Next() (frel.Tuple, bool) {
 			r := it.innerCur
 			it.blockPos++
 			it.join.Counters.DegreeEvals.Add(1)
+			if st := it.join.Stats; st != nil {
+				st.Comparisons.Add(1)
+				st.DegreeEvals.Add(1)
+			}
 			d := it.join.On(l, r)
 			if l.D < d {
 				d = l.D

@@ -25,7 +25,10 @@ import (
 // observable difference is that Counters.Comparisons may come out slightly
 // lower: a partition boundary pre-drops dangling tuples that the serial
 // window examines when they enter the buffer in the same extend batch as a
-// range's real members.
+// range's real members. The EXPLAIN ANALYZE counters (OpStats) do not
+// share this caveat — they count only support-intersecting pairs, which
+// no join-independent cut can split, so analyzed totals are identical at
+// any worker count.
 
 // DefaultParallelism is the worker count used when a caller passes 0.
 func DefaultParallelism() int { return runtime.GOMAXPROCS(0) }
@@ -176,6 +179,13 @@ type ParallelMergeJoin struct {
 	Tol                  fuzzy.Trapezoid
 	Workers              int
 
+	// Stats, when non-nil, is shared by every partition-local sub-join:
+	// the partitions accumulate into the same node, and because the node's
+	// counters only measure partition-invariant quantities (intersecting
+	// pairs, per-outer-tuple Rng(r) lengths), the aggregated totals equal
+	// a serial run's exactly. See MergeJoin.Stats.
+	Stats *OpStats
+
 	schema *frel.Schema
 	oi, ii int
 }
@@ -252,7 +262,14 @@ func (j *ParallelMergeJoin) Open() (Iterator, error) {
 	err = runParallel(j.Workers, len(parts), func(i int) error {
 		p := parts[i]
 		if p.oHi == p.oLo || p.iHi == p.iLo {
-			return nil // a side is empty: nothing joins in this range
+			// A side is empty: nothing joins in this range. A serial run
+			// still observes an empty Rng(r) scan for each outer tuple.
+			if j.Stats != nil {
+				for k := p.oLo; k < p.oHi; k++ {
+					j.Stats.ObserveRng(0)
+				}
+			}
+			return nil
 		}
 		mj, err := NewBandMergeJoin(
 			NewMemSource(&frel.Relation{Schema: j.Outer.Schema(), Tuples: outer[p.oLo:p.oHi]}),
@@ -261,6 +278,7 @@ func (j *ParallelMergeJoin) Open() (Iterator, error) {
 		if err != nil {
 			return err
 		}
+		mj.Stats = j.Stats
 		it, err := mj.Open()
 		if err != nil {
 			return err

@@ -1,0 +1,280 @@
+// Per-operator runtime statistics for EXPLAIN ANALYZE.
+//
+// Every operator that participates in an analyzed query gets an OpStats
+// node; the nodes form a tree mirroring the operator tree. Counters that
+// an operator maintains internally (comparisons, degree evaluations,
+// Rng(r) scan lengths, sort runs, …) are written through an optional
+// *OpStats field on the operator; rows out and wall time are measured
+// from the outside by wrapping the operator in a Stated source, so a
+// node shared by several partition-local sub-operators (the parallel
+// merge-join case) never double-counts its output.
+//
+// All counters are atomics: parallel partitions of one logical operator
+// write to the same node concurrently. The counters an analyzed plan
+// reports are partition-invariant — Comparisons counts only pairs whose
+// supports intersect, a set no partition cut of ParallelMergeJoin can
+// split — so serial and parallel runs of the same query report identical
+// totals, which the property tests use as a correctness oracle. (The
+// global Counters.Comparisons kept by Env deliberately retains its
+// historical "window tuples examined" meaning and is NOT
+// partition-invariant; see the parallel package comment.)
+package exec
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/frel"
+)
+
+// OpStats is one node of the statistics tree of an analyzed query.
+type OpStats struct {
+	Op    string // operator name, e.g. "merge-join"
+	Label string // operator detail, e.g. "R.B = S.B"
+
+	RowsOut     atomic.Int64 // tuples produced (counted by the Stated wrapper)
+	Comparisons atomic.Int64 // support-intersecting pairs examined
+	DegreeEvals atomic.Int64 // membership degree evaluations
+	Pruned      atomic.Int64 // tuples dropped by a WITH D >= threshold
+
+	// Rng(r) scan lengths: for each outer tuple of a merge join, the
+	// number of inner tuples whose supports intersect it (the paper's
+	// Rng(r), Section 3). Min/max are maintained with CAS loops.
+	RngCount atomic.Int64
+	RngSum   atomic.Int64
+	rngMin   atomic.Int64
+	rngMax   atomic.Int64
+
+	SortRuns    atomic.Int64 // initial runs written by an external sort
+	MergePasses atomic.Int64 // merge passes over the runs
+	SpillBytes  atomic.Int64 // bytes written to temporary sort files
+
+	PoolHits   atomic.Int64 // buffer-pool page hits
+	PoolMisses atomic.Int64 // buffer-pool page misses (physical reads)
+
+	WallNanos atomic.Int64 // inclusive wall time spent inside the operator
+
+	mu       sync.Mutex
+	children []*OpStats
+}
+
+// NewOpStats creates a named statistics node.
+func NewOpStats(op, label string) *OpStats {
+	s := &OpStats{Op: op, Label: label}
+	s.rngMin.Store(math.MaxInt64)
+	return s
+}
+
+// AddChild links an input operator's node under this one.
+func (s *OpStats) AddChild(c *OpStats) {
+	if c == nil {
+		return
+	}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+}
+
+// ObserveRng records the Rng(r) scan length of one outer tuple.
+func (s *OpStats) ObserveRng(n int64) {
+	s.RngCount.Add(1)
+	s.RngSum.Add(n)
+	for {
+		cur := s.rngMin.Load()
+		if n >= cur || s.rngMin.CompareAndSwap(cur, n) {
+			break
+		}
+	}
+	for {
+		cur := s.rngMax.Load()
+		if n <= cur || s.rngMax.CompareAndSwap(cur, n) {
+			break
+		}
+	}
+}
+
+// StatsSnapshot is a plain, JSON-serializable copy of a statistics tree.
+type StatsSnapshot struct {
+	Op          string           `json:"op"`
+	Label       string           `json:"label,omitempty"`
+	RowsOut     int64            `json:"rows_out"`
+	Comparisons int64            `json:"comparisons,omitempty"`
+	DegreeEvals int64            `json:"degree_evals,omitempty"`
+	Pruned      int64            `json:"pruned,omitempty"`
+	RngCount    int64            `json:"rng_count,omitempty"`
+	RngMin      int64            `json:"rng_min,omitempty"`
+	RngAvg      float64          `json:"rng_avg,omitempty"`
+	RngMax      int64            `json:"rng_max,omitempty"`
+	SortRuns    int64            `json:"sort_runs,omitempty"`
+	MergePasses int64            `json:"merge_passes,omitempty"`
+	SpillBytes  int64            `json:"spill_bytes,omitempty"`
+	PoolHits    int64            `json:"pool_hits,omitempty"`
+	PoolMisses  int64            `json:"pool_misses,omitempty"`
+	WallNanos   int64            `json:"wall_ns"`
+	Children    []*StatsSnapshot `json:"children,omitempty"`
+}
+
+// Snapshot copies the tree rooted at s into plain values.
+func (s *OpStats) Snapshot() *StatsSnapshot {
+	snap := &StatsSnapshot{
+		Op:          s.Op,
+		Label:       s.Label,
+		RowsOut:     s.RowsOut.Load(),
+		Comparisons: s.Comparisons.Load(),
+		DegreeEvals: s.DegreeEvals.Load(),
+		Pruned:      s.Pruned.Load(),
+		SortRuns:    s.SortRuns.Load(),
+		MergePasses: s.MergePasses.Load(),
+		SpillBytes:  s.SpillBytes.Load(),
+		PoolHits:    s.PoolHits.Load(),
+		PoolMisses:  s.PoolMisses.Load(),
+		WallNanos:   s.WallNanos.Load(),
+	}
+	if n := s.RngCount.Load(); n > 0 {
+		snap.RngCount = n
+		snap.RngMin = s.rngMin.Load()
+		snap.RngMax = s.rngMax.Load()
+		snap.RngAvg = float64(s.RngSum.Load()) / float64(n)
+	}
+	s.mu.Lock()
+	children := append([]*OpStats(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		snap.Children = append(snap.Children, c.Snapshot())
+	}
+	return snap
+}
+
+// Totals sums the work counters over the whole tree; the property tests
+// use them as parallelism-invariance oracles.
+func (s *StatsSnapshot) Totals() (rows, comparisons, degreeEvals int64) {
+	rows = s.RowsOut
+	comparisons = s.Comparisons
+	degreeEvals = s.DegreeEvals
+	for _, c := range s.Children {
+		r, cmp, d := c.Totals()
+		rows += r
+		comparisons += cmp
+		degreeEvals += d
+	}
+	return rows, comparisons, degreeEvals
+}
+
+// Find returns the first node (pre-order) whose Op equals op, or nil.
+func (s *StatsSnapshot) Find(op string) *StatsSnapshot {
+	if s.Op == op {
+		return s
+	}
+	for _, c := range s.Children {
+		if m := c.Find(op); m != nil {
+			return m
+		}
+	}
+	return nil
+}
+
+// Render formats the tree as indented text, one operator per line.
+func (s *StatsSnapshot) Render() string {
+	var b strings.Builder
+	s.render(&b, 0)
+	return b.String()
+}
+
+func (s *StatsSnapshot) render(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+	b.WriteString(s.Op)
+	if s.Label != "" {
+		fmt.Fprintf(b, " [%s]", s.Label)
+	}
+	fmt.Fprintf(b, "  rows=%d", s.RowsOut)
+	if s.Comparisons > 0 {
+		fmt.Fprintf(b, " cmp=%d", s.Comparisons)
+	}
+	if s.DegreeEvals > 0 {
+		fmt.Fprintf(b, " deg=%d", s.DegreeEvals)
+	}
+	if s.Pruned > 0 {
+		fmt.Fprintf(b, " pruned=%d", s.Pruned)
+	}
+	if s.RngCount > 0 {
+		fmt.Fprintf(b, " rng=%d/%.1f/%d", s.RngMin, s.RngAvg, s.RngMax)
+	}
+	if s.SortRuns > 0 || s.MergePasses > 0 || s.SpillBytes > 0 {
+		fmt.Fprintf(b, " sort(runs=%d passes=%d spill=%dB)", s.SortRuns, s.MergePasses, s.SpillBytes)
+	}
+	if s.PoolHits > 0 || s.PoolMisses > 0 {
+		fmt.Fprintf(b, " pool(hit=%d miss=%d)", s.PoolHits, s.PoolMisses)
+	}
+	fmt.Fprintf(b, " time=%s", time.Duration(s.WallNanos).Round(time.Microsecond))
+	b.WriteByte('\n')
+	for _, c := range s.Children {
+		c.render(b, depth+1)
+	}
+}
+
+// Stated wraps a source, counting the tuples it produces and the wall
+// time spent inside it (Open plus every Next) into Node. A source opened
+// several times (the inner of a block nested-loop join) accumulates
+// across opens.
+type Stated struct {
+	Src  Source
+	Node *OpStats
+}
+
+// NewStated wraps src with a statistics node.
+func NewStated(src Source, node *OpStats) *Stated {
+	return &Stated{Src: src, Node: node}
+}
+
+// Schema returns the wrapped source's schema.
+func (s *Stated) Schema() *frel.Schema { return s.Src.Schema() }
+
+// Open opens the wrapped source; the time it takes (a parallel join does
+// all of its work in Open) counts toward the node.
+func (s *Stated) Open() (Iterator, error) {
+	start := time.Now()
+	it, err := s.Src.Open()
+	s.Node.WallNanos.Add(time.Since(start).Nanoseconds())
+	if err != nil {
+		return nil, err
+	}
+	return &statedIterator{in: it, node: s.Node}, nil
+}
+
+type statedIterator struct {
+	in   Iterator
+	node *OpStats
+}
+
+func (it *statedIterator) Next() (frel.Tuple, bool) {
+	start := time.Now()
+	t, ok := it.in.Next()
+	it.node.WallNanos.Add(time.Since(start).Nanoseconds())
+	if ok {
+		it.node.RowsOut.Add(1)
+	}
+	return t, ok
+}
+
+func (it *statedIterator) Err() error { return it.in.Err() }
+
+func (it *statedIterator) Close() { it.in.Close() }
+
+// Unwrap strips any Stated wrappers, returning the underlying source.
+// Planner heuristics that sniff concrete source types (sampling, size
+// estimates) use it so analyzed and plain runs pick identical plans.
+func Unwrap(src Source) Source {
+	for {
+		st, ok := src.(*Stated)
+		if !ok {
+			return src
+		}
+		src = st.Src
+	}
+}

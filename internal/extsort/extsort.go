@@ -57,6 +57,7 @@ type Stats struct {
 	Runs        int   // initial sorted runs generated
 	MergePasses int   // k-way merge passes over the data
 	Comparisons int64 // calls to Less
+	SpillBytes  int64 // tuple bytes written to temporary run files
 }
 
 // Sorter sorts heap files with a fixed memory budget.
@@ -128,7 +129,7 @@ func (s *Sorter) Sort(src *storage.HeapFile, less Less) (*storage.HeapFile, Stat
 			if hi > len(runs) {
 				hi = len(runs)
 			}
-			merged, err := s.mergeRuns(runs[lo:hi], counting, src.Schema)
+			merged, err := s.mergeRuns(runs[lo:hi], counting, src.Schema, &st)
 			if err != nil {
 				return nil, st, err
 			}
@@ -174,6 +175,7 @@ func (s *Sorter) makeRuns(src *storage.HeapFile, less Less, st *Stats) ([]*stora
 		}
 		runs = append(runs, run)
 		st.Runs++
+		st.SpillBytes += int64(batchBytes)
 		b := batch
 		batch = nil
 		batchBytes = 0
@@ -261,8 +263,9 @@ func (h *mergeHeap) Pop() interface{} {
 	return x
 }
 
-// mergeRuns merges the given sorted runs into one new temporary heap file.
-func (s *Sorter) mergeRuns(runs []*storage.HeapFile, less Less, schema *frel.Schema) (*storage.HeapFile, error) {
+// mergeRuns merges the given sorted runs into one new temporary heap
+// file, accounting the rewritten tuple bytes to st.SpillBytes.
+func (s *Sorter) mergeRuns(runs []*storage.HeapFile, less Less, schema *frel.Schema, st *Stats) (*storage.HeapFile, error) {
 	out, err := s.mgr.CreateTemp(schema)
 	if err != nil {
 		return nil, err
@@ -290,6 +293,7 @@ func (s *Sorter) mergeRuns(runs []*storage.HeapFile, less Less, schema *frel.Sch
 		if err := out.Append(head.tuple); err != nil {
 			return nil, err
 		}
+		st.SpillBytes += int64(frel.EncodedSize(schema, head.tuple))
 		if t, ok := scanners[head.idx].Next(); ok {
 			heap.Push(h, mergeHead{t, head.idx})
 		} else if err := scanners[head.idx].Err(); err != nil {

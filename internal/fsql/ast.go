@@ -130,8 +130,14 @@ func (o Operand) String() string {
 	case OpdNumber:
 		return o.Num.String()
 	default:
-		return "'" + o.Str + "'"
+		return quoteStr(o.Str)
 	}
+}
+
+// quoteStr renders a string literal, doubling embedded quotes so the
+// rendering re-parses to the same value.
+func quoteStr(s string) string {
+	return "'" + strings.ReplaceAll(s, "'", "''") + "'"
 }
 
 // PredKind discriminates Predicate.
@@ -366,5 +372,26 @@ func (*DefineTerm) stmt() {}
 
 // String renders the statement.
 func (d *DefineTerm) String() string {
-	return fmt.Sprintf("DEFINE TERM '%s' AS %s", d.Name, d.Value)
+	// Always the explicit TRAP form: Trapezoid.String collapses crisp
+	// and triangular shapes to spellings DEFINE TERM does not accept.
+	return fmt.Sprintf("DEFINE TERM %s AS TRAP(%g, %g, %g, %g)",
+		quoteStr(d.Name), d.Value.A, d.Value.B, d.Value.C, d.Value.D)
+}
+
+// Explain is an EXPLAIN [ANALYZE] statement: EXPLAIN reports the strategy
+// the unnesting rewriter picks for the query; EXPLAIN ANALYZE executes it
+// and reports the per-operator runtime statistics.
+type Explain struct {
+	Analyze bool
+	Query   *Select
+}
+
+func (*Explain) stmt() {}
+
+// String renders the statement.
+func (ex *Explain) String() string {
+	if ex.Analyze {
+		return "EXPLAIN ANALYZE " + ex.Query.String()
+	}
+	return "EXPLAIN " + ex.Query.String()
 }

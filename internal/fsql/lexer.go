@@ -3,7 +3,6 @@ package fsql
 import (
 	"fmt"
 	"strings"
-	"unicode"
 )
 
 // tokenKind classifies lexer tokens.
@@ -86,6 +85,19 @@ scan:
 			}
 			break
 		}
+		// Exponent part (%g renders large magnitudes as e.g. 1e+21).
+		if l.pos < len(l.src) && (l.src[l.pos] == 'e' || l.src[l.pos] == 'E') {
+			p := l.pos + 1
+			if p < len(l.src) && (l.src[p] == '+' || l.src[p] == '-') {
+				p++
+			}
+			if p < len(l.src) && isDigit(l.src[p]) {
+				l.pos = p
+				for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+					l.pos++
+				}
+			}
+		}
 		return token{tokNumber, l.src[start:l.pos], start}, nil
 
 	case c == '\'' || c == '"':
@@ -150,8 +162,12 @@ scan:
 	}
 }
 
+// isIdentStart accepts ASCII letters and underscore only. Bytes >= 0x80
+// are rejected: treating them as Latin-1 letters made identifiers that
+// case-folding (which is UTF-8 aware) silently corrupted, so they could
+// not survive a parse → String → parse round-trip.
 func isIdentStart(c byte) bool {
-	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= 0x80 && unicode.IsLetter(rune(c))
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
 }
 
 func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) }

@@ -93,7 +93,10 @@ func (p *parser) number() (float64, error) {
 		return 0, fmt.Errorf("fsql: bad number %q: %v", p.tok.text, err)
 	}
 	if neg {
-		v = -v
+		// 0-v, not -v: "-0" must parse to positive zero or the literal
+		// would re-render as "-0" while comparing equal to 0, breaking
+		// the String round-trip invariant.
+		v = 0 - v
 	}
 	return v, p.advance()
 }
@@ -189,6 +192,8 @@ func (p *parser) parseStatement() (Statement, error) {
 	switch {
 	case p.kw("SELECT"):
 		return p.parseSelect()
+	case p.kw("EXPLAIN"):
+		return p.parseExplain()
 	case p.kw("CREATE"):
 		return p.parseCreateTable()
 	case p.kw("DROP"):
@@ -202,6 +207,22 @@ func (p *parser) parseStatement() (Statement, error) {
 	default:
 		return nil, fmt.Errorf("fsql: expected a statement, got %s", p.tok)
 	}
+}
+
+// parseExplain parses EXPLAIN [ANALYZE] <select>.
+func (p *parser) parseExplain() (Statement, error) {
+	if err := p.expectKw("EXPLAIN"); err != nil {
+		return nil, err
+	}
+	analyze, err := p.acceptKw("ANALYZE")
+	if err != nil {
+		return nil, err
+	}
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	return &Explain{Analyze: analyze, Query: sel}, nil
 }
 
 func (p *parser) parseSelect() (*Select, error) {

@@ -27,7 +27,10 @@ func Tolerance(core, support float64) Trapezoid {
 	if support < core {
 		support = core
 	}
-	return Trapezoid{-support, -core, core, support}
+	// 0-x, not -x: unary negation of a zero width would produce IEEE
+	// negative zero, which renders as "-0" and breaks parse/String
+	// round-trips.
+	return Trapezoid{0 - support, 0 - core, core, support}
 }
 
 // ApproxEq returns the satisfaction degree of the similarity comparison

@@ -1,0 +1,102 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/frel"
+)
+
+// DiffCase is one randomized differential test case for the unnesting
+// theorems: a seeded pair of relations plus a nested query drawn from one
+// of the paper's nesting classes. Evaluating the query naively (nested
+// semantics) and unnested (the theorems' rewrites) must produce the same
+// tuples with the same degrees.
+type DiffCase struct {
+	Class string         // nesting class: N, J, JX, JA, JA-COUNT, JALL
+	Query string         // the nested Fuzzy SQL query
+	R, S  *frel.Relation // outer and inner relation
+	With  float64        // the query's WITH D >= threshold (0 = none)
+}
+
+// Classes lists the nesting classes the differential harness covers,
+// matching the paper's taxonomy (Sections 4-7): type N and type J chains
+// (Theorems 4.1/4.2), type JX NOT IN (Theorem 5.1), type JA scalar
+// aggregates including COUNT (Theorem 6.1), and type JALL quantified
+// comparisons (Theorem 7.1).
+var Classes = []string{"N", "J", "JX", "JA", "JA-COUNT", "JALL"}
+
+// classQueries maps each class to its query template; %s is replaced by
+// the optional WITH clause.
+var classQueries = map[string]string{
+	"N":        `SELECT R.K FROM R WHERE R.B IN (SELECT S.B FROM S)%s`,
+	"J":        `SELECT R.K FROM R WHERE R.B IN (SELECT S.B FROM S WHERE S.A = R.A)%s`,
+	"JX":       `SELECT R.K FROM R WHERE R.B NOT IN (SELECT S.B FROM S WHERE S.A = R.A)%s`,
+	"JA":       `SELECT R.K FROM R WHERE R.B >= (SELECT AVG(S.B) FROM S WHERE S.A = R.A)%s`,
+	"JA-COUNT": `SELECT R.K FROM R WHERE R.K >= (SELECT COUNT(S.B) FROM S WHERE S.A = R.A)%s`,
+	"JALL":     `SELECT R.K FROM R WHERE R.B > ALL (SELECT S.B FROM S WHERE S.A = R.A)%s`,
+}
+
+// NewDiffCase builds the deterministic test case for (class, seed):
+// relation sizes, fanout, vagueness, tuple degrees, and the WITH
+// threshold all derive from the seed.
+func NewDiffCase(class string, seed int64) (*DiffCase, error) {
+	tmpl, ok := classQueries[class]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown differential class %q", class)
+	}
+	rng := rand.New(rand.NewSource(seed*1000003 + int64(len(class))*7919))
+	fanouts := []int{1, 2, 4, 7}
+	gen := func(name string) (*frel.Relation, error) {
+		return Generate(Params{
+			Name:       name,
+			Tuples:     10 + rng.Intn(31),
+			TupleBytes: baseTupleBytes,
+			Fanout:     fanouts[rng.Intn(len(fanouts))],
+			Width:      2 + 6*rng.Float64(),
+			Jitter:     rng.Float64(),
+			Seed:       rng.Int63(),
+		})
+	}
+	r, err := gen("R")
+	if err != nil {
+		return nil, err
+	}
+	s, err := gen("S")
+	if err != nil {
+		return nil, err
+	}
+	// Degrade tuple degrees so the fuzzy-AND combination of membership
+	// degrees (not just predicate degrees) is exercised.
+	degradeDegrees(rng, r)
+	degradeDegrees(rng, s)
+
+	var with float64
+	switch rng.Intn(3) {
+	case 1:
+		with = 0.3
+	case 2:
+		with = 0.6
+	}
+	withClause := ""
+	if with > 0 {
+		withClause = fmt.Sprintf(" WITH D >= %g", with)
+	}
+	return &DiffCase{
+		Class: class,
+		Query: fmt.Sprintf(tmpl, withClause),
+		R:     r,
+		S:     s,
+		With:  with,
+	}, nil
+}
+
+// degradeDegrees lowers about half of the tuples' membership degrees to a
+// random value in (0, 1].
+func degradeDegrees(rng *rand.Rand, rel *frel.Relation) {
+	for i := range rel.Tuples {
+		if rng.Float64() < 0.5 {
+			rel.Tuples[i].D = 0.05 + 0.95*rng.Float64()
+		}
+	}
+}

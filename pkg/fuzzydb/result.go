@@ -15,6 +15,7 @@ type Result struct {
 	columns []string
 	rows    [][]string
 	degrees []float64
+	stats   *QueryStats
 }
 
 func newResult(rel *frel.Relation) *Result {
@@ -54,6 +55,10 @@ func (r *Result) Row(i int) []string { return append([]string(nil), r.rows[i]...
 
 // Degree returns the membership degree of the i-th answer tuple.
 func (r *Result) Degree(i int) float64 { return r.degrees[i] }
+
+// Stats returns the runtime statistics collected for this result, or nil
+// unless the result came from ExplainAnalyze.
+func (r *Result) Stats() *QueryStats { return r.stats }
 
 // Equal reports whether two results hold the same rows in the same order
 // with degrees equal to within tol.
