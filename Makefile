@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build test race bench bench-compare fmt vet
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full benchmark run; BenchmarkBatchVsTuple is the batched-vs-tuple
+# engine comparison the performance bars are measured on.
+bench:
+	$(GO) test -run XXX -bench . -benchtime=10x ./internal/exec ./internal/bench
+
+# Regenerate the committed batch-vs-tuple baseline (BENCH_N.json).
+bench-compare:
+	$(GO) run ./cmd/fuzzybench -compare -scalediv 8
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...

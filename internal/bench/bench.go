@@ -61,6 +61,9 @@ type Config struct {
 	// partitioned joins and sort run generation: 0 uses the engine default
 	// (all CPUs), 1 forces fully serial execution (the paper's setting).
 	Parallelism int
+	// DisableBatch runs the engine tuple-at-a-time instead of the default
+	// batched execution (the before/after switch of the batch comparison).
+	DisableBatch bool
 	// Verify cross-checks that both methods return identical answers.
 	Verify bool
 	// Seed randomizes the workload.
@@ -222,6 +225,7 @@ func (c Config) setupWorkload(nOuter, nInner int) (env *core.Env, mgr *storage.M
 	env.SortMemPages = c.bufferPages()
 	env.NLBlockBytes = (c.bufferPages() - 1) * storage.PageSize
 	env.Parallelism = c.Parallelism
+	env.DisableBatch = c.DisableBatch
 
 	if _, err := workload.Load(cat, workload.Params{
 		Name: "R", Tuples: nOuter, TupleBytes: c.TupleBytes,

@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+)
+
+// EngineRun is one merge-join measurement of the batch-vs-tuple
+// comparison: a given engine (batched or tuple-at-a-time) at a given
+// worker count, running the type J query twice in the same environment so
+// the warm run exercises the sort-order cache.
+type EngineRun struct {
+	Engine  string `json:"engine"`  // "batch" or "tuple"
+	Workers int    `json:"workers"` // merge-join worker count
+
+	ColdWallNanos int64 `json:"cold_wall_ns"` // first run: cache empty
+	WarmWallNanos int64 `json:"warm_wall_ns"` // best of three cache-hit runs
+
+	Answer      int   `json:"answer_rows"`
+	IOs         int64 `json:"page_ios"`
+	Comparisons int64 `json:"comparisons"`
+	DegreeEvals int64 `json:"degree_evals"`
+
+	SortCacheHits   int64 `json:"sort_cache_hits"`
+	SortCacheMisses int64 `json:"sort_cache_misses"`
+}
+
+// ExperimentRuns is the comparison grid of one experiment's
+// representative workload: engines x worker counts.
+type ExperimentRuns struct {
+	Name       string      `json:"name"`
+	Outer      int         `json:"outer_tuples"`
+	Inner      int         `json:"inner_tuples"`
+	Fanout     int         `json:"fanout"`
+	TupleBytes int         `json:"tuple_bytes"`
+	Runs       []EngineRun `json:"runs"`
+}
+
+// BenchReport is the machine-readable batch-vs-tuple comparison
+// fuzzybench -compare emits (committed as BENCH_N.json): the merge-join
+// method on a representative workload of each paper experiment, run by
+// both engines serially and with 4 workers.
+type BenchReport struct {
+	Query       string           `json:"query"`
+	ScaleDiv    int              `json:"scalediv"`
+	Seed        int64            `json:"seed"`
+	Experiments []ExperimentRuns `json:"experiments"`
+}
+
+// reportWorkloads lists the representative cell of each paper experiment:
+// Table 1's 8000x8000 pair, Table 2/3's fixed-outer growing-inner pair,
+// and Table 4's wide-tuple C=1 pair.
+var reportWorkloads = []struct {
+	name                string
+	outerPaper, inPaper int
+	fanout, tupleBytes  int
+}{
+	{"table1", 8000, 8000, 7, 128},
+	{"table2", table2OuterTuples, 64000, 7, 128},
+	{"table3", table2OuterTuples, 128000, 7, 128},
+	{"table4", table4Tuples, table4Tuples, 1, 1024},
+}
+
+// Report measures every report workload under both engines at 1 and 4
+// workers and returns the combined comparison.
+func (c Config) Report() (*BenchReport, error) {
+	cfg := c.withDefaults()
+	rep := &BenchReport{Query: TypeJQuery, ScaleDiv: cfg.ScaleDiv, Seed: cfg.Seed}
+	for _, w := range reportWorkloads {
+		ex := ExperimentRuns{
+			Name:       w.name,
+			Outer:      cfg.scale(w.outerPaper),
+			Inner:      cfg.scale(w.inPaper),
+			Fanout:     w.fanout,
+			TupleBytes: w.tupleBytes,
+		}
+		for _, engine := range []bool{false, true} { // disableBatch
+			for _, workers := range []int{1, 4} {
+				run, err := cfg.runEngine(w.name, ex.Outer, ex.Inner, w.fanout, w.tupleBytes, engine, workers)
+				if err != nil {
+					return nil, err
+				}
+				ex.Runs = append(ex.Runs, run)
+			}
+		}
+		rep.Experiments = append(rep.Experiments, ex)
+	}
+	return rep, nil
+}
+
+// runEngine runs the merge-join method twice in one environment (cold
+// then warm sort cache) and records wall times and counters.
+func (c Config) runEngine(name string, nOuter, nInner, fanout, tupleBytes int, disableBatch bool, workers int) (EngineRun, error) {
+	cfg := c
+	cfg.Fanout = fanout
+	cfg.TupleBytes = tupleBytes
+	cfg.Parallelism = workers
+	cfg.DisableBatch = disableBatch
+
+	env, mgr, q, cleanup, err := cfg.setupWorkload(nOuter, nInner)
+	if err != nil {
+		return EngineRun{}, err
+	}
+	defer cleanup()
+
+	env.ResetStats()
+	mgr.Stats().Reset()
+	start := time.Now()
+	cold, err := env.EvalUnnested(q)
+	coldWall := time.Since(start)
+	if err != nil {
+		return EngineRun{}, err
+	}
+	// Warm runs hit the sort cache; take the best of three so one-shot GC
+	// pauses don't masquerade as engine cost.
+	var warmWall time.Duration
+	for i := 0; i < 3; i++ {
+		start = time.Now()
+		warm, err := env.EvalUnnested(q)
+		d := time.Since(start)
+		if err != nil {
+			return EngineRun{}, err
+		}
+		if !cold.Equal(warm, 1e-9) {
+			return EngineRun{}, fmt.Errorf("bench: %s: warm run disagrees with cold run (%d vs %d tuples)", name, cold.Len(), warm.Len())
+		}
+		if i == 0 || d < warmWall {
+			warmWall = d
+		}
+	}
+
+	engine := "batch"
+	if disableBatch {
+		engine = "tuple"
+	}
+	return EngineRun{
+		Engine:          engine,
+		Workers:         workers,
+		ColdWallNanos:   coldWall.Nanoseconds(),
+		WarmWallNanos:   warmWall.Nanoseconds(),
+		Answer:          cold.Len(),
+		IOs:             mgr.Stats().IO(),
+		Comparisons:     env.Counters.Comparisons.Load(),
+		DegreeEvals:     env.Counters.DegreeEvals.Load(),
+		SortCacheHits:   env.Counters.SortCacheHits.Load(),
+		SortCacheMisses: env.Counters.SortCacheMisses.Load(),
+	}, nil
+}

@@ -1,0 +1,41 @@
+package bench
+
+import "testing"
+
+// TestReportComparesEngines runs the batch-vs-tuple comparison at a tiny
+// scale and checks its invariants: every experiment carries the full
+// engine x workers grid, both engines agree on the answer, and the warm
+// runs hit the sort cache.
+func TestReportComparesEngines(t *testing.T) {
+	cfg := Config{Dir: t.TempDir(), ScaleDiv: 512, Seed: 3}
+	rep, err := cfg.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Experiments) != 4 {
+		t.Fatalf("report has %d experiments, want 4", len(rep.Experiments))
+	}
+	for _, ex := range rep.Experiments {
+		if len(ex.Runs) != 4 {
+			t.Fatalf("%s: %d runs, want batch/tuple x 1/4 workers", ex.Name, len(ex.Runs))
+		}
+		engines := map[string]int{}
+		for _, run := range ex.Runs {
+			engines[run.Engine]++
+			if run.Answer != ex.Runs[0].Answer {
+				t.Errorf("%s: %s w=%d answer %d differs from %d",
+					ex.Name, run.Engine, run.Workers, run.Answer, ex.Runs[0].Answer)
+			}
+			if run.SortCacheHits == 0 || run.SortCacheMisses == 0 {
+				t.Errorf("%s: %s w=%d cache hits=%d misses=%d, want both nonzero",
+					ex.Name, run.Engine, run.Workers, run.SortCacheHits, run.SortCacheMisses)
+			}
+			if run.ColdWallNanos <= 0 || run.WarmWallNanos <= 0 {
+				t.Errorf("%s: %s w=%d non-positive wall times", ex.Name, run.Engine, run.Workers)
+			}
+		}
+		if engines["batch"] != 2 || engines["tuple"] != 2 {
+			t.Errorf("%s: engine mix %v", ex.Name, engines)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"testing"
 
@@ -152,46 +153,53 @@ func TestAnalyzeParallelInvariance(t *testing.T) {
 		t.Fatal(err)
 	}
 	type run struct {
-		workers              int
+		label                string
 		rel                  *frel.Relation
 		rows, cmp, deg       int64
 		rngN, rngMin, rngMax int64
 		rngSum               float64
 	}
+	// The stats contract holds across worker counts AND across the
+	// batched/tuple-at-a-time engines: all eight runs must agree on the
+	// answer and on every aggregated work counter.
 	var runs []run
-	for _, workers := range []int{1, 2, 4, 8} {
-		env := analyzeEnv(t, 600, workers)
-		rel, es, err := env.EvalUnnestedAnalyze(context.Background(), q)
-		if err != nil {
-			t.Fatalf("workers=%d: %v", workers, err)
+	for _, disableBatch := range []bool{false, true} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			label := fmt.Sprintf("batch=%v workers=%d", !disableBatch, workers)
+			env := analyzeEnv(t, 600, workers)
+			env.DisableBatch = disableBatch
+			rel, es, err := env.EvalUnnestedAnalyze(context.Background(), q)
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			snap := es.Plan()
+			rows, cmp, deg := snap.Totals()
+			mj := snap.Find("merge-join")
+			if mj == nil {
+				t.Fatalf("%s: no merge-join node in:\n%s", label, snap.Render())
+			}
+			runs = append(runs, run{
+				label: label, rel: rel,
+				rows: rows, cmp: cmp, deg: deg,
+				rngN: mj.RngCount, rngMin: mj.RngMin, rngMax: mj.RngMax,
+				rngSum: mj.RngAvg * float64(mj.RngCount),
+			})
 		}
-		snap := es.Plan()
-		rows, cmp, deg := snap.Totals()
-		mj := snap.Find("merge-join")
-		if mj == nil {
-			t.Fatalf("workers=%d: no merge-join node in:\n%s", workers, snap.Render())
-		}
-		runs = append(runs, run{
-			workers: workers, rel: rel,
-			rows: rows, cmp: cmp, deg: deg,
-			rngN: mj.RngCount, rngMin: mj.RngMin, rngMax: mj.RngMax,
-			rngSum: mj.RngAvg * float64(mj.RngCount),
-		})
 	}
 	base := runs[0]
 	for _, r := range runs[1:] {
 		if !base.rel.Equal(r.rel, 1e-9) {
-			t.Errorf("workers=%d: answer differs from serial (%d vs %d tuples)",
-				r.workers, r.rel.Len(), base.rel.Len())
+			t.Errorf("%s: answer differs from %s (%d vs %d tuples)",
+				r.label, base.label, r.rel.Len(), base.rel.Len())
 		}
 		if r.rows != base.rows || r.cmp != base.cmp || r.deg != base.deg {
-			t.Errorf("workers=%d: work totals differ from serial: rows %d/%d cmp %d/%d deg %d/%d",
-				r.workers, r.rows, base.rows, r.cmp, base.cmp, r.deg, base.deg)
+			t.Errorf("%s: work totals differ from %s: rows %d/%d cmp %d/%d deg %d/%d",
+				r.label, base.label, r.rows, base.rows, r.cmp, base.cmp, r.deg, base.deg)
 		}
 		if r.rngN != base.rngN || r.rngMin != base.rngMin || r.rngMax != base.rngMax ||
 			math.Abs(r.rngSum-base.rngSum) > 1e-6 {
-			t.Errorf("workers=%d: Rng distribution differs from serial: n %d/%d min %d/%d max %d/%d sum %.1f/%.1f",
-				r.workers, r.rngN, base.rngN, r.rngMin, base.rngMin, r.rngMax, base.rngMax, r.rngSum, base.rngSum)
+			t.Errorf("%s: Rng distribution differs from %s: n %d/%d min %d/%d max %d/%d sum %.1f/%.1f",
+				r.label, base.label, r.rngN, base.rngN, r.rngMin, base.rngMin, r.rngMax, base.rngMax, r.rngSum, base.rngSum)
 		}
 	}
 }

@@ -55,6 +55,19 @@ type Env struct {
 	// (GOMAXPROCS), 1 forces fully serial execution.
 	Parallelism int
 
+	// DisableBatch switches materialization points back to strict
+	// tuple-at-a-time iteration (ablation / comparison switch). The
+	// default (false) drives plans through the batched operators.
+	DisableBatch bool
+
+	// Sort-order cache state; see sortcache.go for the keying and
+	// invalidation contract. All maps are lazily initialized.
+	sortMem   map[sortKey]*memSortEntry
+	sortHeap  map[sortKey]*heapSortEntry
+	memBase   map[*frel.Relation]*frel.Relation
+	aliasMemo map[string]*aliasEntry
+	heapSeen  map[*storage.HeapFile]bool
+
 	// ctx, when non-nil, is observed by the leaf scans of every evaluation
 	// (set for the duration of a *Context evaluation call).
 	ctx context.Context
@@ -178,21 +191,25 @@ func (e *Env) term(name string) (fuzzy.Trapezoid, bool) {
 }
 
 // source resolves a FROM-clause relation reference to an exec.Source
-// whose schema carries the binding name (FROM alias).
+// whose schema carries the binding name (FROM alias). The resolved base
+// relation is registered with the sort-order cache bookkeeping so later
+// sorts of the scan can be served from cache.
 func (e *Env) source(tr fsql.TableRef) (exec.Source, error) {
 	name, alias := tr.Name, tr.Binding()
 	if r, ok := e.mem[relKey(name)]; ok {
+		use := r
 		if alias != "" && relKey(alias) != r.Schema.Name {
-			aliased := &frel.Relation{Schema: r.Schema.WithName(relKey(alias)), Tuples: r.Tuples}
-			return exec.WithContext(e.ctx, exec.NewMemSource(aliased)), nil
+			use = e.aliasRel(relKey(name), relKey(alias), r)
 		}
-		return exec.WithContext(e.ctx, exec.NewMemSource(r)), nil
+		e.noteMemBase(use, r)
+		return exec.WithContext(e.ctx, exec.NewMemSource(use)), nil
 	}
 	if e.cat != nil {
 		h, err := e.cat.Relation(name)
 		if err != nil {
 			return nil, err
 		}
+		e.noteHeap(h)
 		var src exec.Source = exec.NewHeapSource(h)
 		if alias != "" && relKey(alias) != h.Schema.Name {
 			src = &renameSource{Source: src, schema: h.Schema.WithName(relKey(alias))}
@@ -200,6 +217,24 @@ func (e *Env) source(tr fsql.TableRef) (exec.Source, error) {
 		return exec.WithContext(e.ctx, src), nil
 	}
 	return nil, fmt.Errorf("core: unknown relation %q", name)
+}
+
+// collect materializes src into an in-memory relation, batched unless the
+// ablation switch forces tuple-at-a-time.
+func (e *Env) collect(src exec.Source) (*frel.Relation, error) {
+	if e.DisableBatch {
+		return exec.Collect(src)
+	}
+	return exec.CollectBatched(src)
+}
+
+// spill materializes src into a temporary heap file, batched unless the
+// ablation switch forces tuple-at-a-time.
+func (e *Env) spill(mgr *storage.Manager, src exec.Source) (*storage.HeapFile, error) {
+	if e.DisableBatch {
+		return exec.Spill(mgr, src)
+	}
+	return exec.SpillBatched(mgr, src)
 }
 
 // shiftSource adds a constant distribution to one numeric attribute of
@@ -250,6 +285,44 @@ func (it *shiftIterator) Next() (frel.Tuple, bool) {
 func (it *shiftIterator) Err() error { return it.in.Err() }
 func (it *shiftIterator) Close()     { it.in.Close() }
 
+// OpenBatch implements exec.BatchSource: the shifted values of each batch
+// are written into one fresh arena (a single allocation per batch instead
+// of one per tuple).
+func (s *shiftSource) OpenBatch() (exec.BatchIterator, error) {
+	in, err := exec.OpenBatches(s.src)
+	if err != nil {
+		return nil, err
+	}
+	return &shiftBatchIterator{in: in, idx: s.idx, shift: s.shift}, nil
+}
+
+type shiftBatchIterator struct {
+	in    exec.BatchIterator
+	idx   int
+	shift fuzzy.Trapezoid
+	out   []frel.Tuple
+}
+
+func (it *shiftBatchIterator) NextBatch() ([]frel.Tuple, bool) {
+	b, ok := it.in.NextBatch()
+	if !ok {
+		return nil, false
+	}
+	it.out = it.out[:0]
+	arena := make([]frel.Value, 0, len(b)*len(b[0].Values))
+	for _, t := range b {
+		off := len(arena)
+		arena = append(arena, t.Values...)
+		vals := arena[off:len(arena):len(arena)]
+		vals[it.idx] = frel.Num(fuzzy.Add(vals[it.idx].Num, it.shift))
+		it.out = append(it.out, frel.Tuple{Values: vals, D: t.D})
+	}
+	return it.out, true
+}
+
+func (it *shiftBatchIterator) Err() error { return it.in.Err() }
+func (it *shiftBatchIterator) Close()     { it.in.Close() }
+
 // renameSource rebinds a source's schema name (FROM alias).
 type renameSource struct {
 	exec.Source
@@ -258,6 +331,12 @@ type renameSource struct {
 
 func (r *renameSource) Schema() *frel.Schema { return r.schema }
 
+// OpenBatch implements exec.BatchSource by forwarding to the wrapped
+// source (renaming does not touch tuples, so keys pass through too).
+func (r *renameSource) OpenBatch() (exec.BatchIterator, error) {
+	return exec.OpenBatches(r.Source)
+}
+
 // external reports whether the environment has disk-backed storage for
 // spills and external sorts.
 func (e *Env) external() bool { return e.cat != nil }
@@ -265,7 +344,9 @@ func (e *Env) external() bool { return e.cat != nil }
 // sortSource returns src sorted on attr: externally (through temp heap
 // files, charging I/O) when a storage manager is available, in memory
 // otherwise. total selects the CompareTotal tie-broken order needed by the
-// group-aggregate join.
+// group-aggregate join. Plain scans of base relations go through the
+// sort-order cache (see sortcache.go): a repeat sort of an unmodified
+// relation is served from the cached permutation without re-sorting.
 func (e *Env) sortSource(src exec.Source, attr string, total bool) (exec.Source, error) {
 	var less extsort.Less
 	var err error
@@ -277,9 +358,30 @@ func (e *Env) sortSource(src exec.Source, attr string, total bool) (exec.Source,
 	if err != nil {
 		return nil, err
 	}
+	attrIdx, err := src.Schema().Resolve(attr)
+	if err != nil {
+		return nil, err
+	}
+	memSrc, memBase, heapBase := e.cacheableBase(src)
+	if memBase != nil {
+		return e.memSort(src, memSrc, memBase, attr, attrIdx, total, less)
+	}
 	if e.external() {
+		if heapBase != nil {
+			key := sortKey{heap: heapBase, attr: attrIdx, total: total}
+			if ent, ok := e.sortHeap[key]; ok && ent.version == heapBase.Version() {
+				e.Counters.SortCacheHits.Add(1)
+				var out exec.Source = &renameSource{Source: exec.NewHeapSource(ent.sorted), schema: src.Schema()}
+				out = exec.WithContext(e.ctx, out)
+				if node := e.newNode("sort", attr); node != nil {
+					node.CacheHits.Store(1)
+					out = e.attach(node, out, src)
+				}
+				return out, nil
+			}
+		}
 		mgr := e.cat.Manager()
-		tmp, err := exec.Spill(mgr, src)
+		tmp, err := e.spill(mgr, src)
 		if err != nil {
 			return nil, err
 		}
@@ -297,6 +399,12 @@ func (e *Env) sortSource(src exec.Source, attr string, total bool) (exec.Source,
 		if derr := tmp.Drop(); derr != nil {
 			return nil, derr
 		}
+		miss := heapBase != nil
+		if miss {
+			key := sortKey{heap: heapBase, attr: attrIdx, total: total}
+			e.storeHeapSort(key, &heapSortEntry{version: heapBase.Version(), sorted: sorted})
+			e.Counters.SortCacheMisses.Add(1)
+		}
 		out := exec.Source(exec.NewHeapSource(sorted))
 		if node := e.newNode("sort", attr); node != nil {
 			node.SortRuns.Store(int64(st.Runs))
@@ -304,11 +412,14 @@ func (e *Env) sortSource(src exec.Source, attr string, total bool) (exec.Source,
 			node.SpillBytes.Store(st.SpillBytes)
 			node.Comparisons.Store(st.Comparisons)
 			node.WallNanos.Store(elapsed.Nanoseconds())
+			if miss {
+				node.CacheMisses.Store(1)
+			}
 			out = e.attach(node, out, src)
 		}
 		return out, nil
 	}
-	rel, err := exec.Collect(src)
+	rel, err := e.collect(src)
 	if err != nil {
 		return nil, err
 	}

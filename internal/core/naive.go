@@ -446,7 +446,7 @@ func (e *Env) groupProject(items []fsql.SelectItem, groupRefs []string, having [
 			}
 		}
 	}
-	rel, err := exec.Collect(src)
+	rel, err := e.collect(src)
 	if err != nil {
 		return nil, err
 	}

@@ -200,7 +200,7 @@ func (e *Env) evalFlat(fq *flatQuery) (*frel.Relation, error) {
 		if err != nil {
 			return nil, err
 		}
-		rel, err = exec.Collect(e.stated("project", "", proj, out))
+		rel, err = e.collect(e.stated("project", "", proj, out))
 		if err != nil {
 			return nil, err
 		}

@@ -388,7 +388,7 @@ func (e *Env) finishProject(src exec.Source, q *fsql.Select) (*frel.Relation, er
 	if err != nil {
 		return nil, err
 	}
-	rel, err := exec.Collect(e.stated("project", "", proj, src))
+	rel, err := e.collect(e.stated("project", "", proj, src))
 	if err != nil {
 		return nil, err
 	}
@@ -538,7 +538,7 @@ func (e *Env) classifyAnti(q *fsql.Select, compares []fsql.Predicate, sub fsql.P
 		} else {
 			// No usable merge order (e.g. string attributes): unnested
 			// anti-join by materializing the inner once.
-			innerRel, err := exec.Collect(inner)
+			innerRel, err := e.collect(inner)
 			if err != nil {
 				return nil, err
 			}

@@ -43,6 +43,50 @@ func (s *cancelSource) Open() (Iterator, error) {
 	return &cancelIterator{in: it, ctx: s.ctx}, nil
 }
 
+// OpenBatch implements BatchSource: the context is observed once per
+// batch, which is coarser than ctxCheckEvery but still bounds
+// cancellation latency to one batch of work.
+func (s *cancelSource) OpenBatch() (BatchIterator, error) {
+	if err := s.ctx.Err(); err != nil {
+		return nil, err
+	}
+	it, err := OpenBatches(s.src)
+	if err != nil {
+		return nil, err
+	}
+	return &cancelBatchIterator{in: it, ctx: s.ctx}, nil
+}
+
+type cancelBatchIterator struct {
+	in    BatchIterator
+	ctx   context.Context
+	err   error
+	found bool
+}
+
+func (it *cancelBatchIterator) NextBatch() ([]frel.Tuple, bool) {
+	if it.found {
+		return nil, false
+	}
+	if err := it.ctx.Err(); err != nil {
+		it.err = err
+		it.found = true
+		return nil, false
+	}
+	return it.in.NextBatch()
+}
+
+func (it *cancelBatchIterator) Keys() []frel.SupportKey { return batchKeys(it.in) }
+
+func (it *cancelBatchIterator) Err() error {
+	if it.err != nil {
+		return it.err
+	}
+	return it.in.Err()
+}
+
+func (it *cancelBatchIterator) Close() { it.in.Close() }
+
 type cancelIterator struct {
 	in    Iterator
 	ctx   context.Context

@@ -1,0 +1,7 @@
+//go:build race
+
+package exec
+
+// raceEnabled reports whether the race detector is active; allocation
+// tests skip under it (instrumentation inflates allocation counts).
+const raceEnabled = true

@@ -45,6 +45,12 @@ type Counters struct {
 	DegreeEvals atomic.Int64
 	Comparisons atomic.Int64
 	TuplesOut   atomic.Int64
+
+	// Sort-order cache traffic: a hit means a query reused a previously
+	// built sorted permutation (no re-sort), a miss means the order was
+	// built and stored.
+	SortCacheHits   atomic.Int64
+	SortCacheMisses atomic.Int64
 }
 
 // Add accumulates other into c.
@@ -52,6 +58,8 @@ func (c *Counters) Add(other *Counters) {
 	c.DegreeEvals.Add(other.DegreeEvals.Load())
 	c.Comparisons.Add(other.Comparisons.Load())
 	c.TuplesOut.Add(other.TuplesOut.Load())
+	c.SortCacheHits.Add(other.SortCacheHits.Load())
+	c.SortCacheMisses.Add(other.SortCacheMisses.Load())
 }
 
 // Reset zeroes all counters.
@@ -59,6 +67,8 @@ func (c *Counters) Reset() {
 	c.DegreeEvals.Store(0)
 	c.Comparisons.Store(0)
 	c.TuplesOut.Store(0)
+	c.SortCacheHits.Store(0)
+	c.SortCacheMisses.Store(0)
 }
 
 // MemSource serves tuples from an in-memory relation.

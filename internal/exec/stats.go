@@ -53,6 +53,9 @@ type OpStats struct {
 	MergePasses atomic.Int64 // merge passes over the runs
 	SpillBytes  atomic.Int64 // bytes written to temporary sort files
 
+	CacheHits   atomic.Int64 // sort-order cache hits (sort skipped entirely)
+	CacheMisses atomic.Int64 // sort-order cache misses (order built and stored)
+
 	PoolHits   atomic.Int64 // buffer-pool page hits
 	PoolMisses atomic.Int64 // buffer-pool page misses (physical reads)
 
@@ -97,6 +100,30 @@ func (s *OpStats) ObserveRng(n int64) {
 	}
 }
 
+// ObserveRngBulk records count Rng(r) observations at once: their sum and
+// the min/max among them. It is equivalent to count individual ObserveRng
+// calls and lets batched operators flush one accumulated observation set
+// per batch. count <= 0 records nothing.
+func (s *OpStats) ObserveRngBulk(count, sum, min, max int64) {
+	if count <= 0 {
+		return
+	}
+	s.RngCount.Add(count)
+	s.RngSum.Add(sum)
+	for {
+		cur := s.rngMin.Load()
+		if min >= cur || s.rngMin.CompareAndSwap(cur, min) {
+			break
+		}
+	}
+	for {
+		cur := s.rngMax.Load()
+		if max <= cur || s.rngMax.CompareAndSwap(cur, max) {
+			break
+		}
+	}
+}
+
 // StatsSnapshot is a plain, JSON-serializable copy of a statistics tree.
 type StatsSnapshot struct {
 	Op          string           `json:"op"`
@@ -112,6 +139,8 @@ type StatsSnapshot struct {
 	SortRuns    int64            `json:"sort_runs,omitempty"`
 	MergePasses int64            `json:"merge_passes,omitempty"`
 	SpillBytes  int64            `json:"spill_bytes,omitempty"`
+	CacheHits   int64            `json:"cache_hits,omitempty"`
+	CacheMisses int64            `json:"cache_misses,omitempty"`
 	PoolHits    int64            `json:"pool_hits,omitempty"`
 	PoolMisses  int64            `json:"pool_misses,omitempty"`
 	WallNanos   int64            `json:"wall_ns"`
@@ -130,6 +159,8 @@ func (s *OpStats) Snapshot() *StatsSnapshot {
 		SortRuns:    s.SortRuns.Load(),
 		MergePasses: s.MergePasses.Load(),
 		SpillBytes:  s.SpillBytes.Load(),
+		CacheHits:   s.CacheHits.Load(),
+		CacheMisses: s.CacheMisses.Load(),
 		PoolHits:    s.PoolHits.Load(),
 		PoolMisses:  s.PoolMisses.Load(),
 		WallNanos:   s.WallNanos.Load(),
@@ -208,6 +239,9 @@ func (s *StatsSnapshot) render(b *strings.Builder, depth int) {
 	if s.SortRuns > 0 || s.MergePasses > 0 || s.SpillBytes > 0 {
 		fmt.Fprintf(b, " sort(runs=%d passes=%d spill=%dB)", s.SortRuns, s.MergePasses, s.SpillBytes)
 	}
+	if s.CacheHits > 0 || s.CacheMisses > 0 {
+		fmt.Fprintf(b, " cache(hit=%d miss=%d)", s.CacheHits, s.CacheMisses)
+	}
 	if s.PoolHits > 0 || s.PoolMisses > 0 {
 		fmt.Fprintf(b, " pool(hit=%d miss=%d)", s.PoolHits, s.PoolMisses)
 	}
@@ -247,6 +281,37 @@ func (s *Stated) Open() (Iterator, error) {
 	return &statedIterator{in: it, node: s.Node}, nil
 }
 
+// OpenBatch implements BatchSource: the wrapped source is opened in batch
+// mode and rows/wall time are accounted once per batch.
+func (s *Stated) OpenBatch() (BatchIterator, error) {
+	start := time.Now()
+	it, err := OpenBatches(s.Src)
+	s.Node.WallNanos.Add(time.Since(start).Nanoseconds())
+	if err != nil {
+		return nil, err
+	}
+	return &statedBatchIterator{in: it, node: s.Node}, nil
+}
+
+type statedBatchIterator struct {
+	in   BatchIterator
+	node *OpStats
+}
+
+func (it *statedBatchIterator) NextBatch() ([]frel.Tuple, bool) {
+	start := time.Now()
+	b, ok := it.in.NextBatch()
+	it.node.WallNanos.Add(time.Since(start).Nanoseconds())
+	if ok {
+		it.node.RowsOut.Add(int64(len(b)))
+	}
+	return b, ok
+}
+
+func (it *statedBatchIterator) Keys() []frel.SupportKey { return batchKeys(it.in) }
+func (it *statedBatchIterator) Err() error              { return it.in.Err() }
+func (it *statedBatchIterator) Close()                  { it.in.Close() }
+
 type statedIterator struct {
 	in   Iterator
 	node *OpStats
@@ -266,15 +331,19 @@ func (it *statedIterator) Err() error { return it.in.Err() }
 
 func (it *statedIterator) Close() { it.in.Close() }
 
-// Unwrap strips any Stated wrappers, returning the underlying source.
-// Planner heuristics that sniff concrete source types (sampling, size
-// estimates) use it so analyzed and plain runs pick identical plans.
+// Unwrap strips any Stated and context-cancellation wrappers, returning
+// the underlying source. Planner heuristics that sniff concrete source
+// types (sampling, size estimates, the sort-order cache) use it so
+// analyzed, cancellable, and plain runs pick identical plans.
 func Unwrap(src Source) Source {
 	for {
-		st, ok := src.(*Stated)
-		if !ok {
+		switch s := src.(type) {
+		case *Stated:
+			src = s.Src
+		case *cancelSource:
+			src = s.src
+		default:
 			return src
 		}
-		src = st.Src
 	}
 }

@@ -203,18 +203,24 @@ func (s *Sorter) makeRuns(src *storage.HeapFile, less Less, st *Stats) ([]*stora
 	sc := src.Scan()
 	defer sc.Close()
 	var scanErr error
+	// Consume the scan a page-sized batch at a time; the per-tuple budget
+	// check keeps run boundaries identical to tuple-at-a-time consumption.
+	page := make([]frel.Tuple, 0, 256)
+scan:
 	for {
-		t, ok := sc.Next()
-		if !ok {
+		page = sc.NextBatch(page)
+		if len(page) == 0 {
 			break
 		}
-		st.Tuples++
-		batch = append(batch, t)
-		batchBytes += frel.EncodedSize(src.Schema, t)
-		if batchBytes >= budget {
-			if err := flush(); err != nil {
-				scanErr = err
-				break
+		for _, t := range page {
+			st.Tuples++
+			batch = append(batch, t)
+			batchBytes += frel.EncodedSize(src.Schema, t)
+			if batchBytes >= budget {
+				if err := flush(); err != nil {
+					scanErr = err
+					break scan
+				}
 			}
 		}
 	}

@@ -11,7 +11,20 @@ import (
 type Relation struct {
 	Schema *Schema
 	Tuples []Tuple
+
+	// version counts mutations made through the Relation methods (Append,
+	// SortBy, DedupMax, Threshold). Caches keyed by a relation pointer
+	// (the engine's sort-order cache) compare versions to detect staleness;
+	// callers that mutate Tuples directly must call Bump themselves.
+	version uint64
 }
+
+// Version returns the relation's mutation counter.
+func (r *Relation) Version() uint64 { return r.version }
+
+// Bump records an out-of-band mutation of Tuples, invalidating any cache
+// entries keyed on this relation.
+func (r *Relation) Bump() { r.version++ }
 
 // NewRelation creates an empty relation with the given schema.
 func NewRelation(s *Schema) *Relation {
@@ -21,6 +34,7 @@ func NewRelation(s *Schema) *Relation {
 // Append adds tuples to the relation.
 func (r *Relation) Append(ts ...Tuple) {
 	r.Tuples = append(r.Tuples, ts...)
+	r.version++
 }
 
 // Len returns the number of tuples.
@@ -47,6 +61,7 @@ func (r *Relation) SortBy(attr string) error {
 	sort.SliceStable(r.Tuples, func(a, b int) bool {
 		return Compare(r.Tuples[a].Values[i], r.Tuples[b].Values[i]) < 0
 	})
+	r.version++
 	return nil
 }
 
@@ -70,6 +85,7 @@ func (r *Relation) DedupMax() {
 		out = append(out, t)
 	}
 	r.Tuples = out
+	r.version++
 }
 
 // Threshold removes tuples whose membership degree is below z, the effect
@@ -84,6 +100,7 @@ func (r *Relation) Threshold(z float64) {
 		}
 	}
 	r.Tuples = out
+	r.version++
 }
 
 // Equal reports whether two relations contain the same fuzzy set of

@@ -1,0 +1,29 @@
+package frel
+
+// SupportKey is the precomputed sort/join key of one tuple on one numeric
+// attribute: the support interval endpoints b(v), e(v) of Definition 3.1
+// plus the tuple's membership degree. The sort-order cache stores one flat
+// key column per cached (relation, attribute) pair so the extended
+// merge-join reads interval endpoints from a contiguous array instead of
+// recomputing them from the trapezoid on every cursor step.
+type SupportKey struct {
+	Lo, Hi, D float64
+}
+
+// SupportKeys builds the flat key column of tuples on attribute idx. It
+// returns nil when the attribute is not numeric (string attributes have no
+// support interval; the merge order does not apply to them).
+func SupportKeys(tuples []Tuple, idx int) []SupportKey {
+	if len(tuples) == 0 {
+		return nil
+	}
+	if idx < 0 || idx >= len(tuples[0].Values) || tuples[0].Values[idx].Kind != KindNumber {
+		return nil
+	}
+	keys := make([]SupportKey, len(tuples))
+	for i := range tuples {
+		lo, hi := tuples[i].Values[idx].Num.Support()
+		keys[i] = SupportKey{Lo: lo, Hi: hi, D: tuples[i].D}
+	}
+	return keys
+}

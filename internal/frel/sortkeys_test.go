@@ -1,0 +1,35 @@
+package frel
+
+import (
+	"testing"
+
+	"repro/internal/fuzzy"
+)
+
+func TestSupportKeys(t *testing.T) {
+	tuples := []Tuple{
+		NewTuple(0.9, Num(fuzzy.Tri(1, 2, 3)), Str("a")),
+		NewTuple(0.4, Num(fuzzy.Trap(2, 3, 5, 8)), Str("b")),
+		NewTuple(1, Crisp(7), Str("c")),
+	}
+	keys := SupportKeys(tuples, 0)
+	if len(keys) != len(tuples) {
+		t.Fatalf("got %d keys, want %d", len(keys), len(tuples))
+	}
+	for i, k := range keys {
+		lo, hi := tuples[i].Values[0].Num.Support()
+		if k.Lo != lo || k.Hi != hi || k.D != tuples[i].D {
+			t.Fatalf("key %d = %+v, want {%v %v %v}", i, k, lo, hi, tuples[i].D)
+		}
+	}
+
+	if got := SupportKeys(tuples, 1); got != nil {
+		t.Fatalf("string attribute produced keys: %v", got)
+	}
+	if got := SupportKeys(tuples, 5); got != nil {
+		t.Fatalf("out-of-range attribute produced keys: %v", got)
+	}
+	if got := SupportKeys(nil, 0); got != nil {
+		t.Fatalf("empty input produced keys: %v", got)
+	}
+}

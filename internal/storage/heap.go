@@ -38,7 +38,14 @@ type HeapFile struct {
 	lastPage PageID
 	lastUsed int // bytes used in the last page (including header)
 	buf      []byte
+
+	// version counts appends; caches keyed by a heap-file pointer (the
+	// engine's sort-order cache) compare versions to detect staleness.
+	version uint64
 }
+
+// Version returns the file's mutation counter.
+func (h *HeapFile) Version() uint64 { return h.version }
 
 // NewHeapFile creates an empty heap file backed by the given pager.
 func NewHeapFile(schema *frel.Schema, pager *Pager, pool *BufferPool) *HeapFile {
@@ -125,6 +132,7 @@ func (h *HeapFile) Append(t frel.Tuple) error {
 	binary.LittleEndian.PutUint16(f.Data[0:2], count+1)
 	h.lastUsed += need
 	h.numTuples++
+	h.version++
 	h.pool.Unpin(f, true)
 	return nil
 }
@@ -206,6 +214,23 @@ func (s *Scanner) Next() (t frel.Tuple, ok bool) {
 		s.remain--
 		return tup, true
 	}
+}
+
+// NextBatch fills dst (reset to length zero) with up to cap(dst) tuples
+// and returns the filled slice. An empty result means the scan is
+// exhausted or an error occurred; check Err afterwards. The returned
+// slice aliases dst's backing array, so callers that retain tuples across
+// calls must copy them out first.
+func (s *Scanner) NextBatch(dst []frel.Tuple) []frel.Tuple {
+	dst = dst[:0]
+	for len(dst) < cap(dst) {
+		t, ok := s.Next()
+		if !ok {
+			break
+		}
+		dst = append(dst, t)
+	}
+	return dst
 }
 
 // Close releases the scanner's page pin.

@@ -387,3 +387,47 @@ func TestBufferPoolSetCapacity(t *testing.T) {
 		t.Errorf("Capacity after SetCapacity(0) = %d, want clamp to 1", bp.Capacity())
 	}
 }
+
+func TestHeapVersionAndNextBatch(t *testing.T) {
+	m := newManager(t, 8)
+	h, err := m.CreateHeap("r", testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Version() != 0 {
+		t.Fatalf("fresh heap version = %d", h.Version())
+	}
+	const n = 700
+	for i := 0; i < n; i++ {
+		tup := frel.NewTuple(0.5, frel.Crisp(float64(i)), frel.Str(fmt.Sprintf("name-%d", i)))
+		if err := h.Append(tup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.Version() != n {
+		t.Fatalf("version after %d appends = %d", n, h.Version())
+	}
+
+	sc := h.Scan()
+	defer sc.Close()
+	buf := make([]frel.Tuple, 0, 256)
+	i := 0
+	for {
+		buf = sc.NextBatch(buf)
+		if len(buf) == 0 {
+			break
+		}
+		for _, tup := range buf {
+			if tup.Values[0].Num.A != float64(i) {
+				t.Fatalf("batch tuple %d = %v", i, tup)
+			}
+			i++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if i != n {
+		t.Fatalf("batched scan saw %d tuples, want %d", i, n)
+	}
+}

@@ -66,6 +66,21 @@ func TestDifferentialUnnesting(t *testing.T) {
 						seed, class, c.Query, c.R.Len(), c.S.Len(),
 						naive.Len(), naive, unnested.Len(), unnested)
 				}
+
+				// Third leg: the strict tuple-at-a-time engine must agree
+				// with the batched default. Reusing the env also routes
+				// this evaluation through the sort-order cache populated
+				// by the first unnested run, checking hit correctness.
+				env.DisableBatch = true
+				tuple, err := env.EvalUnnested(q)
+				if err != nil {
+					t.Fatalf("seed %d: unnested tuple-at-a-time: %v", seed, err)
+				}
+				if !unnested.Equal(tuple, 1e-9) {
+					t.Fatalf("seed %d: class %s batched/tuple mismatch on %s\nbatched (%d tuples):\n%v\ntuple-at-a-time (%d tuples):\n%v",
+						seed, class, c.Query,
+						unnested.Len(), unnested, tuple.Len(), tuple)
+				}
 			}
 		})
 	}

@@ -30,8 +30,9 @@ import (
 
 // config collects the Open options.
 type config struct {
-	bufferPages int
-	parallelism int
+	bufferPages  int
+	parallelism  int
+	disableBatch bool
 }
 
 // Option customizes Open.
@@ -58,6 +59,17 @@ func WithParallelism(workers int) Option {
 			return fmt.Errorf("fuzzydb: negative parallelism %d", workers)
 		}
 		c.parallelism = workers
+		return nil
+	}
+}
+
+// WithTupleAtATime disables the batched execution engine and runs queries
+// through strict tuple-at-a-time iterators. The two modes compute
+// identical answers; this switch exists for comparison and debugging (the
+// batched engine is faster and is the default).
+func WithTupleAtATime() Option {
+	return func(c *config) error {
+		c.disableBatch = true
 		return nil
 	}
 }
@@ -100,7 +112,18 @@ func Open(dir string, opts ...Option) (*DB, error) {
 		return nil, err
 	}
 	sess.Env.Parallelism = c.parallelism
+	sess.Env.DisableBatch = c.disableBatch
 	return &DB{sess: sess, dir: dir, ownsDir: ownsDir}, nil
+}
+
+// SortCacheStats reports the sort-order cache traffic accumulated over the
+// database's lifetime: hits are sorts served from a cached permutation
+// (no re-sort), misses are orders that had to be built. INSERTs and other
+// mutations invalidate the affected entries, so a repeated query on
+// unchanged data hits.
+func (db *DB) SortCacheStats() (hits, misses int64) {
+	return db.sess.Env.Counters.SortCacheHits.Load(),
+		db.sess.Env.Counters.SortCacheMisses.Load()
 }
 
 // Dir returns the database directory.
