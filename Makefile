@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-compare fmt vet
+.PHONY: all build test race bench bench-compare fmt vet golden
 
 all: build test
 
@@ -21,6 +21,11 @@ bench:
 # Regenerate the committed batch-vs-tuple baseline (BENCH_N.json).
 bench-compare:
 	$(GO) run ./cmd/fuzzybench -compare -scalediv 8
+
+# Regenerate the golden EXPLAIN plans (internal/core/testdata/golden)
+# after an intentional planner change; the diff is the review artifact.
+golden:
+	$(GO) test ./internal/core -run TestGoldenPlans -update-golden
 
 fmt:
 	gofmt -w .

@@ -20,6 +20,7 @@ import (
 type ExecStats struct {
 	Strategy Strategy
 	Note     string
+	Rules    []string      // planner rewrite rules applied, in order
 	Wall     time.Duration // total evaluation wall time
 	Answer   int           // answer cardinality (after thresholding)
 	Pruned   int64         // rows dropped by WITH D >= thresholding
@@ -43,9 +44,13 @@ func (s *ExecStats) Plan() *exec.StatsSnapshot {
 func (s *ExecStats) Lines() []string {
 	lines := []string{
 		fmt.Sprintf("strategy: %s (%s)", s.Strategy, s.Note),
-		fmt.Sprintf("wall: %s  answer: %d tuples  pruned by WITH: %d  pool: %d hits / %d misses",
-			s.Wall.Round(time.Microsecond), s.Answer, s.Pruned, s.PoolHits, s.PoolMisses),
 	}
+	if len(s.Rules) > 0 {
+		lines = append(lines, "rules: "+strings.Join(s.Rules, ", "))
+	}
+	lines = append(lines,
+		fmt.Sprintf("wall: %s  answer: %d tuples  pruned by WITH: %d  pool: %d hits / %d misses",
+			s.Wall.Round(time.Microsecond), s.Answer, s.Pruned, s.PoolHits, s.PoolMisses))
 	if snap := s.Plan(); snap != nil {
 		lines = append(lines, strings.Split(strings.TrimRight(snap.Render(), "\n"), "\n")...)
 	}
@@ -150,12 +155,12 @@ func (e *Env) EvalUnnestedAnalyze(ctx context.Context, q *fsql.Select) (*frel.Re
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
-	plan, run, err := e.classify(q)
+	p, err := e.PlanQuery(q)
 	if err != nil {
 		return nil, nil, err
 	}
-	es := &ExecStats{Strategy: plan.Strategy, Note: plan.Note}
-	rel, err := e.runAnalyzed(es, run)
+	es := &ExecStats{Strategy: p.Strategy, Note: p.Note, Rules: p.Rules}
+	rel, err := e.runAnalyzed(es, func() (*frel.Relation, error) { return e.execPlan(p) })
 	if err != nil {
 		return nil, nil, err
 	}

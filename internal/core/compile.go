@@ -1,0 +1,396 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/exec"
+	"repro/internal/frel"
+	"repro/internal/fsql"
+	"repro/internal/fuzzy"
+	"repro/internal/plan"
+)
+
+// This file is the physical compilation stage of the planner: it turns a
+// planned query (internal/plan) into the existing exec operators and runs
+// it. The plan records every decision — join order, merge vs nested-loop
+// steps, predicate assignments — so compilation replays them without
+// re-deciding; only physical concerns (sources, linguistic terms, the
+// sort-order cache, parallelism, EXPLAIN ANALYZE instrumentation) live
+// here.
+
+// execPlan compiles and runs a planned query.
+func (e *Env) execPlan(p *plan.Plan) (*frel.Relation, error) {
+	if p.Strategy == StrategyNaive {
+		return e.EvalNaive(p.Query)
+	}
+	switch body := p.Proj().Input.(type) {
+	case *plan.Join:
+		return e.execJoinPlan(p, body)
+	case *plan.AntiJoin:
+		return e.execAntiPlan(p, body)
+	case *plan.GroupAgg:
+		return e.execGroupAggPlan(p, body)
+	case *plan.UncorrSub:
+		return e.execUncorrPlan(p, body)
+	default:
+		return e.EvalNaive(p.Query)
+	}
+}
+
+// compileLeaf compiles a plan leaf (Scan or Filter-over-Scan) into a
+// stated source.
+func (e *Env) compileLeaf(nd plan.Node) (exec.Source, error) {
+	switch n := nd.(type) {
+	case *plan.Scan:
+		s, err := e.source(n.Table)
+		if err != nil {
+			return nil, err
+		}
+		return e.stated("scan", n.Table.Binding(), s), nil
+	case *plan.Filter:
+		sc, ok := n.Input.(*plan.Scan)
+		if !ok {
+			return nil, fmt.Errorf("core: cannot compile plan filter over %T", n.Input)
+		}
+		s, err := e.source(sc.Table)
+		if err != nil {
+			return nil, err
+		}
+		base := e.stated("scan", sc.Table.Binding(), s)
+		src := base
+		for _, pr := range n.Preds {
+			pred, err := e.compilePred(src.Schema(), pr)
+			if err != nil {
+				return nil, err
+			}
+			src = exec.NewFilter(src, pred)
+		}
+		return e.stated("filter", n.Label, src, base), nil
+	}
+	return nil, fmt.Errorf("core: cannot compile plan leaf %T", nd)
+}
+
+// execJoinPlan runs a flat join plan (strategies flat and chain-join):
+// the leaves are compiled with their pushed-down filters, the recorded
+// left-deep steps replayed — extended merge-join or block nested-loop as
+// the cost model chose — and the answer projected with max-degree
+// duplicate elimination and thresholded.
+func (e *Env) execJoinPlan(p *plan.Plan, j *plan.Join) (*frel.Relation, error) {
+	if j.Err != nil {
+		return nil, j.Err
+	}
+	proj := p.Proj()
+	filtered := make([]exec.Source, len(j.Inputs))
+	for i, in := range j.Inputs {
+		src, err := e.compileLeaf(in)
+		if err != nil {
+			return nil, err
+		}
+		filtered[i] = src
+	}
+
+	cur := filtered[j.Order[0]]
+	for _, step := range j.Steps {
+		next := filtered[step.Next]
+		var extras []exec.JoinPred
+		for _, pi := range step.Extras {
+			jp, err := e.compileJoinPred(cur.Schema(), next.Schema(), j.JoinPreds[pi].Pred)
+			if err != nil {
+				return nil, err
+			}
+			extras = append(extras, jp)
+		}
+		extra := andJoinPreds(extras)
+
+		if step.Merge {
+			sortedCur, err := e.sortSource(cur, step.LeftAttr, false)
+			if err != nil {
+				return nil, err
+			}
+			sortedNext, err := e.sortSource(next, step.RightAttr, false)
+			if err != nil {
+				return nil, err
+			}
+			node := e.newNode("merge-join", step.LeftAttr+" = "+step.RightAttr)
+			if w := e.workers(); w > 1 {
+				pj, err := exec.NewParallelMergeJoin(sortedCur, sortedNext, step.LeftAttr, step.RightAttr, step.Tol, extra, &e.Counters, w)
+				if err != nil {
+					return nil, err
+				}
+				pj.Stats = node
+				cur = e.attach(node, pj, sortedCur, sortedNext)
+			} else {
+				mj, err := exec.NewBandMergeJoin(sortedCur, sortedNext, step.LeftAttr, step.RightAttr, step.Tol, extra, &e.Counters)
+				if err != nil {
+					return nil, err
+				}
+				mj.Stats = node
+				cur = e.attach(node, mj, sortedCur, sortedNext)
+			}
+		} else {
+			on := extra
+			if on == nil {
+				on = func(l, r frel.Tuple) float64 { return 1 }
+			}
+			node := e.newNode("nl-join", "")
+			nl := exec.NewBlockNLJoin(cur, next, on, e.NLBlockBytes, &e.Counters)
+			nl.Stats = node
+			cur = e.attach(node, nl, cur, next)
+		}
+	}
+
+	var out exec.Source = cur
+	for _, pr := range j.Const {
+		pred, err := e.compilePred(cur.Schema(), pr)
+		if err != nil {
+			return nil, err
+		}
+		out = exec.NewFilter(out, pred)
+	}
+	if out != cur {
+		out = e.stated("filter", "constant predicates", out, cur)
+	}
+
+	// Final projection / grouping.
+	if hasAggItems(proj.Items) || len(proj.GroupBy) > 0 {
+		rel, err := e.groupProject(proj.Items, proj.GroupBy, proj.Having, out)
+		if err != nil {
+			return nil, err
+		}
+		pruned, err := finalizeAnswer(rel, p.Root.Shape)
+		if err != nil {
+			return nil, err
+		}
+		e.notePruned(pruned)
+		return rel, nil
+	}
+	if len(proj.Having) > 0 {
+		return nil, fmt.Errorf("core: HAVING requires GROUPBY or aggregates")
+	}
+	return e.finishProject(out, proj.Items, p.Root.Shape)
+}
+
+// execAntiPlan runs the group-minimum anti-join of Queries JX′ and JALL′:
+//
+//	JX:   1 − min(µS(s), d(corr…), d(r.Y = s.Z))
+//	JALL: 1 − min(µS(s), d(corr…), 1 − d(r.Y op s.Z))
+//
+// µS(s) and the inner block's local predicates arrive via the
+// pre-filtered inner tuple degree.
+func (e *Env) execAntiPlan(p *plan.Plan, a *plan.AntiJoin) (*frel.Relation, error) {
+	outer, err := e.compileLeaf(a.Outer)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := e.compileLeaf(a.Inner)
+	if err != nil {
+		return nil, err
+	}
+	var terms []exec.JoinPred
+	for _, pr := range a.Corr {
+		jp, err := e.compileJoinPred(outer.Schema(), inner.Schema(), pr)
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, jp)
+	}
+	if a.HasLink {
+		linkJP, err := e.compileJoinPred(outer.Schema(), inner.Schema(), a.Link)
+		if err != nil {
+			return nil, err
+		}
+		if a.Mode == plan.AntiAll {
+			orig := linkJP
+			linkJP = func(l, r frel.Tuple) float64 { return 1 - orig(l, r) }
+		}
+		terms = append(terms, linkJP)
+	}
+	penalty := func(l, r frel.Tuple) float64 {
+		d := r.D
+		for _, t := range terms {
+			if g := t(l, r); g < d {
+				d = g
+				if d == 0 {
+					break
+				}
+			}
+		}
+		return 1 - d
+	}
+
+	var result exec.Source
+	if a.RangeFound {
+		sortedOuter, err := e.sortSource(outer, a.RangeOuter, false)
+		if err != nil {
+			return nil, err
+		}
+		sortedInner, err := e.sortSource(inner, a.RangeInner, false)
+		if err != nil {
+			return nil, err
+		}
+		am, err := exec.NewMergeAntiMin(sortedOuter, sortedInner, a.RangeOuter, a.RangeInner, penalty, &e.Counters)
+		if err != nil {
+			return nil, err
+		}
+		node := e.newNode("merge-anti-join", a.RangeOuter+" = "+a.RangeInner)
+		am.Stats = node
+		result = e.attach(node, am, sortedOuter, sortedInner)
+	} else {
+		// No usable merge order (e.g. string attributes): unnested
+		// anti-join by materializing the inner once.
+		innerRel, err := e.collect(inner)
+		if err != nil {
+			return nil, err
+		}
+		node := e.newNode("nl-anti-join", "")
+		nas := exec.NewNLAntiMin(outer, innerRel.Tuples, penalty, &e.Counters)
+		nas.Stats = node
+		result = e.attach(node, nas, outer)
+	}
+	return e.finishProject(result, p.Proj().Items, p.Root.Shape)
+}
+
+// execGroupAggPlan runs the pipelined group-aggregate join of Queries JA′
+// and COUNT′ (Theorem 6.1).
+func (e *Env) execGroupAggPlan(p *plan.Plan, g *plan.GroupAgg) (*frel.Relation, error) {
+	outer, err := e.compileLeaf(g.Outer)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := e.compileLeaf(g.Inner)
+	if err != nil {
+		return nil, err
+	}
+	if g.IsNear {
+		inner, err = newShiftSource(inner, g.VRef, g.NearShift)
+		if err != nil {
+			return nil, err
+		}
+	}
+	sortedOuter, err := e.sortSource(outer, g.URef, true)
+	if err != nil {
+		return nil, err
+	}
+	if g.Op2 == fuzzy.OpEq {
+		inner, err = e.sortSource(inner, g.VRef, false)
+		if err != nil {
+			return nil, err
+		}
+	}
+	ga, err := exec.NewGroupAggJoin(sortedOuter, inner, g.URef, g.VRef, g.Op2, g.ZRef, g.Agg, g.YRef, g.CmpOp, &e.Counters)
+	if err != nil {
+		return nil, err
+	}
+	node := e.newNode("group-agg-join", fmt.Sprintf("%v(%s) by %s", g.Agg, g.ZRef, g.URef))
+	ga.Stats = node
+	return e.finishProject(e.attach(node, ga, sortedOuter, inner), p.Proj().Items, p.Root.Shape)
+}
+
+// execUncorrPlan folds an uncorrelated aggregate subquery: the subquery
+// is evaluated once, aggregated to a constant, and applied as a filter
+// over the outer block (Section 6 notes no unnesting is needed).
+func (e *Env) execUncorrPlan(p *plan.Plan, u *plan.UncorrSub) (*frel.Relation, error) {
+	set, err := e.constantSubquerySet(u.Sub)
+	if err != nil {
+		return nil, err
+	}
+	members := make([]fuzzy.Member, 0, len(set))
+	for _, m := range set {
+		if m.val.Kind != frel.KindNumber && u.Agg != fuzzy.AggCount {
+			return nil, fmt.Errorf("core: aggregate %v over non-numeric values", u.Agg)
+		}
+		members = append(members, fuzzy.Member{Value: m.val.Num, Mu: m.mu})
+	}
+	a, ok := fuzzy.Aggregate(u.Agg, members)
+	outer, err := e.compileLeaf(u.Outer)
+	if err != nil {
+		return nil, err
+	}
+	var result exec.Source
+	if !ok {
+		result = exec.NewFilter(outer, func(frel.Tuple) float64 { return 0 })
+	} else {
+		yi, err := outer.Schema().Resolve(u.YRef)
+		if err != nil {
+			return nil, err
+		}
+		op := u.CmpOp
+		counters := &e.Counters
+		node := e.newNode("filter", "uncorrelated subquery")
+		result = exec.NewFilter(outer, func(t frel.Tuple) float64 {
+			counters.DegreeEvals.Add(1)
+			if node != nil {
+				node.DegreeEvals.Add(1)
+			}
+			return frel.Degree(op, t.Values[yi], frel.Num(a))
+		})
+		result = e.attach(node, result, outer)
+	}
+	return e.finishProject(result, p.Proj().Items, p.Root.Shape)
+}
+
+// finishProject projects, deduplicates and applies the answer shape
+// (threshold, order, limit).
+func (e *Env) finishProject(src exec.Source, items []fsql.SelectItem, shape plan.Shape) (*frel.Relation, error) {
+	proj, err := exec.NewProject(src, itemRefs(items), true)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := e.collect(e.stated("project", "", proj, src))
+	if err != nil {
+		return nil, err
+	}
+	pruned, err := finalizeAnswer(rel, shape)
+	if err != nil {
+		return nil, err
+	}
+	e.notePruned(pruned)
+	return rel, nil
+}
+
+// constantSubquerySet evaluates an uncorrelated subquery once and returns
+// its answer as a fuzzy value set.
+func (e *Env) constantSubquerySet(sub *fsql.Select) ([]setMember, error) {
+	rel, err := e.evalBlock(sub, nil)
+	if err != nil {
+		return nil, err
+	}
+	set := make([]setMember, 0, rel.Len())
+	for _, t := range rel.Tuples {
+		if t.D > 0 {
+			set = append(set, setMember{val: t.Values[0], mu: t.D})
+		}
+	}
+	return set, nil
+}
+
+func hasAggItems(items []fsql.SelectItem) bool {
+	for _, it := range items {
+		if it.HasAgg {
+			return true
+		}
+	}
+	return false
+}
+
+func andJoinPreds(ps []exec.JoinPred) exec.JoinPred {
+	switch len(ps) {
+	case 0:
+		return nil
+	case 1:
+		return ps[0]
+	default:
+		return func(l, r frel.Tuple) float64 {
+			d := 1.0
+			for _, p := range ps {
+				if g := p(l, r); g < d {
+					d = g
+					if d == 0 {
+						return 0
+					}
+				}
+			}
+			return d
+		}
+	}
+}

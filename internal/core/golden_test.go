@@ -1,0 +1,110 @@
+package core
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/fsql"
+)
+
+var updateGolden = flag.Bool("update-golden", false,
+	"rewrite the golden EXPLAIN plans under testdata/golden")
+
+// goldenQueries holds one representative query per nesting class of the
+// paper's taxonomy, plus a flat three-way join exercising the cost-based
+// join ordering and a three-level chain exercising the K-level
+// flattening (Theorem 8.1).
+var goldenQueries = []struct {
+	name  string
+	query string
+}{
+	{"n", `SELECT R.K FROM R WHERE R.B IN (SELECT S.B FROM S)`},
+	{"j", `SELECT R.K FROM R WHERE R.B IN (SELECT S.B FROM S WHERE S.A = R.A)`},
+	{"jx", `SELECT R.K FROM R WHERE R.B NOT IN (SELECT S.B FROM S WHERE S.A = R.A)`},
+	{"ja", `SELECT R.K FROM R WHERE R.B >= (SELECT AVG(S.B) FROM S WHERE S.A = R.A)`},
+	{"ja-count", `SELECT R.K FROM R WHERE R.K >= (SELECT COUNT(S.B) FROM S WHERE S.A = R.A)`},
+	{"jall", `SELECT R.K FROM R WHERE R.B > ALL (SELECT S.B FROM S WHERE S.A = R.A)`},
+	{"chain3", `SELECT R.K FROM R WHERE R.B IN (SELECT S.B FROM S WHERE S.A = R.A AND S.B IN (SELECT T.B FROM T WHERE T.C = S.A))`},
+	{"flat-join", `SELECT R.K FROM R, T, S WHERE R.A = S.A AND T.B = S.B`},
+}
+
+// goldenSession builds a deterministic on-disk database: fixed relations
+// R(K, A, B), S(A, B), T(B, C) whose statistics — and therefore every
+// cost and cardinality estimate in the plans — are reproducible.
+func goldenSession(t *testing.T) *Session {
+	t.Helper()
+	sess, err := OpenSession(t.TempDir(), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	b.WriteString(`
+		CREATE TABLE R (K NUMBER, A NUMBER, B NUMBER);
+		CREATE TABLE S (A NUMBER, B NUMBER);
+		CREATE TABLE T (B NUMBER, C NUMBER);
+	`)
+	for i := 0; i < 12; i++ {
+		fmt.Fprintf(&b, "INSERT INTO R VALUES (%d, %d, %d);\n", i, i%4, i%6)
+	}
+	for i := 0; i < 9; i++ {
+		fmt.Fprintf(&b, "INSERT INTO S VALUES (%d, %d);\n", i%4, i%6)
+	}
+	for i := 0; i < 6; i++ {
+		fmt.Fprintf(&b, "INSERT INTO T VALUES (%d, %d);\n", i%6, i%2)
+	}
+	if _, err := sess.ExecScript(b.String()); err != nil {
+		t.Fatal(err)
+	}
+	return sess
+}
+
+// TestGoldenPlans snapshots the EXPLAIN output — strategy, applied
+// rewrite rules, and the logical plan tree with cost/cardinality
+// estimates — for every nesting class. Planner changes surface as
+// reviewable diffs of testdata/golden; regenerate with `make golden`.
+func TestGoldenPlans(t *testing.T) {
+	sess := goldenSession(t)
+	for _, gq := range goldenQueries {
+		gq := gq
+		t.Run(gq.name, func(t *testing.T) {
+			st, err := fsql.ParseStatement("EXPLAIN " + gq.query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rel, err := sess.Exec(st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var b strings.Builder
+			b.WriteString("-- EXPLAIN " + gq.query + "\n")
+			for _, tup := range rel.Tuples {
+				b.WriteString(tup.Values[0].Str)
+				b.WriteByte('\n')
+			}
+			got := b.String()
+
+			path := filepath.Join("testdata", "golden", gq.name+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden plan (run `make golden` to regenerate): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("plan for %s changed (run `make golden` if intended)\n--- got ---\n%s--- want ---\n%s",
+					gq.name, got, want)
+			}
+		})
+	}
+}

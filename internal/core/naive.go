@@ -9,6 +9,7 @@ import (
 	"repro/internal/frel"
 	"repro/internal/fsql"
 	"repro/internal/fuzzy"
+	"repro/internal/plan"
 )
 
 // EvalNaive evaluates a (possibly nested) Fuzzy SQL query directly by its
@@ -130,7 +131,7 @@ func (e *Env) evalBlock(q *fsql.Select, outer *outerCtx) (*frel.Relation, error)
 	} else {
 		out.DedupMax()
 	}
-	pruned, err := finalizeAnswer(out, q)
+	pruned, err := finalizeAnswer(out, plan.ShapeOf(q))
 	if err != nil {
 		return nil, err
 	}
@@ -140,11 +141,12 @@ func (e *Env) evalBlock(q *fsql.Select, outer *outerCtx) (*frel.Relation, error)
 	return out, nil
 }
 
-// finalizeAnswer applies the answer-shaping clauses: the WITH threshold,
-// ORDER BY (by degree or by an attribute under the Definition 3.1 order,
-// with a deterministic tie-break on the tuple values), and LIMIT. It
-// returns the number of tuples the threshold dropped.
-func finalizeAnswer(rel *frel.Relation, q *fsql.Select) (int, error) {
+// finalizeAnswer applies the answer-shaping clauses captured by the
+// plan.Shape IR node: the WITH threshold, ORDER BY (by degree or by an
+// attribute under the Definition 3.1 order, with a deterministic
+// tie-break on the tuple values), and LIMIT. It returns the number of
+// tuples the threshold dropped.
+func finalizeAnswer(rel *frel.Relation, q plan.Shape) (int, error) {
 	before := rel.Len()
 	rel.Threshold(q.With)
 	pruned := before - rel.Len()

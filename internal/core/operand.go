@@ -171,20 +171,6 @@ func (e *Env) compileJoinPred(left, right *frel.Schema, p fsql.Predicate) (exec.
 	}, nil
 }
 
-// resolvableIn reports whether every attribute reference of the predicate
-// (a PredCompare or PredNear) resolves in the given schema.
-func resolvableIn(schema *frel.Schema, p fsql.Predicate) bool {
-	if p.Kind != fsql.PredCompare && p.Kind != fsql.PredNear {
-		return false
-	}
-	for _, opd := range []fsql.Operand{p.Left, p.Right} {
-		if opd.Kind == fsql.OpdRef && !schema.Has(opd.Ref) {
-			return false
-		}
-	}
-	return true
-}
-
 // valueDegree computes d(v op z) between generic values.
 func valueDegree(op fuzzy.Op, v, z frel.Value) float64 {
 	return frel.Degree(op, v, z)

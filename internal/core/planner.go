@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/frel"
+	"repro/internal/fsql"
+	"repro/internal/plan"
+)
+
+// Env implements plan.Catalog, feeding the planner schema and statistics
+// resolution without touching the sort-order cache bookkeeping (planning
+// must not register cache entries; only execution's source() does).
+
+// BoundSchema resolves a FROM-clause relation reference to its schema
+// with the binding (alias) applied as the schema name, mirroring
+// source()'s schema derivation.
+func (e *Env) BoundSchema(tr fsql.TableRef) (*frel.Schema, error) {
+	name, alias := tr.Name, tr.Binding()
+	if r, ok := e.mem[relKey(name)]; ok {
+		if alias != "" && relKey(alias) != r.Schema.Name {
+			return r.Schema.WithName(relKey(alias)), nil
+		}
+		return r.Schema, nil
+	}
+	if e.cat != nil {
+		h, err := e.cat.Relation(name)
+		if err != nil {
+			return nil, err
+		}
+		if alias != "" && relKey(alias) != h.Schema.Name {
+			return h.Schema.WithName(relKey(alias)), nil
+		}
+		return h.Schema, nil
+	}
+	return nil, fmt.Errorf("core: unknown relation %q", name)
+}
+
+// RelStats resolves the planner statistics of a referenced relation;
+// in-memory relations maintain them incrementally, heap files build them
+// with one scan and maintain them on append (see frel.Relation.Stats and
+// storage.HeapFile.Stats).
+func (e *Env) RelStats(tr fsql.TableRef) (*frel.TableStats, error) {
+	if r, ok := e.mem[relKey(tr.Name)]; ok {
+		return r.Stats(), nil
+	}
+	if e.cat != nil {
+		h, err := e.cat.Relation(tr.Name)
+		if err != nil {
+			return nil, err
+		}
+		return h.Stats()
+	}
+	return nil, fmt.Errorf("core: unknown relation %q", tr.Name)
+}
+
+// PlanQuery runs the three-stage planner over q: Build the logical IR
+// from the AST, Rewrite it with the unnesting rules (Sections 4-8), and
+// Estimate it with the statistics-fed cost model.
+func (e *Env) PlanQuery(q *fsql.Select) (*plan.Plan, error) {
+	p, err := plan.Build(q, e)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Rewrite(); err != nil {
+		return nil, err
+	}
+	p.Estimate(plan.Options{DisableJoinReorder: e.DisableJoinReorder})
+	return p, nil
+}

@@ -53,8 +53,12 @@ func (s *Session) ExecContext(ctx context.Context, stmt fsql.Statement) (*frel.R
 			}
 			return planRelation(stats.Lines()), nil
 		}
-		plan := s.Env.Explain(st.Query)
-		return planRelation([]string{fmt.Sprintf("strategy: %s (%s)", plan.Strategy, plan.Note)}), nil
+		p, err := s.Env.PlanQuery(st.Query)
+		if err != nil {
+			return planRelation([]string{fmt.Sprintf("strategy: %s (cannot plan: %s)", StrategyNaive, err)}), nil
+		}
+		lines := []string{fmt.Sprintf("strategy: %s (%s)", p.Strategy, p.Note)}
+		return planRelation(append(lines, p.Lines()...)), nil
 
 	case *fsql.CreateTable:
 		schema := frel.NewSchema(st.Name, st.Attrs...)

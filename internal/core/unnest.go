@@ -2,82 +2,49 @@ package core
 
 import (
 	"context"
-	"fmt"
-	"strings"
 
-	"repro/internal/exec"
 	"repro/internal/frel"
 	"repro/internal/fsql"
-	"repro/internal/fuzzy"
+	"repro/internal/plan"
 )
 
-// Strategy identifies how EvalUnnested decided to execute a query.
-type Strategy int
+// The nesting classification, unnesting rewrites (Sections 4-8) and join
+// planning that used to live in this file moved to the three-stage
+// planner in internal/plan (Build -> Rewrite -> Estimate); physical
+// compilation to exec operators is in compile.go. This file keeps the
+// thin public evaluation surface of Env.
 
-// Strategies, in the paper's vocabulary.
+// Strategy is the evaluation strategy the planner picks for a query,
+// re-exported from internal/plan.
+type Strategy = plan.Strategy
+
+// Strategy constants, re-exported for callers of Explain.
 const (
-	// StrategyFlat: the query was already flat; evaluated as a join plan.
-	StrategyFlat Strategy = iota
-	// StrategyChain: a type N, type J, or K-level chain query (or an
-	// ANY-quantified variant), flattened per Theorems 4.1, 4.2 and 8.1 and
-	// evaluated as a join plan.
-	StrategyChain
-	// StrategyAntiJoin: a type JX query (NOT IN), evaluated with the
-	// group-minimum merge anti-join of Query JX′ (Theorem 5.1).
-	StrategyAntiJoin
-	// StrategyGroupAgg: a type JA query (scalar aggregate subquery),
-	// evaluated with the pipelined group-aggregate join of Query JA′ /
-	// COUNT′ (Theorem 6.1).
-	StrategyGroupAgg
-	// StrategyAllAnti: a type JALL query (op ALL), evaluated with the
-	// group-minimum merge anti-join of Query JALL′ (Theorem 7.1).
-	StrategyAllAnti
-	// StrategyUncorrelated: the subquery has no correlation; it is
-	// evaluated once and folded into a constant set or scalar.
-	StrategyUncorrelated
-	// StrategyNaive: the query shape is outside the paper's unnesting
-	// classes; the naive nested evaluation is used.
-	StrategyNaive
+	StrategyFlat         = plan.StrategyFlat
+	StrategyChain        = plan.StrategyChain
+	StrategyAntiJoin     = plan.StrategyAntiJoin
+	StrategyGroupAgg     = plan.StrategyGroupAgg
+	StrategyAllAnti      = plan.StrategyAllAnti
+	StrategyUncorrelated = plan.StrategyUncorrelated
+	StrategyNaive        = plan.StrategyNaive
 )
 
-// String names the strategy.
-func (s Strategy) String() string {
-	switch s {
-	case StrategyFlat:
-		return "flat"
-	case StrategyChain:
-		return "chain-join"
-	case StrategyAntiJoin:
-		return "jx-anti-join"
-	case StrategyGroupAgg:
-		return "ja-group-aggregate-join"
-	case StrategyAllAnti:
-		return "jall-anti-join"
-	case StrategyUncorrelated:
-		return "uncorrelated-subquery"
-	case StrategyNaive:
-		return "naive-nested-loop"
-	default:
-		return fmt.Sprintf("Strategy(%d)", int(s))
-	}
-}
-
-// Plan records the strategy chosen for a query; Explain makes the
-// rewriting observable and testable.
+// Plan is the one-line EXPLAIN summary of a planning decision. The full
+// logical plan (rules, estimates, operator tree) is available from
+// Env.PlanQuery.
 type Plan struct {
 	Strategy Strategy
 	Note     string
 }
 
-// Explain classifies the query and reports the strategy EvalUnnested will
-// use, without executing it. Classification errors (unknown relations,
-// malformed subqueries) are reported in the Note.
+// Explain reports which strategy the planner would use for q, without
+// evaluating it.
 func (e *Env) Explain(q *fsql.Select) Plan {
-	plan, _, err := e.classify(q)
+	p, err := e.PlanQuery(q)
 	if err != nil {
 		return Plan{StrategyNaive, "cannot plan: " + err.Error()}
 	}
-	return plan
+	return Plan{p.Strategy, p.Note}
 }
 
 // EvalUnnested evaluates the query via the paper's unnesting rewrites
@@ -85,12 +52,11 @@ func (e *Env) Explain(q *fsql.Select) Plan {
 // outside the supported classes. The answer is always equivalent to
 // EvalNaive's (Theorems 4.1-8.1).
 func (e *Env) EvalUnnested(q *fsql.Select) (*frel.Relation, error) {
-	plan, run, err := e.classify(q)
+	p, err := e.PlanQuery(q)
 	if err != nil {
 		return nil, err
 	}
-	_ = plan
-	return run()
+	return e.execPlan(p)
 }
 
 // EvalUnnestedContext is EvalUnnested observing ctx: the evaluation's leaf
@@ -111,701 +77,4 @@ func (e *Env) EvalNaiveContext(ctx context.Context, q *fsql.Select) (*frel.Relat
 		return nil, err
 	}
 	return e.EvalNaive(q)
-}
-
-// classify picks the strategy and returns a closure executing it.
-func (e *Env) classify(q *fsql.Select) (Plan, func() (*frel.Relation, error), error) {
-	naive := func(note string) (Plan, func() (*frel.Relation, error), error) {
-		return Plan{StrategyNaive, note}, func() (*frel.Relation, error) { return e.EvalNaive(q) }, nil
-	}
-
-	var compares []fsql.Predicate
-	var subs []fsql.Predicate
-	for _, p := range q.Where {
-		if p.Kind == fsql.PredCompare || p.Kind == fsql.PredNear {
-			compares = append(compares, p)
-		} else {
-			subs = append(subs, p)
-		}
-	}
-
-	if len(subs) == 0 {
-		fq := &flatQuery{items: q.Items, from: q.From, preds: compares,
-			groupBy: q.GroupBy, having: q.Having}
-		fq.shapeOf(q)
-		return Plan{StrategyFlat, "no nesting"}, func() (*frel.Relation, error) { return e.evalFlat(fq) }, nil
-	}
-	if len(subs) > 1 {
-		// Several subquery predicates flatten together when every one of
-		// them is chain-compatible (IN, ANY/SOME, EXISTS): the flattening
-		// of Theorem 8.1 applies conjunct by conjunct.
-		allChain := true
-		for _, p := range subs {
-			switch {
-			case p.Kind == fsql.PredIn, p.Kind == fsql.PredExists:
-			case p.Kind == fsql.PredQuant && p.Quant != fsql.QuantAll:
-			default:
-				allChain = false
-			}
-		}
-		if !allChain || len(q.GroupBy) > 0 || len(q.Having) > 0 || hasAggItems(q.Items) {
-			return naive("multiple subquery predicates")
-		}
-		fq, err := e.flattenChain(q)
-		if err != nil {
-			return naive("cannot flatten: " + err.Error())
-		}
-		return Plan{StrategyChain, "multi-subquery flattening"},
-			func() (*frel.Relation, error) { return e.evalFlat(fq) }, nil
-	}
-	sub := subs[0]
-	if len(q.GroupBy) > 0 || len(q.Having) > 0 || hasAggItems(q.Items) {
-		return naive("outer block uses GROUPBY/aggregates")
-	}
-
-	switch sub.Kind {
-	case fsql.PredIn:
-		fq, err := e.flattenChain(q)
-		if err != nil {
-			return naive("cannot flatten: " + err.Error())
-		}
-		return Plan{StrategyChain, "Theorem 4.1/4.2/8.1 flattening"},
-			func() (*frel.Relation, error) { return e.evalFlat(fq) }, nil
-
-	case fsql.PredQuant:
-		if sub.Quant == fsql.QuantAll {
-			return e.classifyAnti(q, compares, sub, antiAll)
-		}
-		// ANY/SOME: flatten like IN but linking with the predicate's op.
-		fq, err := e.flattenChain(q)
-		if err != nil {
-			return naive("cannot flatten: " + err.Error())
-		}
-		return Plan{StrategyChain, "ANY-quantifier flattening"},
-			func() (*frel.Relation, error) { return e.evalFlat(fq) }, nil
-
-	case fsql.PredNotIn:
-		return e.classifyAnti(q, compares, sub, antiNotIn)
-
-	case fsql.PredScalarSub:
-		return e.classifyJA(q, compares, sub)
-
-	case fsql.PredExists:
-		fq, err := e.flattenChain(q)
-		if err != nil {
-			return naive("cannot flatten: " + err.Error())
-		}
-		return Plan{StrategyChain, "EXISTS flattening (semi-join)"},
-			func() (*frel.Relation, error) { return e.evalFlat(fq) }, nil
-
-	case fsql.PredNotExists:
-		return e.classifyAnti(q, compares, sub, antiNotExists)
-
-	default:
-		return naive("unknown predicate kind")
-	}
-}
-
-func hasAggItems(items []fsql.SelectItem) bool {
-	for _, it := range items {
-		if it.HasAgg {
-			return true
-		}
-	}
-	return false
-}
-
-// subqueryIsSimple reports whether a subquery block can take part in a
-// rewrite: plain projection of one attribute, conjunctive WHERE, no
-// grouping, no threshold of its own, and — when rec is false — no further
-// nesting.
-func subqueryIsSimple(sub *fsql.Select, allowNested bool) error {
-	if sub == nil {
-		return fmt.Errorf("missing subquery")
-	}
-	if len(sub.Items) != 1 || sub.Items[0].HasAgg {
-		return fmt.Errorf("subquery must select exactly one plain attribute")
-	}
-	if len(sub.GroupBy) > 0 || len(sub.Having) > 0 {
-		return fmt.Errorf("subquery uses GROUPBY/HAVING")
-	}
-	if sub.HasWith {
-		return fmt.Errorf("subquery has its own WITH threshold")
-	}
-	if sub.OrderBy != "" || sub.HasLimit {
-		return fmt.Errorf("subquery uses ORDER BY/LIMIT")
-	}
-	for _, p := range sub.Where {
-		if p.Kind == fsql.PredCompare || p.Kind == fsql.PredNear {
-			continue
-		}
-		if !allowNested {
-			return fmt.Errorf("subquery is itself nested")
-		}
-		if p.Kind != fsql.PredIn && p.Kind != fsql.PredExists {
-			return fmt.Errorf("nested subquery is not an IN/EXISTS chain")
-		}
-		if err := subqueryIsSimple(p.Sub, true); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// flattenChain rewrites a chain query (Theorem 8.1; types N and J are the
-// K = 2 case) into a single flat query: all FROM clauses are concatenated,
-// all comparison predicates kept, and each nesting link X in (SELECT Y …)
-// becomes the linking predicate X = Y (or X op Y for ANY). Binding names
-// must be distinct across blocks.
-func (e *Env) flattenChain(q *fsql.Select) (*flatQuery, error) {
-	fq := &flatQuery{items: q.Items, groupBy: q.GroupBy, having: q.Having}
-	fq.shapeOf(q)
-	seen := map[string]bool{}
-	var addBlock func(block *fsql.Select) error
-	addBlock = func(block *fsql.Select) error {
-		for _, tr := range block.From {
-			b := strings.ToUpper(tr.Binding())
-			if seen[b] {
-				return fmt.Errorf("binding %q is reused across nesting levels", tr.Binding())
-			}
-			seen[b] = true
-			fq.from = append(fq.from, tr)
-		}
-		for _, p := range block.Where {
-			switch p.Kind {
-			case fsql.PredCompare, fsql.PredNear:
-				fq.preds = append(fq.preds, p)
-			case fsql.PredIn, fsql.PredQuant:
-				if p.Kind == fsql.PredQuant && p.Quant == fsql.QuantAll {
-					return fmt.Errorf("ALL quantifier inside a chain")
-				}
-				if err := subqueryIsSimple(p.Sub, true); err != nil {
-					return err
-				}
-				op := fuzzy.OpEq
-				if p.Kind == fsql.PredQuant {
-					op = p.Op
-				}
-				link := fsql.Predicate{
-					Kind:  fsql.PredCompare,
-					Left:  p.Left,
-					Op:    op,
-					Right: fsql.RefOperand(p.Sub.Items[0].Ref),
-				}
-				fq.preds = append(fq.preds, link)
-				if err := addBlock(p.Sub); err != nil {
-					return err
-				}
-			case fsql.PredExists:
-				// A semi-join block: the correlation predicates alone carry
-				// the connection; max-degree duplicate elimination of the
-				// final projection realizes the EXISTS maximum.
-				if err := subqueryIsSimple(p.Sub, true); err != nil {
-					return err
-				}
-				if err := addBlock(p.Sub); err != nil {
-					return err
-				}
-			default:
-				return fmt.Errorf("chain blocks allow only comparisons, IN, and EXISTS")
-			}
-		}
-		return nil
-	}
-	if err := addBlock(q); err != nil {
-		return nil, err
-	}
-	return fq, nil
-}
-
-// splitInnerPreds separates the inner block's WHERE into predicates local
-// to the inner relations (p2) and correlation predicates referencing the
-// outer schema.
-func splitInnerPreds(inner *frel.Schema, preds []fsql.Predicate) (local, corr []fsql.Predicate) {
-	for _, p := range preds {
-		if resolvableIn(inner, p) {
-			local = append(local, p)
-		} else {
-			corr = append(corr, p)
-		}
-	}
-	return local, corr
-}
-
-// eqAttrPair extracts, from an equality predicate, the attribute of the
-// outer schema and the attribute of the inner schema it links, both
-// numeric; ok reports success.
-func eqAttrPair(outer, inner *frel.Schema, p fsql.Predicate) (outerRef, innerRef string, ok bool) {
-	if p.Kind != fsql.PredCompare || p.Op != fuzzy.OpEq ||
-		p.Left.Kind != fsql.OpdRef || p.Right.Kind != fsql.OpdRef {
-		return "", "", false
-	}
-	var oRef, iRef string
-	switch {
-	case outer.Has(p.Left.Ref) && inner.Has(p.Right.Ref):
-		oRef, iRef = p.Left.Ref, p.Right.Ref
-	case inner.Has(p.Left.Ref) && outer.Has(p.Right.Ref):
-		oRef, iRef = p.Right.Ref, p.Left.Ref
-	default:
-		return "", "", false
-	}
-	oi, _ := outer.Resolve(oRef)
-	ii, _ := inner.Resolve(iRef)
-	if outer.Attrs[oi].Kind != frel.KindNumber || inner.Attrs[ii].Kind != frel.KindNumber {
-		return "", "", false
-	}
-	return oRef, iRef, true
-}
-
-// prepareSingleBlock builds the filtered source of a one-relation block.
-func (e *Env) prepareSingleBlock(from fsql.TableRef, schemaOnly bool, preds []fsql.Predicate) (exec.Source, error) {
-	src, err := e.source(from)
-	if err != nil {
-		return nil, err
-	}
-	if schemaOnly {
-		return src, nil
-	}
-	base := e.stated("scan", from.Binding(), src)
-	src = base
-	for _, p := range preds {
-		pred, err := e.compilePred(src.Schema(), p)
-		if err != nil {
-			return nil, err
-		}
-		src = exec.NewFilter(src, pred)
-	}
-	if src != base {
-		src = e.stated("filter", from.Binding(), src, base)
-	}
-	return src, nil
-}
-
-// finishProject projects, deduplicates and applies the answer-shaping
-// clauses (threshold, order, limit).
-func (e *Env) finishProject(src exec.Source, q *fsql.Select) (*frel.Relation, error) {
-	proj, err := exec.NewProject(src, itemRefs(q.Items), true)
-	if err != nil {
-		return nil, err
-	}
-	rel, err := e.collect(e.stated("project", "", proj, src))
-	if err != nil {
-		return nil, err
-	}
-	pruned, err := finalizeAnswer(rel, q)
-	if err != nil {
-		return nil, err
-	}
-	e.notePruned(pruned)
-	return rel, nil
-}
-
-// antiMode selects the penalty shape of the group-minimum anti-join.
-type antiMode int
-
-const (
-	antiNotIn     antiMode = iota // type JX: NOT IN
-	antiAll                       // type JALL: op ALL
-	antiNotExists                 // NOT EXISTS: correlations only
-)
-
-// classifyAnti handles type JX (NOT IN), type JALL (op ALL) and NOT
-// EXISTS queries, rewriting them to the group-minimum anti-join of
-// Queries JX′ and JALL′ (NOT EXISTS is the degenerate case without a
-// linking predicate).
-func (e *Env) classifyAnti(q *fsql.Select, compares []fsql.Predicate, sub fsql.Predicate, mode antiMode) (Plan, func() (*frel.Relation, error), error) {
-	naive := func(note string) (Plan, func() (*frel.Relation, error), error) {
-		return Plan{StrategyNaive, note}, func() (*frel.Relation, error) { return e.EvalNaive(q) }, nil
-	}
-	if len(q.From) != 1 || len(sub.Sub.From) != 1 {
-		return naive("anti-join rewrite needs single-relation blocks")
-	}
-	if err := subqueryIsSimple(sub.Sub, false); err != nil {
-		return naive(err.Error())
-	}
-	outerSrc, err := e.source(q.From[0])
-	if err != nil {
-		return Plan{}, nil, err
-	}
-	innerSrc, err := e.source(sub.Sub.From[0])
-	if err != nil {
-		return Plan{}, nil, err
-	}
-	outerSchema, innerSchema := outerSrc.Schema(), innerSrc.Schema()
-
-	p2, corr := splitInnerPreds(innerSchema, sub.Sub.Where)
-
-	// The linking predicate: outer.Y (=|op) inner.Z. NOT EXISTS has none.
-	var link fsql.Predicate
-	hasLink := mode != antiNotExists
-	if hasLink {
-		innerItem := sub.Sub.Items[0].Ref
-		linkOp := fuzzy.OpEq
-		if mode == antiAll {
-			linkOp = sub.Op
-		}
-		link = fsql.Predicate{Kind: fsql.PredCompare, Left: sub.Left, Op: linkOp, Right: fsql.RefOperand(innerItem)}
-	}
-
-	// Choose the merge range attribute among numeric equality predicates.
-	// For JX the linking equality itself qualifies; for JALL and NOT
-	// EXISTS only an equality correlation does.
-	var rangeOuter, rangeInner string
-	var rangeFound bool
-	candidates := corr
-	if mode == antiNotIn {
-		candidates = append([]fsql.Predicate{link}, corr...)
-	}
-	for _, p := range candidates {
-		if oRef, iRef, ok := eqAttrPair(outerSchema, innerSchema, p); ok {
-			rangeOuter, rangeInner, rangeFound = oRef, iRef, true
-			break
-		}
-	}
-
-	// The penalty of Queries JX′/JALL′:
-	//   JX:   1 − min(µS(s), d(corr…), d(r.Y = s.Z))
-	//   JALL: 1 − min(µS(s), d(corr…), 1 − d(r.Y op s.Z))
-	// µS(s) and d(p2) arrive via the pre-filtered inner tuple degree.
-	var terms []exec.JoinPred
-	for _, p := range corr {
-		jp, err := e.compileJoinPred(outerSchema, innerSchema, p)
-		if err != nil {
-			return naive(err.Error())
-		}
-		terms = append(terms, jp)
-	}
-	if hasLink {
-		linkJP, err := e.compileJoinPred(outerSchema, innerSchema, link)
-		if err != nil {
-			return naive(err.Error())
-		}
-		if mode == antiAll {
-			orig := linkJP
-			linkJP = func(l, r frel.Tuple) float64 { return 1 - orig(l, r) }
-		}
-		terms = append(terms, linkJP)
-	}
-	penalty := func(l, r frel.Tuple) float64 {
-		d := r.D
-		for _, t := range terms {
-			if g := t(l, r); g < d {
-				d = g
-				if d == 0 {
-					break
-				}
-			}
-		}
-		return 1 - d
-	}
-
-	strategy := StrategyAntiJoin
-	note := "Query JX' (Theorem 5.1)"
-	switch mode {
-	case antiAll:
-		strategy = StrategyAllAnti
-		note = "Query JALL' (Theorem 7.1)"
-	case antiNotExists:
-		note = "NOT EXISTS anti-join"
-	}
-
-	run := func() (*frel.Relation, error) {
-		outer, err := e.prepareSingleBlock(q.From[0], false, compares)
-		if err != nil {
-			return nil, err
-		}
-		inner, err := e.prepareSingleBlock(sub.Sub.From[0], false, p2)
-		if err != nil {
-			return nil, err
-		}
-		var result exec.Source
-		if rangeFound {
-			sortedOuter, err := e.sortSource(outer, rangeOuter, false)
-			if err != nil {
-				return nil, err
-			}
-			sortedInner, err := e.sortSource(inner, rangeInner, false)
-			if err != nil {
-				return nil, err
-			}
-			am, err := exec.NewMergeAntiMin(sortedOuter, sortedInner, rangeOuter, rangeInner, penalty, &e.Counters)
-			if err != nil {
-				return nil, err
-			}
-			node := e.newNode("merge-anti-join", rangeOuter+" = "+rangeInner)
-			am.Stats = node
-			result = e.attach(node, am, sortedOuter, sortedInner)
-		} else {
-			// No usable merge order (e.g. string attributes): unnested
-			// anti-join by materializing the inner once.
-			innerRel, err := e.collect(inner)
-			if err != nil {
-				return nil, err
-			}
-			node := e.newNode("nl-anti-join", "")
-			nas := &nlAntiSource{outer: outer, inner: innerRel.Tuples, penalty: penalty, counters: &e.Counters, stats: node}
-			result = e.attach(node, nas, outer)
-		}
-		return e.finishProject(result, q)
-	}
-	return Plan{strategy, note}, run, nil
-}
-
-// nlAntiSource is the nested-loop fallback of the group-minimum anti-join:
-// the inner relation is materialized once, and every outer tuple takes the
-// minimum penalty over all inner tuples. Still an unnested evaluation —
-// the inner block is not re-evaluated per outer tuple.
-type nlAntiSource struct {
-	outer    exec.Source
-	inner    []frel.Tuple
-	penalty  exec.JoinPred
-	counters *exec.Counters
-	stats    *exec.OpStats
-}
-
-func (s *nlAntiSource) Schema() *frel.Schema { return s.outer.Schema() }
-
-func (s *nlAntiSource) Open() (exec.Iterator, error) {
-	it, err := s.outer.Open()
-	if err != nil {
-		return nil, err
-	}
-	return &nlAntiIterator{src: s, outer: it}, nil
-}
-
-type nlAntiIterator struct {
-	src   *nlAntiSource
-	outer exec.Iterator
-}
-
-func (it *nlAntiIterator) Next() (frel.Tuple, bool) {
-	for {
-		l, ok := it.outer.Next()
-		if !ok {
-			return frel.Tuple{}, false
-		}
-		d := l.D
-		for _, r := range it.src.inner {
-			it.src.counters.DegreeEvals.Add(1)
-			if st := it.src.stats; st != nil {
-				st.Comparisons.Add(1)
-				st.DegreeEvals.Add(1)
-			}
-			if g := it.src.penalty(l, r); g < d {
-				d = g
-				if d == 0 {
-					break
-				}
-			}
-		}
-		if d > 0 {
-			l.D = d
-			it.src.counters.TuplesOut.Add(1)
-			return l, true
-		}
-	}
-}
-
-func (it *nlAntiIterator) Err() error { return it.outer.Err() }
-func (it *nlAntiIterator) Close()     { it.outer.Close() }
-
-// classifyJA handles type JA queries (scalar aggregate subqueries,
-// Section 6), rewriting to the pipelined group-aggregate join of Queries
-// JA′ and COUNT′, or folding an uncorrelated subquery into a constant.
-func (e *Env) classifyJA(q *fsql.Select, compares []fsql.Predicate, sub fsql.Predicate) (Plan, func() (*frel.Relation, error), error) {
-	naive := func(note string) (Plan, func() (*frel.Relation, error), error) {
-		return Plan{StrategyNaive, note}, func() (*frel.Relation, error) { return e.EvalNaive(q) }, nil
-	}
-	if err := checkScalarSubquery(sub.Sub); err != nil {
-		return Plan{}, nil, err
-	}
-	if len(q.From) != 1 || len(sub.Sub.From) != 1 {
-		return naive("group-aggregate rewrite needs single-relation blocks")
-	}
-	if len(sub.Sub.GroupBy) > 0 || len(sub.Sub.Having) > 0 || sub.Sub.HasWith ||
-		sub.Sub.OrderBy != "" || sub.Sub.HasLimit {
-		return naive("aggregate subquery uses GROUPBY/HAVING/WITH/ORDER/LIMIT")
-	}
-	for _, p := range sub.Sub.Where {
-		if p.Kind != fsql.PredCompare && p.Kind != fsql.PredNear {
-			return naive("aggregate subquery is itself nested")
-		}
-	}
-	outerSrc, err := e.source(q.From[0])
-	if err != nil {
-		return Plan{}, nil, err
-	}
-	innerSrc, err := e.source(sub.Sub.From[0])
-	if err != nil {
-		return Plan{}, nil, err
-	}
-	outerSchema, innerSchema := outerSrc.Schema(), innerSrc.Schema()
-	p2, corr := splitInnerPreds(innerSchema, sub.Sub.Where)
-
-	agg := sub.Sub.Items[0].Agg
-	zRef := sub.Sub.Items[0].Ref
-	if sub.Left.Kind != fsql.OpdRef || !outerSchema.Has(sub.Left.Ref) {
-		return naive("compared value is not an outer attribute")
-	}
-	yRef := sub.Left.Ref
-
-	if len(corr) == 0 {
-		// No correlation: the inner block produces the same single value
-		// for every outer tuple (Section 6 notes no unnesting is needed).
-		stripped := *sub.Sub
-		stripped.Items = []fsql.SelectItem{{Ref: zRef}}
-		op := sub.Op
-		run := func() (*frel.Relation, error) {
-			set, err := e.constantSubquerySet(&stripped)
-			if err != nil {
-				return nil, err
-			}
-			members := make([]fuzzy.Member, 0, len(set))
-			for _, m := range set {
-				if m.val.Kind != frel.KindNumber && agg != fuzzy.AggCount {
-					return nil, fmt.Errorf("core: aggregate %v over non-numeric values", agg)
-				}
-				members = append(members, fuzzy.Member{Value: m.val.Num, Mu: m.mu})
-			}
-			a, ok := fuzzy.Aggregate(agg, members)
-			outer, err := e.prepareSingleBlock(q.From[0], false, compares)
-			if err != nil {
-				return nil, err
-			}
-			var result exec.Source
-			if !ok {
-				result = exec.NewFilter(outer, func(frel.Tuple) float64 { return 0 })
-			} else {
-				yi, err := outer.Schema().Resolve(yRef)
-				if err != nil {
-					return nil, err
-				}
-				counters := &e.Counters
-				node := e.newNode("filter", "uncorrelated subquery")
-				result = exec.NewFilter(outer, func(t frel.Tuple) float64 {
-					counters.DegreeEvals.Add(1)
-					if node != nil {
-						node.DegreeEvals.Add(1)
-					}
-					return frel.Degree(op, t.Values[yi], frel.Num(a))
-				})
-				result = e.attach(node, result, outer)
-			}
-			return e.finishProject(result, q)
-		}
-		return Plan{StrategyUncorrelated, "uncorrelated aggregate subquery"}, run, nil
-	}
-
-	if len(corr) != 1 {
-		return naive("group-aggregate rewrite needs exactly one correlation predicate")
-	}
-	// Normalize the correlation to S.V op2 R.U.
-	cp := corr[0]
-	if cp.Left.Kind != fsql.OpdRef || cp.Right.Kind != fsql.OpdRef {
-		return naive("correlation predicate must compare two attributes")
-	}
-	var vRef, uRef string
-	op2 := cp.Op
-	// A NEAR correlation folds into exact equality by the sup-min
-	// convolution identity: d(V ≈ U | tol) = d((V ⊕ tol') = U), so the
-	// inner attribute is shifted by the tolerance and the pipeline below
-	// proceeds as an equi-correlation.
-	var nearShift fuzzy.Trapezoid
-	isNear := cp.Kind == fsql.PredNear
-	switch {
-	case innerSchema.Has(cp.Left.Ref) && outerSchema.Has(cp.Right.Ref):
-		vRef, uRef = cp.Left.Ref, cp.Right.Ref
-		if isNear {
-			op2 = fuzzy.OpEq
-			nearShift = fuzzy.Neg(cp.Tol)
-		}
-	case outerSchema.Has(cp.Left.Ref) && innerSchema.Has(cp.Right.Ref):
-		vRef, uRef = cp.Right.Ref, cp.Left.Ref
-		if isNear {
-			op2 = fuzzy.OpEq
-			nearShift = cp.Tol
-		} else {
-			op2 = op2.Flip()
-		}
-	default:
-		return naive("correlation predicate does not link inner and outer")
-	}
-	vi, err := innerSchema.Resolve(vRef)
-	if err != nil {
-		return Plan{}, nil, err
-	}
-	ui, err := outerSchema.Resolve(uRef)
-	if err != nil {
-		return Plan{}, nil, err
-	}
-	if innerSchema.Attrs[vi].Kind != frel.KindNumber || outerSchema.Attrs[ui].Kind != frel.KindNumber {
-		return naive("correlation attributes must be numeric")
-	}
-	if isNear {
-		// The tolerance folds into the correlation attribute by shifting
-		// it; when that attribute is also the aggregated one, the shift
-		// would corrupt the aggregate inputs.
-		zi, err := innerSchema.Resolve(zRef)
-		if err != nil {
-			return Plan{}, nil, err
-		}
-		if zi == vi {
-			return naive("NEAR correlation on the aggregated attribute")
-		}
-	}
-
-	note := "Query JA' (Theorem 6.1)"
-	if agg == fuzzy.AggCount {
-		note = "Query COUNT' (Theorem 6.1)"
-	}
-	run := func() (*frel.Relation, error) {
-		outer, err := e.prepareSingleBlock(q.From[0], false, compares)
-		if err != nil {
-			return nil, err
-		}
-		inner, err := e.prepareSingleBlock(sub.Sub.From[0], false, p2)
-		if err != nil {
-			return nil, err
-		}
-		if isNear {
-			inner, err = newShiftSource(inner, vRef, nearShift)
-			if err != nil {
-				return nil, err
-			}
-		}
-		sortedOuter, err := e.sortSource(outer, uRef, true)
-		if err != nil {
-			return nil, err
-		}
-		if op2 == fuzzy.OpEq {
-			inner, err = e.sortSource(inner, vRef, false)
-			if err != nil {
-				return nil, err
-			}
-		}
-		ga, err := exec.NewGroupAggJoin(sortedOuter, inner, uRef, vRef, op2, zRef, agg, yRef, sub.Op, &e.Counters)
-		if err != nil {
-			return nil, err
-		}
-		node := e.newNode("group-agg-join", fmt.Sprintf("%v(%s) by %s", agg, zRef, uRef))
-		ga.Stats = node
-		return e.finishProject(e.attach(node, ga, sortedOuter, inner), q)
-	}
-	return Plan{StrategyGroupAgg, note}, run, nil
-}
-
-// constantSubquerySet evaluates an uncorrelated subquery once and returns
-// its answer as a fuzzy value set.
-func (e *Env) constantSubquerySet(sub *fsql.Select) ([]setMember, error) {
-	rel, err := e.evalBlock(sub, nil)
-	if err != nil {
-		return nil, err
-	}
-	set := make([]setMember, 0, rel.Len())
-	for _, t := range rel.Tuples {
-		if t.D > 0 {
-			set = append(set, setMember{val: t.Values[0], mu: t.D})
-		}
-	}
-	return set, nil
 }

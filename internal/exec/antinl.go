@@ -1,0 +1,79 @@
+package exec
+
+import (
+	"repro/internal/frel"
+)
+
+// NLAntiMin is the nested-loop fallback of the group-minimum anti-join
+// (Queries JX′ and JALL′ when no merge range attribute is available, e.g.
+// string link attributes): the inner relation is materialized once, and
+// every outer tuple takes the minimum penalty over all inner tuples.
+// Still an unnested evaluation — the inner block is not re-evaluated per
+// outer tuple.
+type NLAntiMin struct {
+	Outer    Source
+	Inner    []frel.Tuple
+	Penalty  JoinPred
+	Counters *Counters
+
+	// Stats, when non-nil, receives the per-operator EXPLAIN ANALYZE
+	// measures; every outer×inner pair counts as one comparison and one
+	// degree evaluation.
+	Stats *OpStats
+}
+
+// NewNLAntiMin builds the operator over a materialized inner relation.
+func NewNLAntiMin(outer Source, inner []frel.Tuple, penalty JoinPred, counters *Counters) *NLAntiMin {
+	if counters == nil {
+		counters = &Counters{}
+	}
+	return &NLAntiMin{Outer: outer, Inner: inner, Penalty: penalty, Counters: counters}
+}
+
+// Schema implements Source; the output carries the outer schema.
+func (j *NLAntiMin) Schema() *frel.Schema { return j.Outer.Schema() }
+
+// Open implements Source.
+func (j *NLAntiMin) Open() (Iterator, error) {
+	it, err := j.Outer.Open()
+	if err != nil {
+		return nil, err
+	}
+	return &nlAntiIterator{j: j, outer: it}, nil
+}
+
+type nlAntiIterator struct {
+	j     *NLAntiMin
+	outer Iterator
+}
+
+func (it *nlAntiIterator) Next() (frel.Tuple, bool) {
+	for {
+		l, ok := it.outer.Next()
+		if !ok {
+			return frel.Tuple{}, false
+		}
+		d := l.D
+		for _, r := range it.j.Inner {
+			it.j.Counters.DegreeEvals.Add(1)
+			if st := it.j.Stats; st != nil {
+				st.Comparisons.Add(1)
+				st.DegreeEvals.Add(1)
+			}
+			if g := it.j.Penalty(l, r); g < d {
+				d = g
+				if d == 0 {
+					break
+				}
+			}
+		}
+		if d > 0 {
+			l.D = d
+			it.j.Counters.TuplesOut.Add(1)
+			return l, true
+		}
+	}
+}
+
+func (it *nlAntiIterator) Err() error { return it.outer.Err() }
+func (it *nlAntiIterator) Close()     { it.outer.Close() }

@@ -17,6 +17,12 @@ type Relation struct {
 	// (the engine's sort-order cache) compare versions to detect staleness;
 	// callers that mutate Tuples directly must call Bump themselves.
 	version uint64
+
+	// stats caches the planner statistics for statsVersion; Stats rebuilds
+	// them lazily when stale, and Append/Threshold keep fresh statistics
+	// up to date incrementally.
+	stats        *TableStats
+	statsVersion uint64
 }
 
 // Version returns the relation's mutation counter.
@@ -31,10 +37,28 @@ func NewRelation(s *Schema) *Relation {
 	return &Relation{Schema: s}
 }
 
-// Append adds tuples to the relation.
+// Append adds tuples to the relation. Fresh planner statistics are
+// maintained incrementally; stale ones are left for Stats to rebuild.
 func (r *Relation) Append(ts ...Tuple) {
+	fresh := r.stats != nil && r.statsVersion == r.version
 	r.Tuples = append(r.Tuples, ts...)
 	r.version++
+	if fresh {
+		r.stats.ObserveAll(ts)
+		r.statsVersion = r.version
+	}
+}
+
+// Stats returns the planner statistics of the relation, rebuilding them
+// from the current tuples when the relation changed since the last call
+// through a path that does not maintain them incrementally.
+func (r *Relation) Stats() *TableStats {
+	if r.stats == nil || r.statsVersion != r.version {
+		ts := NewTableStats(len(r.Schema.Attrs))
+		ts.ObserveAll(r.Tuples)
+		r.stats, r.statsVersion = ts, r.version
+	}
+	return r.stats
 }
 
 // Len returns the number of tuples.
@@ -93,6 +117,7 @@ func (r *Relation) DedupMax() {
 // relation, so Threshold(0) (the implicit clause of every query) removes
 // exactly those.
 func (r *Relation) Threshold(z float64) {
+	fresh := r.stats != nil && r.statsVersion == r.version
 	out := r.Tuples[:0]
 	for _, t := range r.Tuples {
 		if t.D > 0 && t.D >= z {
@@ -101,6 +126,13 @@ func (r *Relation) Threshold(z float64) {
 	}
 	r.Tuples = out
 	r.version++
+	if fresh {
+		// Rebuild from the survivors in place of waiting for a lazy
+		// rebuild: thresholding is a mutation this path fully observes.
+		ts := NewTableStats(len(r.Schema.Attrs))
+		ts.ObserveAll(r.Tuples)
+		r.stats, r.statsVersion = ts, r.version
+	}
 }
 
 // Equal reports whether two relations contain the same fuzzy set of

@@ -1,0 +1,60 @@
+package plan
+
+import (
+	"repro/internal/fsql"
+)
+
+// Build translates a parsed query block into its logical plan IR,
+// resolving every relation reference (at any nesting depth) against the
+// catalog. The tree comes back in nested form — subquery predicates as
+// Apply/AllQuantifier nodes — ready for Rewrite.
+func Build(q *fsql.Select, cat Catalog) (*Plan, error) {
+	body, err := buildBody(q, cat)
+	if err != nil {
+		return nil, err
+	}
+	proj := &Project{Input: body, Items: q.Items, GroupBy: q.GroupBy, Having: q.Having}
+	return &Plan{
+		Query: q,
+		Root:  &Threshold{Input: proj, Shape: ShapeOf(q)},
+		cat:   cat,
+	}, nil
+}
+
+// buildBody builds the plan body of one query block: a Join of the
+// block's relations under its comparison predicates, wrapped by one
+// Apply/AllQuantifier per subquery predicate. The first subquery
+// predicate in WHERE order ends up innermost (nearest the Join), so the
+// chain rules can recover the syntactic block order.
+func buildBody(q *fsql.Select, cat Catalog) (Node, error) {
+	join := &Join{}
+	for _, tr := range q.From {
+		schema, err := cat.BoundSchema(tr)
+		if err != nil {
+			return nil, err
+		}
+		join.Inputs = append(join.Inputs, &Scan{Table: tr, Schema: schema})
+	}
+	var body Node = join
+	for _, p := range q.Where {
+		switch p.Kind {
+		case fsql.PredCompare, fsql.PredNear:
+			join.Preds = append(join.Preds, p)
+		default:
+			var sub Node
+			if p.Sub != nil {
+				var err error
+				sub, err = buildBody(p.Sub, cat)
+				if err != nil {
+					return nil, err
+				}
+			}
+			if p.Kind == fsql.PredQuant && p.Quant == fsql.QuantAll {
+				body = &AllQuantifier{Input: body, Pred: p, Body: sub}
+			} else {
+				body = &Apply{Input: body, Pred: p, Body: sub}
+			}
+		}
+	}
+	return body, nil
+}

@@ -42,6 +42,35 @@ type HeapFile struct {
 	// version counts appends; caches keyed by a heap-file pointer (the
 	// engine's sort-order cache) compare versions to detect staleness.
 	version uint64
+
+	// stats caches the planner statistics for statsVersion; Stats builds
+	// them with one scan and Append then maintains them incrementally.
+	stats        *frel.TableStats
+	statsVersion uint64
+}
+
+// Stats returns the planner statistics of the file, built by a full scan
+// on the first call (or after the cached statistics went stale) and then
+// maintained incrementally by Append.
+func (h *HeapFile) Stats() (*frel.TableStats, error) {
+	if h.stats != nil && h.statsVersion == h.version {
+		return h.stats, nil
+	}
+	ts := frel.NewTableStats(len(h.Schema.Attrs))
+	sc := h.Scan()
+	defer sc.Close()
+	for {
+		t, ok := sc.Next()
+		if !ok {
+			break
+		}
+		ts.Observe(t)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	h.stats, h.statsVersion = ts, h.version
+	return ts, nil
 }
 
 // Version returns the file's mutation counter.
@@ -132,6 +161,10 @@ func (h *HeapFile) Append(t frel.Tuple) error {
 	binary.LittleEndian.PutUint16(f.Data[0:2], count+1)
 	h.lastUsed += need
 	h.numTuples++
+	if h.stats != nil && h.statsVersion == h.version {
+		h.stats.Observe(t)
+		h.statsVersion = h.version + 1
+	}
 	h.version++
 	h.pool.Unpin(f, true)
 	return nil

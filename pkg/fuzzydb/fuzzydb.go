@@ -207,6 +207,53 @@ func (db *DB) Explain(sql string) (string, error) {
 	return fmt.Sprintf("%s (%s)", plan.Strategy, plan.Note), nil
 }
 
+// PlanInfo is the logical plan the three-stage planner (AST → plan IR →
+// unnesting rewrites → statistics-backed cost model) chose for a query.
+type PlanInfo struct {
+	// Strategy is the evaluation strategy in the paper's vocabulary
+	// (e.g. "chain-join", "jx-anti-join").
+	Strategy string
+	// Note is the decision's reason: the theorem applied, or the cause
+	// of a naive fallback.
+	Note string
+	// Rules lists the unnesting rewrite rules applied, in order (e.g.
+	// "unnest-in", "unnest-scalar-agg"); empty for flat and naive plans.
+	Rules []string
+	// Tree is the rendered logical operator tree with per-node
+	// cost/cardinality estimates — the same text EXPLAIN prints.
+	Tree string
+	// Rows and Cost are the estimated answer cardinality and total plan
+	// cost (abstract units, roughly tuples touched).
+	Rows, Cost float64
+	// NaiveCost is the estimated cost of evaluating the query naively by
+	// its nested semantics, for comparison against Cost.
+	NaiveCost float64
+}
+
+// Plan plans the SELECT without executing it and returns the logical
+// plan: strategy, applied unnesting rules, and the operator tree with the
+// cost model's estimates.
+func (db *DB) Plan(sql string) (*PlanInfo, error) {
+	q, err := db.parseQuery(sql)
+	if err != nil {
+		return nil, err
+	}
+	p, err := db.sess.Env.PlanQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	est := p.Root.Est()
+	return &PlanInfo{
+		Strategy:  fmt.Sprint(p.Strategy),
+		Note:      p.Note,
+		Rules:     append([]string(nil), p.Rules...),
+		Tree:      strings.Join(p.Lines(), "\n"),
+		Rows:      est.Rows,
+		Cost:      est.Cost,
+		NaiveCost: p.NaiveCost,
+	}, nil
+}
+
 func (db *DB) parseQuery(sql string) (*fsql.Select, error) {
 	if err := db.check(); err != nil {
 		return nil, err

@@ -1,0 +1,69 @@
+package fuzzydb
+
+import (
+	"strings"
+	"testing"
+)
+
+func planDB(t *testing.T) *DB {
+	t.Helper()
+	db, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	if err := db.Exec(`
+		CREATE TABLE R (K NUMBER, A NUMBER, B NUMBER);
+		CREATE TABLE S (A NUMBER, B NUMBER);
+		INSERT INTO R VALUES (1, 1, 10);
+		INSERT INTO R VALUES (2, 2, 20);
+		INSERT INTO S VALUES (1, 10);
+		INSERT INTO S VALUES (2, 99);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestPlanInspection(t *testing.T) {
+	db := planDB(t)
+	info, err := db.Plan(`SELECT R.K FROM R WHERE R.B IN (SELECT S.B FROM S WHERE S.A = R.A)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Strategy != "chain-join" {
+		t.Errorf("strategy = %q", info.Strategy)
+	}
+	if len(info.Rules) != 1 || info.Rules[0] != "unnest-in" {
+		t.Errorf("rules = %v", info.Rules)
+	}
+	if info.Cost <= 0 || info.Rows <= 0 {
+		t.Errorf("estimates rows=%g cost=%g, want positive", info.Rows, info.Cost)
+	}
+	if info.NaiveCost <= info.Cost {
+		t.Errorf("naive cost %g not above plan cost %g", info.NaiveCost, info.Cost)
+	}
+	for _, want := range []string{"rules: unnest-in", "join", "scan R", "scan S", "threshold"} {
+		if !strings.Contains(info.Tree, want) {
+			t.Errorf("plan tree missing %q:\n%s", want, info.Tree)
+		}
+	}
+}
+
+func TestPlanFlatQuery(t *testing.T) {
+	db := planDB(t)
+	info, err := db.Plan(`SELECT R.K FROM R WHERE R.A = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Strategy != "flat" || len(info.Rules) != 0 {
+		t.Errorf("strategy = %q rules = %v", info.Strategy, info.Rules)
+	}
+}
+
+func TestPlanParseError(t *testing.T) {
+	db := planDB(t)
+	if _, err := db.Plan(`SELECT FROM WHERE`); err == nil {
+		t.Fatal("Plan of malformed SQL succeeded")
+	}
+}
