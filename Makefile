@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-compare fmt vet golden
+.PHONY: all build test race bench bench-compare bench-check crash fmt vet golden
 
 all: build test
 
@@ -21,6 +21,16 @@ bench:
 # Regenerate the committed batch-vs-tuple baseline (BENCH_N.json).
 bench-compare:
 	$(GO) run ./cmd/fuzzybench -compare -scalediv 8
+
+# CI's bench-regression smoke: re-measure table1 against the committed
+# baseline and fail on a >25% cold-wall regression.
+bench-check:
+	$(GO) run ./cmd/benchcheck -baseline BENCH_3.json -experiments table1 -threshold 1.25
+
+# The crash-recovery fault-injection sweep (CRASH_SEED varies the torn
+# prefix length and flipped bit position; CI runs seeds 1-4).
+crash:
+	$(GO) test -run TestCrashRecovery -count=1 -v ./internal/workload
 
 # Regenerate the golden EXPLAIN plans (internal/core/testdata/golden)
 # after an intentional planner change; the diff is the review artifact.

@@ -1,0 +1,71 @@
+// Command benchcheck is the CI bench-regression smoke: it re-measures the
+// batch-vs-tuple comparison grid (or a subset of its experiments) with the
+// same workload parameters as a committed baseline report (BENCH_N.json)
+// and fails when a matched run's cold merge-join wall time regresses past
+// the threshold. Differing answer cardinalities fail regardless of timing.
+//
+//	benchcheck -baseline BENCH_3.json -experiments table1 -threshold 1.25
+//
+// Wall-clock comparisons on shared CI runners are noisy; -warn-only keeps
+// the exit status zero and leaves the findings in the log (used on the
+// newer-Go legs of the matrix, where the pinned-Go leg is the gate).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		baseline    = flag.String("baseline", "BENCH_3.json", "committed baseline report to compare against")
+		experiments = flag.String("experiments", "table1", "comma-separated experiments to re-measure (empty = all)")
+		threshold   = flag.Float64("threshold", 1.25, "fail when cold wall time exceeds baseline by this ratio")
+		warnOnly    = flag.Bool("warn-only", false, "report regressions but exit 0")
+		dir         = flag.String("dir", "", "scratch directory (default: system temp)")
+	)
+	flag.Parse()
+
+	base, err := bench.LoadBaseline(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	var names []string
+	if *experiments != "" {
+		names = strings.Split(*experiments, ",")
+	}
+	cfg := bench.Config{Dir: *dir, ScaleDiv: base.ScaleDiv, Seed: base.Seed}
+	cur, err := cfg.ReportFor(names...)
+	if err != nil {
+		fatal(err)
+	}
+	regs, err := bench.FindRegressions(base, cur, *threshold)
+	if err != nil {
+		fatal(err)
+	}
+	matched := 0
+	for _, ex := range cur.Experiments {
+		matched += len(ex.Runs)
+	}
+	if len(regs) == 0 {
+		fmt.Printf("benchcheck: %d runs within %.2fx of %s\n", matched, *threshold, *baseline)
+		return
+	}
+	for _, r := range regs {
+		fmt.Fprintf(os.Stderr, "benchcheck: regression: %s\n", r)
+	}
+	if *warnOnly {
+		fmt.Printf("benchcheck: %d regression(s), ignored (-warn-only)\n", len(regs))
+		return
+	}
+	os.Exit(1)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchcheck:", err)
+	os.Exit(1)
+}

@@ -16,6 +16,11 @@
 //	DROP TABLE F;
 //	EXPLAIN SELECT …;          -- show the unnesting strategy
 //	EXPLAIN ANALYZE SELECT …;  -- run it and print per-operator statistics
+//	CHECKPOINT;                -- flush relations, truncate the write-ahead log
+//
+// Databases are crash-safe by default: mutations go through a write-ahead
+// log that is replayed on open, and CHECKPOINT truncates it. -no-wal
+// disables the log (the pre-WAL behavior) for overhead measurements.
 //
 // The paper's Fig. 1 / Fig. 2 linguistic terms ("medium young", "middle
 // age", "high", …) are predefined; DEFINE TERM adds or overrides terms.
@@ -45,6 +50,7 @@ func main() {
 		script = flag.String("f", "", "run this Fuzzy SQL script instead of the interactive shell")
 		dir    = flag.String("dir", "", "database directory (default: a fresh temporary directory)")
 		pages  = flag.Int("buffer", 256, "buffer pool size in 8 KiB pages (default: the paper's 2 MB)")
+		noWAL  = flag.Bool("no-wal", false, "disable the write-ahead log (no crash safety; ablation switch)")
 	)
 	flag.Parse()
 
@@ -57,10 +63,11 @@ func main() {
 		defer os.RemoveAll(d)
 		dbdir = d
 	}
-	sess, err := core.OpenSession(dbdir, *pages)
+	sess, err := core.OpenSessionOptions(dbdir, core.SessionOptions{BufferPages: *pages, NoWAL: *noWAL})
 	if err != nil {
 		fatal(err)
 	}
+	defer sess.Close()
 	a := &app{sess: sess, out: os.Stdout}
 
 	if *script != "" {

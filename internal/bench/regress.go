@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Regression is one run of the comparison grid whose cold wall time grew
+// past the allowed ratio over the committed baseline.
+type Regression struct {
+	Experiment string
+	Engine     string
+	Workers    int
+	Baseline   int64 // baseline cold wall, nanoseconds
+	Current    int64 // current cold wall, nanoseconds
+	Ratio      float64
+}
+
+// String renders the regression for CI logs.
+func (r Regression) String() string {
+	return fmt.Sprintf("%s %s workers=%d: cold wall %.2fms -> %.2fms (%.2fx)",
+		r.Experiment, r.Engine, r.Workers,
+		float64(r.Baseline)/1e6, float64(r.Current)/1e6, r.Ratio)
+}
+
+// LoadBaseline reads a committed BenchReport (BENCH_N.json).
+func LoadBaseline(path string) (*BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("bench: baseline: %w", err)
+	}
+	var rep BenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("bench: baseline %s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// FindRegressions compares current against baseline run by run (matched on
+// experiment name, engine, and worker count) and returns every run whose
+// cold wall time exceeds baseline*maxRatio. Runs present on only one side
+// are skipped — the grids may legitimately differ across revisions — but a
+// differing answer cardinality on a matched run is a hard error: that is a
+// correctness change masquerading as a performance number.
+func FindRegressions(baseline, current *BenchReport, maxRatio float64) ([]Regression, error) {
+	if maxRatio <= 1 {
+		return nil, fmt.Errorf("bench: max ratio %g must exceed 1", maxRatio)
+	}
+	if baseline.ScaleDiv != current.ScaleDiv || baseline.Seed != current.Seed {
+		return nil, fmt.Errorf("bench: baseline (scalediv %d, seed %d) and current (scalediv %d, seed %d) measure different workloads",
+			baseline.ScaleDiv, baseline.Seed, current.ScaleDiv, current.Seed)
+	}
+	type key struct {
+		exp, engine string
+		workers     int
+	}
+	base := make(map[key]EngineRun)
+	for _, ex := range baseline.Experiments {
+		for _, run := range ex.Runs {
+			base[key{ex.Name, run.Engine, run.Workers}] = run
+		}
+	}
+	var regs []Regression
+	for _, ex := range current.Experiments {
+		for _, run := range ex.Runs {
+			b, ok := base[key{ex.Name, run.Engine, run.Workers}]
+			if !ok {
+				continue
+			}
+			if b.Answer != run.Answer {
+				return nil, fmt.Errorf("bench: %s %s workers=%d: answer changed from %d to %d rows",
+					ex.Name, run.Engine, run.Workers, b.Answer, run.Answer)
+			}
+			if b.ColdWallNanos <= 0 {
+				continue
+			}
+			ratio := float64(run.ColdWallNanos) / float64(b.ColdWallNanos)
+			if ratio > maxRatio {
+				regs = append(regs, Regression{
+					Experiment: ex.Name,
+					Engine:     run.Engine,
+					Workers:    run.Workers,
+					Baseline:   b.ColdWallNanos,
+					Current:    run.ColdWallNanos,
+					Ratio:      ratio,
+				})
+			}
+		}
+	}
+	return regs, nil
+}

@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func regressReport(cold int64, answer int) *BenchReport {
+	return &BenchReport{
+		ScaleDiv: 8,
+		Seed:     1,
+		Experiments: []ExperimentRuns{{
+			Name: "table1",
+			Runs: []EngineRun{
+				{Engine: "batch", Workers: 1, ColdWallNanos: cold, Answer: answer},
+				{Engine: "tuple", Workers: 4, ColdWallNanos: 2 * cold, Answer: answer},
+			},
+		}},
+	}
+}
+
+func TestFindRegressions(t *testing.T) {
+	base := regressReport(1_000_000, 100)
+
+	// Within threshold: no findings.
+	regs, err := FindRegressions(base, regressReport(1_200_000, 100), 1.25)
+	if err != nil || len(regs) != 0 {
+		t.Errorf("within threshold: regs=%v err=%v", regs, err)
+	}
+	// Past threshold: both matched runs regress.
+	regs, err = FindRegressions(base, regressReport(1_300_000, 100), 1.25)
+	if err != nil || len(regs) != 2 {
+		t.Fatalf("past threshold: regs=%v err=%v", regs, err)
+	}
+	if regs[0].Experiment != "table1" || regs[0].Ratio < 1.29 || regs[0].Ratio > 1.31 {
+		t.Errorf("regression = %+v", regs[0])
+	}
+	if !strings.Contains(regs[0].String(), "table1 batch workers=1") {
+		t.Errorf("String = %q", regs[0].String())
+	}
+	// A changed answer cardinality is a hard error, not a slowdown.
+	if _, err := FindRegressions(base, regressReport(1_000_000, 99), 1.25); err == nil {
+		t.Errorf("changed answer: want error")
+	}
+	// Mismatched workloads cannot be compared.
+	cur := regressReport(1_000_000, 100)
+	cur.ScaleDiv = 16
+	if _, err := FindRegressions(base, cur, 1.25); err == nil {
+		t.Errorf("mismatched scalediv: want error")
+	}
+	if _, err := FindRegressions(base, base, 1.0); err == nil {
+		t.Errorf("ratio <= 1: want error")
+	}
+	// Runs missing on either side are skipped silently.
+	cur = regressReport(5_000_000, 100)
+	cur.Experiments[0].Runs = cur.Experiments[0].Runs[:1]
+	cur.Experiments[0].Runs[0].Engine = "other"
+	regs, err = FindRegressions(base, cur, 1.25)
+	if err != nil || len(regs) != 0 {
+		t.Errorf("unmatched runs: regs=%v err=%v", regs, err)
+	}
+}
+
+func TestLoadBaseline(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	if err := os.WriteFile(path, []byte(`{"scalediv":8,"seed":1,"experiments":[{"name":"table1","runs":[{"engine":"batch","workers":1,"cold_wall_ns":5,"answer_rows":2}]}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ScaleDiv != 8 || len(rep.Experiments) != 1 || rep.Experiments[0].Runs[0].Answer != 2 {
+		t.Errorf("loaded %+v", rep)
+	}
+	if _, err := LoadBaseline(filepath.Join(dir, "absent.json")); err == nil {
+		t.Errorf("missing file: want error")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("{"), 0o644)
+	if _, err := LoadBaseline(bad); err == nil {
+		t.Errorf("bad json: want error")
+	}
+	// The committed baseline at the repository root stays loadable.
+	rep, err = LoadBaseline("../../BENCH_3.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Experiments) == 0 || rep.Experiments[0].Name != "table1" {
+		t.Errorf("committed baseline: %+v", rep)
+	}
+}

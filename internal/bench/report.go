@@ -64,9 +64,34 @@ var reportWorkloads = []struct {
 // Report measures every report workload under both engines at 1 and 4
 // workers and returns the combined comparison.
 func (c Config) Report() (*BenchReport, error) {
+	return c.ReportFor()
+}
+
+// ReportFor is Report restricted to the named experiments (for the CI
+// regression smoke, which measures only the cheap ones); no names means
+// all of them. Unknown names are an error.
+func (c Config) ReportFor(names ...string) (*BenchReport, error) {
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		want[n] = true
+	}
+	for n := range want {
+		known := false
+		for _, w := range reportWorkloads {
+			if w.name == n {
+				known = true
+			}
+		}
+		if !known {
+			return nil, fmt.Errorf("bench: unknown experiment %q", n)
+		}
+	}
 	cfg := c.withDefaults()
 	rep := &BenchReport{Query: TypeJQuery, ScaleDiv: cfg.ScaleDiv, Seed: cfg.Seed}
 	for _, w := range reportWorkloads {
+		if len(want) > 0 && !want[w.name] {
+			continue
+		}
 		ex := ExperimentRuns{
 			Name:       w.name,
 			Outer:      cfg.scale(w.outerPaper),

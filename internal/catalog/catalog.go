@@ -63,6 +63,9 @@ func (c *Catalog) Relation(name string) (*storage.HeapFile, error) {
 
 // ReplaceRelationContents rewrites a relation's heap file to contain
 // exactly the given tuples (used by DELETE). The schema is unchanged.
+// Under the write-ahead log the swap is crash-safe: the replacement is
+// built in an unlogged temporary heap and renamed over the original, so a
+// crash leaves either the old contents or the new ones, never a mixture.
 func (c *Catalog) ReplaceRelationContents(name string, tuples []frel.Tuple) error {
 	key := relKey(name)
 	h, ok := c.relations[key]
@@ -70,26 +73,82 @@ func (c *Catalog) ReplaceRelationContents(name string, tuples []frel.Tuple) erro
 		return fmt.Errorf("catalog: unknown relation %q", name)
 	}
 	schema := h.Schema
-	if err := h.Drop(); err != nil {
+	if !c.mgr.WALEnabled() {
+		if err := h.Drop(); err != nil {
+			return err
+		}
+		nh, err := c.mgr.CreateHeap(strings.ToLower(key), schema)
+		if err != nil {
+			return err
+		}
+		for _, t := range tuples {
+			if err := nh.Append(t); err != nil {
+				return err
+			}
+		}
+		if err := nh.Flush(); err != nil {
+			return err
+		}
+		c.relations[key] = nh
+		return nil
+	}
+	// Checkpoint first: afterwards the log holds no append records for the
+	// relation, so recovery will take whichever file the rename left behind
+	// as-is instead of replaying old appends onto the new contents.
+	if err := c.mgr.Checkpoint(); err != nil {
 		return err
 	}
-	nh, err := c.mgr.CreateHeap(strings.ToLower(key), schema)
+	tmp, err := c.mgr.CreateTemp(schema)
 	if err != nil {
 		return err
 	}
 	for _, t := range tuples {
-		if err := nh.Append(t); err != nil {
+		if err := tmp.Append(t); err != nil {
 			return err
 		}
 	}
-	if err := nh.Flush(); err != nil {
+	if err := tmp.Flush(); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	// Both files' pool frames are clean now (checkpoint / explicit flush);
+	// forget them and swap the files on disk.
+	if err := c.mgr.Pool().DropPager(h.Pager()); err != nil {
+		return err
+	}
+	if err := h.Pager().Close(); err != nil {
+		return err
+	}
+	if err := c.mgr.Pool().DropPager(tmp.Pager()); err != nil {
+		return err
+	}
+	tmpPath := tmp.Pager().Path()
+	if err := tmp.Pager().Close(); err != nil {
+		return err
+	}
+	fs := c.mgr.FS()
+	base := strings.ToLower(key)
+	if err := fs.Rename(tmpPath, c.mgr.HeapPath(base)); err != nil {
+		return err
+	}
+	if err := fs.SyncDir(c.mgr.Dir()); err != nil {
+		return err
+	}
+	nh, err := c.mgr.OpenHeap(base, schema)
+	if err != nil {
 		return err
 	}
 	c.relations[key] = nh
-	return nil
+	// Record the new geometry as the checkpoint base.
+	return c.mgr.Checkpoint()
 }
 
-// DropRelation removes a relation and deletes its heap file.
+// DropRelation removes a relation and deletes its heap file. Under the
+// write-ahead log the catalog is saved without the relation before the
+// file disappears, so a crash between the two leaves at worst an orphaned
+// heap file, never a catalog entry pointing at nothing.
 func (c *Catalog) DropRelation(name string) error {
 	key := relKey(name)
 	h, ok := c.relations[key]
@@ -97,6 +156,11 @@ func (c *Catalog) DropRelation(name string) error {
 		return fmt.Errorf("catalog: unknown relation %q", name)
 	}
 	delete(c.relations, key)
+	if c.mgr.WALEnabled() {
+		if err := c.Save(); err != nil {
+			return err
+		}
+	}
 	return h.Drop()
 }
 

@@ -61,18 +61,40 @@ func (c *Catalog) Save() error {
 	if err != nil {
 		return fmt.Errorf("catalog: marshal: %w", err)
 	}
+	// Write-then-rename through the manager's file system, fsyncing the
+	// temporary file and the directory: a crash leaves either the old
+	// catalog or the new one, never a torn mixture.
+	fs := c.mgr.FS()
 	path := filepath.Join(c.mgr.Dir(), fileName)
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	f, err := fs.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
 		return fmt.Errorf("catalog: write: %w", err)
 	}
-	return os.Rename(tmp, path)
+	if _, err := f.WriteAt(data, 0); err != nil {
+		f.Close()
+		return fmt.Errorf("catalog: write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("catalog: write: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("catalog: write: %w", err)
+	}
+	if err := fs.Rename(tmp, path); err != nil {
+		return fmt.Errorf("catalog: write: %w", err)
+	}
+	if err := fs.SyncDir(c.mgr.Dir()); err != nil {
+		return fmt.Errorf("catalog: write: %w", err)
+	}
+	return nil
 }
 
 // Open restores the catalog saved in the manager's directory. If no
 // catalog file exists, it returns a fresh empty catalog and fresh = true.
 func Open(mgr *storage.Manager) (c *Catalog, fresh bool, err error) {
-	data, err := os.ReadFile(filepath.Join(mgr.Dir(), fileName))
+	data, err := readFileFS(mgr.FS(), filepath.Join(mgr.Dir(), fileName))
 	if os.IsNotExist(err) {
 		return New(mgr), true, nil
 	}
@@ -112,4 +134,24 @@ func Open(mgr *storage.Manager) (c *Catalog, fresh bool, err error) {
 		c.relations[relKey(meta.Name)] = h
 	}
 	return c, false, nil
+}
+
+// readFileFS reads the whole file at path through fs.
+func readFileFS(fs storage.FS, path string) ([]byte, error) {
+	f, err := fs.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil {
+		return nil, err
+	}
+	data := make([]byte, size)
+	if size > 0 {
+		if n, err := f.ReadAt(data, 0); int64(n) < size {
+			return nil, err
+		}
+	}
+	return data, nil
 }

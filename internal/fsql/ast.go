@@ -302,6 +302,15 @@ func (*DropTable) stmt() {}
 // String renders the statement.
 func (d *DropTable) String() string { return "DROP TABLE " + d.Name }
 
+// Checkpoint is a CHECKPOINT statement: flush all relations to their heap
+// files and truncate the write-ahead log.
+type Checkpoint struct{}
+
+func (*Checkpoint) stmt() {}
+
+// String renders the statement.
+func (*Checkpoint) String() string { return "CHECKPOINT" }
+
 // Insert is an INSERT statement. Values are literal operands (references
 // are not allowed); string literals inserted into numeric attributes are
 // resolved via the linguistic-term dictionary at execution time. Degree is

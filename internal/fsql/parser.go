@@ -204,6 +204,11 @@ func (p *parser) parseStatement() (Statement, error) {
 		return p.parseDelete()
 	case p.kw("DEFINE"):
 		return p.parseDefineTerm()
+	case p.kw("CHECKPOINT"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &Checkpoint{}, nil
 	default:
 		return nil, fmt.Errorf("fsql: expected a statement, got %s", p.tok)
 	}

@@ -570,3 +570,30 @@ func TestParseDelete(t *testing.T) {
 		t.Errorf("missing FROM: want error")
 	}
 }
+
+func TestParseCheckpoint(t *testing.T) {
+	st, err := ParseStatement(`CHECKPOINT`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.(*Checkpoint); !ok {
+		t.Fatalf("parsed %T, want *Checkpoint", st)
+	}
+	if st.String() != "CHECKPOINT" {
+		t.Errorf("String = %q", st.String())
+	}
+	// Round trip and script form.
+	stmts, err := ParseScript(`INSERT INTO R VALUES (1); CHECKPOINT; CHECKPOINT;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 3 {
+		t.Fatalf("script parsed to %d statements", len(stmts))
+	}
+	if _, ok := stmts[1].(*Checkpoint); !ok {
+		t.Errorf("statement 1 = %T", stmts[1])
+	}
+	if _, err := ParseStatement(`CHECKPOINT NOW`); err == nil {
+		t.Errorf("trailing tokens: want error")
+	}
+}

@@ -18,12 +18,13 @@ type frameKey struct {
 // merge-join relies on when it keeps the pages of the current Rng(r) in
 // memory (Section 3 of the paper).
 type Frame struct {
-	pager *Pager
-	ID    PageID
-	Data  []byte
-	pins  int
-	dirty bool
-	elem  *list.Element // position in the LRU list when unpinned
+	pager   *Pager
+	ID      PageID
+	Data    []byte
+	pins    int
+	dirty   bool
+	nosteal bool          // holds uncommitted data; must not be written out
+	elem    *list.Element // position in the LRU list when unpinned
 }
 
 // BufferPool caches up to capacity pages across any number of pagers, with
@@ -44,6 +45,12 @@ type BufferPool struct {
 	frames   map[frameKey]*Frame
 	lru      *list.List // of *Frame, least recently used in front
 	stats    *Stats
+
+	// release, when set, is called (with mu held) if every evictable frame
+	// is no-steal: it must make the covering WAL records durable, after
+	// which makeRoom clears the no-steal marks and retries. It must not
+	// touch the pool.
+	release func() error
 }
 
 // NewBufferPool creates a pool with the given page capacity (minimum 1).
@@ -148,17 +155,65 @@ func (bp *BufferPool) admit(p *Pager, id PageID) (*Frame, error) {
 }
 
 func (bp *BufferPool) makeRoom() error {
+	released := false
 	for len(bp.frames) >= bp.capacity {
-		e := bp.lru.Front()
-		if e == nil {
-			return fmt.Errorf("storage: buffer pool exhausted: all %d frames pinned", len(bp.frames))
+		var victim *Frame
+		for e := bp.lru.Front(); e != nil; e = e.Next() {
+			if f := e.Value.(*Frame); !f.nosteal {
+				victim = f
+				break
+			}
 		}
-		victim := e.Value.(*Frame)
+		if victim == nil {
+			if bp.lru.Len() == 0 {
+				return fmt.Errorf("storage: buffer pool exhausted: all %d frames pinned", len(bp.frames))
+			}
+			// Every unpinned frame holds uncommitted data. Force the WAL
+			// out so writing them respects the WAL-ahead invariant, then
+			// steal normally.
+			if bp.release == nil || released {
+				return fmt.Errorf("storage: buffer pool exhausted: all unpinned frames are no-steal")
+			}
+			if err := bp.release(); err != nil {
+				return err
+			}
+			for _, f := range bp.frames {
+				f.nosteal = false
+			}
+			released = true
+			continue
+		}
 		if err := bp.evict(victim); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// SetRelease installs the callback makeRoom invokes when pool pressure
+// requires writing no-steal frames; see the field comment.
+func (bp *BufferPool) SetRelease(fn func() error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.release = fn
+}
+
+// MarkNoSteal flags f (which the caller holds pinned) as carrying
+// uncommitted data: it is skipped by eviction until ClearNoSteal.
+func (bp *BufferPool) MarkNoSteal(f *Frame) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	f.nosteal = true
+}
+
+// ClearNoSteal drops every no-steal mark; called once the WAL records
+// covering the marked frames are durable (commit or checkpoint).
+func (bp *BufferPool) ClearNoSteal() {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for _, f := range bp.frames {
+		f.nosteal = false
+	}
 }
 
 func (bp *BufferPool) evict(f *Frame) error {

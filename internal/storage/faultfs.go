@@ -1,0 +1,268 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// ErrInjectedFault is the error every FaultFS operation returns once the
+// configured fault has fired: the simulated process is dead and no further
+// I/O reaches the disk.
+var ErrInjectedFault = errors.New("storage: injected I/O fault (simulated crash)")
+
+// FaultMode selects what happens to the write the fault fires on.
+type FaultMode int
+
+// The fault matrix. Every mode leaves the file system "crashed": all
+// subsequent operations fail with ErrInjectedFault.
+const (
+	// FaultStop kills I/O just before the target operation: nothing of it
+	// reaches the disk (a clean power cut at an operation boundary).
+	FaultStop FaultMode = iota
+	// FaultTorn performs only a prefix of the target write (a torn page or
+	// torn log record: power was lost mid-write).
+	FaultTorn
+	// FaultFlip corrupts one bit of the target write's payload before
+	// performing it in full (media corruption on the last write).
+	FaultFlip
+	// FaultDrop silently drops the target write — it reports success but
+	// never reaches the disk — and crashes at the next Sync, modelling a
+	// buffered write lost before the process could flush it.
+	FaultDrop
+)
+
+// String names the mode.
+func (m FaultMode) String() string {
+	switch m {
+	case FaultStop:
+		return "stop"
+	case FaultTorn:
+		return "torn"
+	case FaultFlip:
+		return "flip"
+	case FaultDrop:
+		return "drop"
+	default:
+		return fmt.Sprintf("FaultMode(%d)", int(m))
+	}
+}
+
+// FaultModes lists the whole fault matrix, for tests that sweep it.
+var FaultModes = []FaultMode{FaultStop, FaultTorn, FaultFlip, FaultDrop}
+
+// FaultFS wraps an FS and injects one deterministic fault at the Nth
+// mutating operation (writes, syncs, truncates, renames, removes), then
+// fails everything after it. With Target 0 it is transparent and only
+// counts, which is how tests enumerate the injection points of a workload:
+// run once clean, read Ops(), then rerun once per n in [1, Ops()].
+type FaultFS struct {
+	base   FS
+	mode   FaultMode
+	target int64 // fault fires on the target-th mutating op; 0 = disabled
+	seed   int64 // determinizes the torn prefix length / flipped bit
+
+	mu      sync.Mutex
+	ops     int64
+	crashed bool
+	dropped bool // a FaultDrop fired; crash at the next Sync
+}
+
+// NewFaultFS builds a fault-injecting FS over base. The fault fires on the
+// target-th mutating operation (1-based); target 0 disables injection.
+func NewFaultFS(base FS, mode FaultMode, target, seed int64) *FaultFS {
+	return &FaultFS{base: base, mode: mode, target: target, seed: seed}
+}
+
+// Ops returns the number of mutating operations observed so far.
+func (ffs *FaultFS) Ops() int64 {
+	ffs.mu.Lock()
+	defer ffs.mu.Unlock()
+	return ffs.ops
+}
+
+// Crashed reports whether the fault has fired.
+func (ffs *FaultFS) Crashed() bool {
+	ffs.mu.Lock()
+	defer ffs.mu.Unlock()
+	return ffs.crashed
+}
+
+// step counts one mutating operation and reports whether the fault fires
+// on it. It must be called with mu held.
+func (ffs *FaultFS) step() (fire bool) {
+	ffs.ops++
+	return ffs.target > 0 && ffs.ops == ffs.target
+}
+
+// faultWrite decides the fate of a write of p. It returns the bytes to
+// actually write (nil for none) and the error to report.
+func (ffs *FaultFS) faultWrite(p []byte) (write []byte, err error) {
+	switch ffs.mode {
+	case FaultTorn:
+		n := 0
+		if len(p) > 0 {
+			// Deterministic torn point, never the full write.
+			n = int((ffs.seed*2654435761 + ffs.ops*40503) % int64(len(p)))
+			if n < 0 {
+				n = -n
+			}
+		}
+		ffs.crashed = true
+		return p[:n], ErrInjectedFault
+	case FaultFlip:
+		q := append([]byte(nil), p...)
+		if len(q) > 0 {
+			bit := (ffs.seed*31 + ffs.ops*7) % int64(len(q)*8)
+			if bit < 0 {
+				bit = -bit
+			}
+			q[bit/8] ^= 1 << (bit % 8)
+		}
+		ffs.crashed = true
+		return q, ErrInjectedFault
+	case FaultDrop:
+		ffs.dropped = true
+		return nil, nil // reported as success
+	default: // FaultStop
+		ffs.crashed = true
+		return nil, ErrInjectedFault
+	}
+}
+
+// faultFile wraps every file handed out so writes and syncs are observed.
+type faultFile struct {
+	ffs *FaultFS
+	f   File
+}
+
+// OpenFile opens path; once crashed it fails like everything else.
+func (ffs *FaultFS) OpenFile(path string, flag int, perm os.FileMode) (File, error) {
+	ffs.mu.Lock()
+	crashed := ffs.crashed
+	ffs.mu.Unlock()
+	if crashed {
+		return nil, ErrInjectedFault
+	}
+	f, err := ffs.base.OpenFile(path, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{ffs: ffs, f: f}, nil
+}
+
+// mutate runs a non-write mutating operation (sync, truncate, rename,
+// remove) under the fault discipline: these have no partial outcome, so a
+// firing fault behaves like FaultStop regardless of mode.
+func (ffs *FaultFS) mutate(op func() error) error {
+	ffs.mu.Lock()
+	if ffs.crashed {
+		ffs.mu.Unlock()
+		return ErrInjectedFault
+	}
+	if ffs.step() {
+		ffs.crashed = true
+		ffs.mu.Unlock()
+		return ErrInjectedFault
+	}
+	ffs.mu.Unlock()
+	return op()
+}
+
+// ReadDir lists dir; reads never advance the fault counter.
+func (ffs *FaultFS) ReadDir(dir string) ([]string, error) {
+	ffs.mu.Lock()
+	crashed := ffs.crashed
+	ffs.mu.Unlock()
+	if crashed {
+		return nil, ErrInjectedFault
+	}
+	return ffs.base.ReadDir(dir)
+}
+
+// Remove deletes path unless the fault fires first.
+func (ffs *FaultFS) Remove(path string) error {
+	return ffs.mutate(func() error { return ffs.base.Remove(path) })
+}
+
+// Rename renames oldpath unless the fault fires first.
+func (ffs *FaultFS) Rename(oldpath, newpath string) error {
+	return ffs.mutate(func() error { return ffs.base.Rename(oldpath, newpath) })
+}
+
+// SyncDir syncs dir unless the fault fires first.
+func (ffs *FaultFS) SyncDir(dir string) error {
+	return ffs.mutate(func() error { return ffs.base.SyncDir(dir) })
+}
+
+func (ff *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	ff.ffs.mu.Lock()
+	crashed := ff.ffs.crashed
+	ff.ffs.mu.Unlock()
+	if crashed {
+		return 0, ErrInjectedFault
+	}
+	return ff.f.ReadAt(p, off)
+}
+
+func (ff *faultFile) WriteAt(p []byte, off int64) (int, error) {
+	ffs := ff.ffs
+	ffs.mu.Lock()
+	if ffs.crashed {
+		ffs.mu.Unlock()
+		return 0, ErrInjectedFault
+	}
+	if ffs.step() {
+		write, err := ffs.faultWrite(p)
+		ffs.mu.Unlock()
+		if len(write) > 0 {
+			ff.f.WriteAt(write, off) //nolint:errcheck // the injected fault dominates
+		}
+		if err != nil {
+			return 0, err
+		}
+		return len(p), nil // FaultDrop: claim success
+	}
+	ffs.mu.Unlock()
+	return ff.f.WriteAt(p, off)
+}
+
+func (ff *faultFile) Size() (int64, error) {
+	ff.ffs.mu.Lock()
+	crashed := ff.ffs.crashed
+	ff.ffs.mu.Unlock()
+	if crashed {
+		return 0, ErrInjectedFault
+	}
+	return ff.f.Size()
+}
+
+func (ff *faultFile) Truncate(size int64) error {
+	return ff.ffs.mutate(func() error { return ff.f.Truncate(size) })
+}
+
+func (ff *faultFile) Sync() error {
+	ffs := ff.ffs
+	ffs.mu.Lock()
+	if ffs.crashed {
+		ffs.mu.Unlock()
+		return ErrInjectedFault
+	}
+	if ffs.dropped {
+		// A dropped write can only stay hidden until the next flush: the
+		// simulated process dies here, before the sync completes.
+		ffs.crashed = true
+		ffs.mu.Unlock()
+		return ErrInjectedFault
+	}
+	if ffs.step() {
+		ffs.crashed = true
+		ffs.mu.Unlock()
+		return ErrInjectedFault
+	}
+	ffs.mu.Unlock()
+	return ff.f.Sync()
+}
+
+func (ff *faultFile) Close() error { return ff.f.Close() }

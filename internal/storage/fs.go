@@ -1,0 +1,92 @@
+package storage
+
+import (
+	"io"
+	"os"
+)
+
+// File is the subset of *os.File the storage engine performs I/O through.
+// Pagers and the write-ahead log address files by absolute offsets only, so
+// positional reads and writes plus truncation and durability are enough.
+type File interface {
+	io.ReaderAt
+	io.WriterAt
+	// Size returns the current length of the file in bytes.
+	Size() (int64, error)
+	// Truncate changes the length of the file.
+	Truncate(size int64) error
+	// Sync flushes the file's contents to stable storage.
+	Sync() error
+	Close() error
+}
+
+// FS abstracts the file operations of the storage engine so tests can
+// interpose fault injection (see FaultFS). The zero-cost default is OsFS.
+type FS interface {
+	// OpenFile opens path with os.OpenFile semantics.
+	OpenFile(path string, flag int, perm os.FileMode) (File, error)
+	// ReadDir returns the names (not paths) of the entries of dir.
+	ReadDir(dir string) ([]string, error)
+	// Remove deletes path.
+	Remove(path string) error
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// SyncDir flushes the directory entry metadata of dir (needed after
+	// Rename for the new name to survive a crash).
+	SyncDir(dir string) error
+}
+
+// OsFS is the real file system.
+type OsFS struct{}
+
+type osFile struct{ *os.File }
+
+func (f osFile) Size() (int64, error) {
+	info, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return info.Size(), nil
+}
+
+// OpenFile opens path on the real file system.
+func (OsFS) OpenFile(path string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(path, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+// ReadDir lists the entry names of dir.
+func (OsFS) ReadDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(entries))
+	for i, e := range entries {
+		names[i] = e.Name()
+	}
+	return names, nil
+}
+
+// Remove deletes path.
+func (OsFS) Remove(path string) error { return os.Remove(path) }
+
+// Rename atomically replaces newpath with oldpath.
+func (OsFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// SyncDir fsyncs the directory dir.
+func (OsFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}

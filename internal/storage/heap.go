@@ -4,7 +4,10 @@ import (
 	"encoding/binary"
 	"fmt"
 	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/frel"
 )
@@ -30,6 +33,13 @@ type HeapFile struct {
 	Schema *frel.Schema
 	pager  *Pager
 	pool   *BufferPool
+
+	// mgr and logName are set when the file is covered by the manager's
+	// write-ahead log; appends are then logged before they touch pages and
+	// the touched frames are pinned no-steal until commit. Temporary heaps
+	// stay unlogged (logName empty).
+	mgr     *Manager
+	logName string
 
 	numPages  int64
 	numTuples int64
@@ -129,7 +139,10 @@ func (h *HeapFile) Bytes() int64 { return h.numPages * PageSize }
 // Pager returns the backing pager.
 func (h *HeapFile) Pager() *Pager { return h.pager }
 
-// Append serializes t and appends it to the file.
+// Append serializes t and appends it to the file. On a logged heap the
+// tuple bytes go to the write-ahead log first (inside the open transaction,
+// or an autocommitted one) and the touched pages stay no-steal until the
+// covering commit is durable.
 func (h *HeapFile) Append(t frel.Tuple) error {
 	var err error
 	h.buf, err = frel.AppendTuple(h.buf[:0], h.Schema, t)
@@ -140,6 +153,21 @@ func (h *HeapFile) Append(t frel.Tuple) error {
 	if len(rec) > MaxRecordSize {
 		return fmt.Errorf("storage: tuple of %d bytes exceeds max record size %d", len(rec), MaxRecordSize)
 	}
+	logged := h.logName != ""
+	var auto *Tx
+	if logged {
+		tx := h.mgr.tx
+		if tx == nil {
+			if tx, err = h.mgr.Begin(); err != nil {
+				return err
+			}
+			auto = tx
+		}
+		if err := h.mgr.wal.Append(tx.id, h.logName, h.numTuples, rec); err != nil {
+			tx.abandon()
+			return err
+		}
+	}
 	need := recHeader + len(rec)
 	if h.lastPage < 0 || h.lastUsed+need > PageSize {
 		f, err := h.pool.NewPage(h.pager)
@@ -149,6 +177,9 @@ func (h *HeapFile) Append(t frel.Tuple) error {
 		h.lastPage = f.ID
 		h.lastUsed = pageHeader
 		h.numPages++
+		if logged {
+			h.pool.MarkNoSteal(f)
+		}
 		h.pool.Unpin(f, true)
 	}
 	f, err := h.pool.Get(h.pager, h.lastPage)
@@ -166,27 +197,67 @@ func (h *HeapFile) Append(t frel.Tuple) error {
 		h.statsVersion = h.version + 1
 	}
 	h.version++
+	if logged {
+		h.pool.MarkNoSteal(f)
+	}
 	h.pool.Unpin(f, true)
-	return nil
-}
-
-// AppendAll appends every tuple of an in-memory relation.
-func (h *HeapFile) AppendAll(r *frel.Relation) error {
-	for _, t := range r.Tuples {
-		if err := h.Append(t); err != nil {
-			return err
-		}
+	if auto != nil {
+		return auto.Commit()
 	}
 	return nil
 }
 
-// Flush writes any buffered dirty pages of this file to disk.
+// AppendAll appends every tuple of an in-memory relation, as one
+// transaction on a logged heap (one fsync for the whole batch).
+func (h *HeapFile) AppendAll(r *frel.Relation) error {
+	var auto *Tx
+	if h.logName != "" && h.mgr.tx == nil {
+		tx, err := h.mgr.Begin()
+		if err != nil {
+			return err
+		}
+		auto = tx
+	}
+	for _, t := range r.Tuples {
+		if err := h.Append(t); err != nil {
+			if auto != nil {
+				auto.abandon()
+			}
+			return err
+		}
+	}
+	if auto != nil {
+		return auto.Commit()
+	}
+	return nil
+}
+
+// Flush writes any buffered dirty pages of this file to disk, forcing the
+// write-ahead log first on a logged heap so no page overtakes its records.
 func (h *HeapFile) Flush() error {
+	if h.logName != "" {
+		if err := h.mgr.wal.Sync(); err != nil {
+			return err
+		}
+		h.pool.ClearNoSteal()
+	}
 	return h.pool.FlushAll()
 }
 
-// Drop flushes the pool's view of the file and deletes it.
+// Sync flushes the backing file to stable storage.
+func (h *HeapFile) Sync() error { return h.pager.Sync() }
+
+// Drop flushes the pool's view of the file and deletes it. A logged heap
+// is first unregistered and checkpointed away, so that after the file is
+// gone no log record or checkpoint base references it.
 func (h *HeapFile) Drop() error {
+	if h.logName != "" {
+		h.mgr.unregister(h.logName)
+		h.logName = ""
+		if err := h.mgr.Checkpoint(); err != nil {
+			return err
+		}
+	}
 	if err := h.pool.DropPager(h.pager); err != nil {
 		return err
 	}
@@ -293,21 +364,76 @@ func (h *HeapFile) ReadAll() (*frel.Relation, error) {
 }
 
 // Manager creates heap files inside one directory, sharing a buffer pool
-// and I/O statistics. It is the storage root of a database session.
+// and I/O statistics. It is the storage root of a database session. With
+// the write-ahead log enabled (ManagerOptions.WAL), opening the manager
+// replays any log left by a crash, every non-temporary heap is logged, and
+// Checkpoint/Begin become meaningful.
 type Manager struct {
 	dir   string
+	fs    FS
 	pool  *BufferPool
 	stats *Stats
+	wal   *WAL
 
-	mu  sync.Mutex // guards seq against concurrent CreateTemp calls
-	seq int
+	mu    sync.Mutex // guards seq and heaps
+	seq   int
+	heaps map[string]*HeapFile // logged heaps by log name
+
+	tx *Tx // the open transaction, if any (sessions are single-threaded)
+}
+
+// ManagerOptions configures NewManagerOptions.
+type ManagerOptions struct {
+	// PoolPages is the buffer pool capacity in pages.
+	PoolPages int
+	// FS overrides the file system (default: the real one). Tests inject
+	// FaultFS or MemFS here.
+	FS FS
+	// WAL enables write-ahead logging: recovery on open, logged appends,
+	// and durable commits.
+	WAL bool
+	// GroupCommitWindow is how long a commit waits for other transactions
+	// to share its fsync; 0 syncs immediately.
+	GroupCommitWindow time.Duration
 }
 
 // NewManager creates a manager over dir with a buffer pool of the given
-// page capacity. dir must exist.
+// page capacity and no write-ahead log. dir must exist.
 func NewManager(dir string, poolPages int) *Manager {
+	m, err := NewManagerOptions(dir, ManagerOptions{PoolPages: poolPages})
+	if err != nil {
+		// Unreachable: without WAL there is no fallible setup work.
+		panic(err)
+	}
+	return m
+}
+
+// NewManagerOptions creates a manager over dir. With opts.WAL it first
+// recovers the directory from any existing log (redoing committed work,
+// discarding the rest) and starts a fresh log checkpointed at the
+// recovered state.
+func NewManagerOptions(dir string, opts ManagerOptions) (*Manager, error) {
+	fs := opts.FS
+	if fs == nil {
+		fs = OsFS{}
+	}
 	stats := &Stats{}
-	return &Manager{dir: dir, pool: NewBufferPool(poolPages, stats), stats: stats}
+	m := &Manager{
+		dir:   dir,
+		fs:    fs,
+		pool:  NewBufferPool(opts.PoolPages, stats),
+		stats: stats,
+		heaps: make(map[string]*HeapFile),
+	}
+	if opts.WAL {
+		w, err := openWAL(fs, dir, opts.GroupCommitWindow)
+		if err != nil {
+			return nil, err
+		}
+		m.wal = w
+		m.pool.SetRelease(w.Sync)
+	}
+	return m, nil
 }
 
 // Pool returns the shared buffer pool.
@@ -319,20 +445,53 @@ func (m *Manager) Stats() *Stats { return m.stats }
 // Dir returns the managed directory.
 func (m *Manager) Dir() string { return m.dir }
 
+// FS returns the file system the manager performs I/O through.
+func (m *Manager) FS() FS { return m.fs }
+
+// WALEnabled reports whether the manager write-ahead logs its heaps.
+func (m *Manager) WALEnabled() bool { return m.wal != nil }
+
+// HeapPath returns the path of the heap file that backs (or would back)
+// the relation with the given storage name.
+func (m *Manager) HeapPath(name string) string {
+	return filepath.Join(m.dir, name+".heap")
+}
+
+// register marks h as covered by the write-ahead log, unless logging is
+// off or the heap is temporary.
+func (m *Manager) register(name string, h *HeapFile) {
+	if m.wal == nil || strings.HasPrefix(name, "tmp-") {
+		return
+	}
+	h.mgr = m
+	h.logName = name
+	m.mu.Lock()
+	m.heaps[name] = h
+	m.mu.Unlock()
+}
+
+func (m *Manager) unregister(name string) {
+	m.mu.Lock()
+	delete(m.heaps, name)
+	m.mu.Unlock()
+}
+
 // CreateHeap creates an empty heap file named name.heap in the managed
 // directory.
 func (m *Manager) CreateHeap(name string, schema *frel.Schema) (*HeapFile, error) {
-	p, err := OpenPager(filepath.Join(m.dir, name+".heap"), m.stats)
+	p, err := OpenPagerFS(m.fs, m.HeapPath(name), m.stats)
 	if err != nil {
 		return nil, err
 	}
-	return NewHeapFile(schema, p, m.pool), nil
+	h := NewHeapFile(schema, p, m.pool)
+	m.register(name, h)
+	return h, nil
 }
 
 // OpenHeap reopens an existing heap file named name.heap in the managed
 // directory, recovering its tuple count and append cursor.
 func (m *Manager) OpenHeap(name string, schema *frel.Schema) (*HeapFile, error) {
-	p, err := OpenPagerExisting(filepath.Join(m.dir, name+".heap"), m.stats)
+	p, err := OpenPagerExistingFS(m.fs, m.HeapPath(name), m.stats)
 	if err != nil {
 		return nil, err
 	}
@@ -341,7 +500,150 @@ func (m *Manager) OpenHeap(name string, schema *frel.Schema) (*HeapFile, error) 
 		p.Close()
 		return nil, err
 	}
+	m.register(name, h)
 	return h, nil
+}
+
+// Tx is an open transaction: a group of appends that commits atomically.
+// The engine has no rollback — a transaction that never commits simply
+// does not survive recovery. A Tx from a manager without a WAL is a no-op.
+type Tx struct {
+	m    *Manager
+	id   uint64
+	done bool
+}
+
+// Begin opens a transaction. Only one transaction may be open at a time;
+// appends outside any transaction autocommit individually.
+func (m *Manager) Begin() (*Tx, error) {
+	if m.wal == nil {
+		return &Tx{}, nil
+	}
+	if m.tx != nil {
+		return nil, fmt.Errorf("storage: transaction already open")
+	}
+	id, err := m.wal.Begin()
+	if err != nil {
+		return nil, err
+	}
+	tx := &Tx{m: m, id: id}
+	m.tx = tx
+	return tx, nil
+}
+
+// Commit makes the transaction's appends durable: it logs the commit
+// record, fsyncs the log (sharing the fsync with concurrent commits inside
+// the group-commit window), and releases the no-steal pins.
+func (tx *Tx) Commit() error {
+	if tx.m == nil || tx.done {
+		tx.done = true
+		return nil
+	}
+	tx.done = true
+	tx.m.tx = nil
+	if err := tx.m.wal.Commit(tx.id); err != nil {
+		return err
+	}
+	tx.m.pool.ClearNoSteal()
+	return nil
+}
+
+// abandon closes the transaction without a commit record: recovery will
+// discard its appends. Used on append failure, where the session is not
+// expected to survive.
+func (tx *Tx) abandon() {
+	if tx.m == nil || tx.done {
+		tx.done = true
+		return
+	}
+	tx.done = true
+	tx.m.tx = nil
+}
+
+// Checkpoint makes every relation durable in its heap file and truncates
+// the write-ahead log: log, then pages, then page files, then the new
+// single-checkpoint log swapped in by an atomic rename. No transaction may
+// be open. Without a WAL it is a no-op.
+func (m *Manager) Checkpoint() error {
+	if m.wal == nil {
+		return nil
+	}
+	if m.tx != nil {
+		return fmt.Errorf("storage: checkpoint with open transaction")
+	}
+	if err := m.wal.Sync(); err != nil {
+		return err
+	}
+	if err := m.pool.FlushAll(); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	names := make([]string, 0, len(m.heaps))
+	for n := range m.heaps {
+		names = append(names, n)
+	}
+	m.mu.Unlock()
+	sort.Strings(names)
+	states := make([]heapState, 0, len(names))
+	for _, n := range names {
+		m.mu.Lock()
+		h := m.heaps[n]
+		m.mu.Unlock()
+		if err := h.Sync(); err != nil {
+			return err
+		}
+		st, err := h.state()
+		if err != nil {
+			return err
+		}
+		states = append(states, st)
+	}
+	m.pool.ClearNoSteal()
+	return m.wal.rewrite(states)
+}
+
+// state captures the heap's current durable geometry for a checkpoint
+// record. The caller has flushed and synced the file.
+func (h *HeapFile) state() (heapState, error) {
+	st := heapState{
+		name:      h.logName,
+		numPages:  h.numPages,
+		numTuples: h.numTuples,
+	}
+	if h.numPages > 0 {
+		st.lastUsed = h.lastUsed
+		f, err := h.pool.Get(h.pager, h.lastPage)
+		if err != nil {
+			return heapState{}, err
+		}
+		st.lastPage = append([]byte(nil), f.Data...)
+		h.pool.Unpin(f, false)
+	}
+	return st, nil
+}
+
+// Close releases the manager's file handles: the write-ahead log and every
+// registered heap. It does not checkpoint — the log replays on next open —
+// and must not be used concurrently with other manager calls.
+func (m *Manager) Close() error {
+	var first error
+	m.mu.Lock()
+	heaps := make([]*HeapFile, 0, len(m.heaps))
+	for _, h := range m.heaps {
+		heaps = append(heaps, h)
+	}
+	m.mu.Unlock()
+	for _, h := range heaps {
+		if err := h.pager.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if m.wal != nil {
+		if err := m.wal.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // CreateTemp creates a uniquely named temporary heap file (for sort runs

@@ -59,45 +59,57 @@ func (s *Stats) String() string {
 // using a Pager directly.
 type Pager struct {
 	path  string
-	f     *os.File
+	fs    FS
+	f     File
 	pages int64
 	stats *Stats
 }
 
-// OpenPager creates (or truncates) the file at path and returns an empty
-// pager over it. stats may be shared across pagers; it must not be nil.
+// OpenPager creates (or truncates) the file at path on the real file
+// system and returns an empty pager over it. stats may be shared across
+// pagers; it must not be nil.
 func OpenPager(path string, stats *Stats) (*Pager, error) {
+	return OpenPagerFS(OsFS{}, path, stats)
+}
+
+// OpenPagerFS is OpenPager over an explicit file system.
+func OpenPagerFS(fs FS, path string, stats *Stats) (*Pager, error) {
 	if stats == nil {
 		return nil, fmt.Errorf("storage: OpenPager requires non-nil stats")
 	}
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := fs.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("storage: open pager: %w", err)
 	}
-	return &Pager{path: path, f: f, stats: stats}, nil
+	return &Pager{path: path, fs: fs, f: f, stats: stats}, nil
 }
 
-// OpenPagerExisting opens the file at path without truncating it,
-// recovering the page count from the file size. The file must exist and
-// be page-aligned.
+// OpenPagerExisting opens the file at path on the real file system without
+// truncating it, recovering the page count from the file size. The file
+// must exist and be page-aligned.
 func OpenPagerExisting(path string, stats *Stats) (*Pager, error) {
+	return OpenPagerExistingFS(OsFS{}, path, stats)
+}
+
+// OpenPagerExistingFS is OpenPagerExisting over an explicit file system.
+func OpenPagerExistingFS(fs FS, path string, stats *Stats) (*Pager, error) {
 	if stats == nil {
 		return nil, fmt.Errorf("storage: OpenPagerExisting requires non-nil stats")
 	}
-	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	f, err := fs.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("storage: open existing pager: %w", err)
 	}
-	info, err := f.Stat()
+	size, err := f.Size()
 	if err != nil {
 		f.Close()
 		return nil, fmt.Errorf("storage: stat pager: %w", err)
 	}
-	if info.Size()%PageSize != 0 {
+	if size%PageSize != 0 {
 		f.Close()
-		return nil, fmt.Errorf("storage: file %s is %d bytes, not page aligned", path, info.Size())
+		return nil, fmt.Errorf("storage: file %s is %d bytes, not page aligned", path, size)
 	}
-	return &Pager{path: path, f: f, stats: stats, pages: info.Size() / PageSize}, nil
+	return &Pager{path: path, fs: fs, f: f, stats: stats, pages: size / PageSize}, nil
 }
 
 // NumPages returns the number of allocated pages.
@@ -148,6 +160,14 @@ func (p *Pager) WritePage(id PageID, buf []byte) error {
 	return nil
 }
 
+// Sync flushes the file's contents to stable storage.
+func (p *Pager) Sync() error {
+	if err := p.f.Sync(); err != nil {
+		return fmt.Errorf("storage: sync %s: %w", p.path, err)
+	}
+	return nil
+}
+
 // Close closes the backing file without removing it.
 func (p *Pager) Close() error {
 	if p.f == nil {
@@ -161,7 +181,7 @@ func (p *Pager) Close() error {
 // Remove closes and deletes the backing file.
 func (p *Pager) Remove() error {
 	cerr := p.Close()
-	rerr := os.Remove(p.path)
+	rerr := p.fs.Remove(p.path)
 	if cerr != nil {
 		return cerr
 	}

@@ -32,7 +32,7 @@ func TestOpenPagerExisting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer p2.Close()
+	t.Cleanup(func() { p2.Close() })
 	if p2.NumPages() != 3 {
 		t.Errorf("NumPages = %d, want 3", p2.NumPages())
 	}

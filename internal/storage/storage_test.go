@@ -21,13 +21,26 @@ func newManager(t *testing.T, pages int) *Manager {
 	return NewManager(t.TempDir(), pages)
 }
 
-func TestPagerReadWrite(t *testing.T) {
-	stats := &Stats{}
+// newTestPager opens a pager over a file in a per-test temporary
+// directory, registering cleanup with t.Cleanup so the file cannot leak
+// even when a test (or a simulated crash in the fault-injection tests)
+// bails out before its deferred teardown.
+func newTestPager(t *testing.T, stats *Stats) *Pager {
+	t.Helper()
+	if stats == nil {
+		stats = &Stats{}
+	}
 	p, err := OpenPager(filepath.Join(t.TempDir(), "x.pg"), stats)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer p.Remove()
+	t.Cleanup(func() { p.Remove() })
+	return p
+}
+
+func TestPagerReadWrite(t *testing.T) {
+	stats := &Stats{}
+	p := newTestPager(t, stats)
 	id := p.Allocate()
 	out := make([]byte, PageSize)
 	copy(out, "hello page")
@@ -47,11 +60,7 @@ func TestPagerReadWrite(t *testing.T) {
 }
 
 func TestPagerBoundsAndBufferChecks(t *testing.T) {
-	p, err := OpenPager(filepath.Join(t.TempDir(), "x.pg"), &Stats{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer p.Remove()
+	p := newTestPager(t, nil)
 	buf := make([]byte, PageSize)
 	if err := p.ReadPage(0, buf); err == nil {
 		t.Errorf("read of unallocated page: want error")
@@ -69,11 +78,7 @@ func TestPagerBoundsAndBufferChecks(t *testing.T) {
 }
 
 func TestPagerUnflushedPageReadsZero(t *testing.T) {
-	p, err := OpenPager(filepath.Join(t.TempDir(), "x.pg"), &Stats{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer p.Remove()
+	p := newTestPager(t, nil)
 	id := p.Allocate()
 	buf := make([]byte, PageSize)
 	buf[0] = 0xFF
@@ -87,11 +92,7 @@ func TestPagerUnflushedPageReadsZero(t *testing.T) {
 
 func TestBufferPoolHitAndEvict(t *testing.T) {
 	stats := &Stats{}
-	p, err := OpenPager(filepath.Join(t.TempDir(), "x.pg"), stats)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer p.Remove()
+	p := newTestPager(t, stats)
 	bp := NewBufferPool(2, stats)
 
 	f1, err := bp.NewPage(p)
@@ -142,11 +143,7 @@ func TestBufferPoolHitAndEvict(t *testing.T) {
 }
 
 func TestBufferPoolAllPinned(t *testing.T) {
-	p, err := OpenPager(filepath.Join(t.TempDir(), "x.pg"), &Stats{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer p.Remove()
+	p := newTestPager(t, nil)
 	bp := NewBufferPool(1, nil)
 	f, err := bp.NewPage(p)
 	if err != nil {
@@ -162,11 +159,7 @@ func TestBufferPoolAllPinned(t *testing.T) {
 }
 
 func TestBufferPoolUnpinPanicsWhenUnbalanced(t *testing.T) {
-	p, err := OpenPager(filepath.Join(t.TempDir(), "x.pg"), &Stats{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer p.Remove()
+	p := newTestPager(t, nil)
 	bp := NewBufferPool(2, nil)
 	f, err := bp.NewPage(p)
 	if err != nil {

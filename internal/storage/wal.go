@@ -1,0 +1,560 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Write-ahead log.
+//
+// The log is a flat file of checksummed records:
+//
+//	[0:4]  uint32 CRC-32 (IEEE) of the body
+//	[4:8]  uint32 body length
+//	then the body: one type byte followed by the typed payload
+//
+// Integers inside payloads are uvarints. Append records carry the raw
+// serialized tuple bytes (the frel wire format), so redo is a byte-level
+// replay that needs no schema and reproduces membership degrees exactly.
+//
+// The log always begins with a checkpoint record holding, per relation,
+// the durable heap geometry (page count, tuple count, append cursor) and a
+// full image of the last page — the only heap page that is ever rewritten
+// in place, so the image is what protects it from torn writes. Truncating
+// the log means writing a new single-checkpoint log to a temporary file
+// and renaming it over the old one.
+//
+// Recovery (see recoverWAL) parses the log until the first corrupt or
+// truncated record, then for every relation that has at least one append
+// record after the last checkpoint — committed or not — rewinds the heap
+// file to the checkpoint geometry, restores the last-page image, and
+// replays the appends of committed transactions in log order. Relations
+// without append records are left exactly as found on disk, which is what
+// makes rename-based rewrites (DELETE) atomic under the same log.
+const (
+	walFileName = "wal"
+	walTmpName  = "wal.tmp"
+
+	walHeaderSize = 8
+)
+
+type walRecType byte
+
+const (
+	recBegin      walRecType = 1
+	recAppend     walRecType = 2
+	recCommit     walRecType = 3
+	recCheckpoint walRecType = 4
+)
+
+// heapState is the durable geometry of one heap file at checkpoint time.
+type heapState struct {
+	name      string // log name = heap file base name (without ".heap")
+	numPages  int64
+	numTuples int64
+	lastUsed  int    // bytes used in the last page, including its header
+	lastPage  []byte // PageSize image of the last page; nil when numPages == 0
+}
+
+// WAL is an append-only checksummed log over one database directory. It is
+// safe for concurrent use; commits of concurrent transactions share fsyncs
+// through a leader/follower group-commit protocol.
+type WAL struct {
+	fs     FS
+	dir    string
+	path   string
+	window time.Duration // group-commit window (0 = sync immediately)
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	f       File
+	off     int64 // append offset
+	synced  int64 // offset known durable
+	syncing bool  // a group-commit leader is inside fsync
+	nextTx  uint64
+	buf     []byte // record assembly scratch
+	pbuf    []byte // payload assembly scratch
+}
+
+// openWAL recovers dir from any existing log, then starts a fresh log
+// whose checkpoint base is the post-recovery on-disk state of every
+// (non-temporary) heap file in dir.
+func openWAL(fs FS, dir string, window time.Duration) (*WAL, error) {
+	if err := recoverWAL(fs, dir); err != nil {
+		return nil, err
+	}
+	// Temp heaps of a previous process are garbage after a crash (they are
+	// never logged and their owners are gone); clear them before they can
+	// be mistaken for data.
+	names, err := fs.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("storage: wal: list %s: %w", dir, err)
+	}
+	var states []heapState
+	for _, n := range names {
+		if !strings.HasSuffix(n, ".heap") {
+			continue
+		}
+		if strings.HasPrefix(n, "tmp-") {
+			if err := fs.Remove(filepath.Join(dir, n)); err != nil {
+				return nil, fmt.Errorf("storage: wal: clear stale temp %s: %w", n, err)
+			}
+			continue
+		}
+		st, err := readHeapState(fs, dir, strings.TrimSuffix(n, ".heap"))
+		if err != nil {
+			return nil, err
+		}
+		states = append(states, st)
+	}
+	sort.Slice(states, func(i, j int) bool { return states[i].name < states[j].name })
+	w := &WAL{fs: fs, dir: dir, path: filepath.Join(dir, walFileName), window: window}
+	w.cond = sync.NewCond(&w.mu)
+	if err := w.rewrite(states); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// writeLocked appends one record. Callers hold w.mu.
+func (w *WAL) writeLocked(typ walRecType, payload []byte) error {
+	w.buf = w.buf[:0]
+	w.buf = append(w.buf, 0, 0, 0, 0, 0, 0, 0, 0)
+	w.buf = append(w.buf, byte(typ))
+	w.buf = append(w.buf, payload...)
+	body := w.buf[walHeaderSize:]
+	binary.LittleEndian.PutUint32(w.buf[0:4], crc32.ChecksumIEEE(body))
+	binary.LittleEndian.PutUint32(w.buf[4:8], uint32(len(body)))
+	if _, err := w.f.WriteAt(w.buf, w.off); err != nil {
+		return fmt.Errorf("storage: wal append: %w", err)
+	}
+	w.off += int64(len(w.buf))
+	return nil
+}
+
+// Begin allocates a transaction ID and logs its begin record.
+func (w *WAL) Begin() (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.nextTx++
+	id := w.nextTx
+	w.pbuf = binary.AppendUvarint(w.pbuf[:0], id)
+	return id, w.writeLocked(recBegin, w.pbuf)
+}
+
+// Append logs one tuple append: the relation's log name, the tuple's
+// position seq in the relation, and its raw serialized bytes.
+func (w *WAL) Append(txid uint64, name string, seq int64, rec []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	p := w.pbuf[:0]
+	p = binary.AppendUvarint(p, txid)
+	p = binary.AppendUvarint(p, uint64(len(name)))
+	p = append(p, name...)
+	p = binary.AppendUvarint(p, uint64(seq))
+	p = binary.AppendUvarint(p, uint64(len(rec)))
+	p = append(p, rec...)
+	w.pbuf = p
+	return w.writeLocked(recAppend, p)
+}
+
+// Commit logs the transaction's commit record and makes it durable.
+func (w *WAL) Commit(txid uint64) error {
+	w.mu.Lock()
+	w.pbuf = binary.AppendUvarint(w.pbuf[:0], txid)
+	err := w.writeLocked(recCommit, w.pbuf)
+	w.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return w.Sync()
+}
+
+// Sync makes every record appended so far durable. Concurrent callers
+// group-commit: one leader waits out the commit window and issues a single
+// fsync covering everything appended by then; the others wait for it.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	target := w.off
+	for w.synced < target {
+		if w.syncing {
+			w.cond.Wait()
+			continue
+		}
+		w.syncing = true
+		f := w.f
+		w.mu.Unlock()
+		if w.window > 0 {
+			time.Sleep(w.window)
+		}
+		w.mu.Lock()
+		high := w.off
+		w.mu.Unlock()
+		err := f.Sync()
+		w.mu.Lock()
+		w.syncing = false
+		w.cond.Broadcast()
+		if err != nil {
+			return fmt.Errorf("storage: wal sync: %w", err)
+		}
+		if high > w.synced {
+			w.synced = high
+		}
+	}
+	return nil
+}
+
+// rewrite truncates the log to a single checkpoint record carrying states.
+// The new log is built in a temporary file, synced, and renamed over the
+// old one, so a crash at any point leaves one intact log in place.
+func (w *WAL) rewrite(states []heapState) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for w.syncing {
+		w.cond.Wait()
+	}
+	p := w.pbuf[:0]
+	p = binary.AppendUvarint(p, uint64(len(states)))
+	for _, st := range states {
+		p = binary.AppendUvarint(p, uint64(len(st.name)))
+		p = append(p, st.name...)
+		p = binary.AppendUvarint(p, uint64(st.numPages))
+		p = binary.AppendUvarint(p, uint64(st.numTuples))
+		p = binary.AppendUvarint(p, uint64(st.lastUsed))
+		if st.numPages > 0 {
+			p = append(p, st.lastPage...)
+		}
+	}
+	w.pbuf = p
+	body := make([]byte, 0, walHeaderSize+1+len(p))
+	body = append(body, 0, 0, 0, 0, 0, 0, 0, 0)
+	body = append(body, byte(recCheckpoint))
+	body = append(body, p...)
+	binary.LittleEndian.PutUint32(body[0:4], crc32.ChecksumIEEE(body[walHeaderSize:]))
+	binary.LittleEndian.PutUint32(body[4:8], uint32(len(body)-walHeaderSize))
+
+	tmp := filepath.Join(w.dir, walTmpName)
+	f, err := w.fs.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: wal checkpoint: %w", err)
+	}
+	if _, err := f.WriteAt(body, 0); err != nil {
+		f.Close()
+		return fmt.Errorf("storage: wal checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("storage: wal checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("storage: wal checkpoint: %w", err)
+	}
+	if err := w.fs.Rename(tmp, w.path); err != nil {
+		return fmt.Errorf("storage: wal checkpoint: %w", err)
+	}
+	if err := w.fs.SyncDir(w.dir); err != nil {
+		return fmt.Errorf("storage: wal checkpoint: %w", err)
+	}
+	nf, err := w.fs.OpenFile(w.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: wal reopen: %w", err)
+	}
+	if w.f != nil {
+		w.f.Close()
+	}
+	w.f = nf
+	w.off = int64(len(body))
+	w.synced = w.off
+	return nil
+}
+
+// Close releases the log file handle without truncating the log (the next
+// open replays it).
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}
+
+// walRecord is one parsed log record.
+type walRecord struct {
+	typ    walRecType
+	txid   uint64
+	name   string
+	seq    int64
+	data   []byte
+	states []heapState
+}
+
+// byteReader decodes uvarint-framed payloads, latching any decode failure.
+type byteReader struct {
+	b   []byte
+	off int
+	bad bool
+}
+
+func (r *byteReader) uvarint() uint64 {
+	if r.bad {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.bad = true
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *byteReader) take(n uint64) []byte {
+	if r.bad || n > uint64(len(r.b)-r.off) {
+		r.bad = true
+		return nil
+	}
+	p := r.b[r.off : r.off+int(n)]
+	r.off += int(n)
+	return p
+}
+
+// parseWAL decodes records from the raw log bytes, stopping silently at
+// the first corrupt or truncated record: everything past a torn tail is by
+// definition not durable.
+func parseWAL(data []byte) []walRecord {
+	var recs []walRecord
+	off := 0
+	for off+walHeaderSize <= len(data) {
+		crc := binary.LittleEndian.Uint32(data[off:])
+		n := int(binary.LittleEndian.Uint32(data[off+4:]))
+		if n < 1 || n > len(data)-off-walHeaderSize {
+			break
+		}
+		body := data[off+walHeaderSize : off+walHeaderSize+n]
+		if crc32.ChecksumIEEE(body) != crc {
+			break
+		}
+		rec, ok := decodeBody(body)
+		if !ok {
+			break
+		}
+		recs = append(recs, rec)
+		off += walHeaderSize + n
+	}
+	return recs
+}
+
+func decodeBody(body []byte) (walRecord, bool) {
+	rec := walRecord{typ: walRecType(body[0])}
+	r := &byteReader{b: body, off: 1}
+	switch rec.typ {
+	case recBegin, recCommit:
+		rec.txid = r.uvarint()
+	case recAppend:
+		rec.txid = r.uvarint()
+		rec.name = string(r.take(r.uvarint()))
+		rec.seq = int64(r.uvarint())
+		rec.data = r.take(r.uvarint())
+	case recCheckpoint:
+		n := r.uvarint()
+		for i := uint64(0); i < n && !r.bad; i++ {
+			var st heapState
+			st.name = string(r.take(r.uvarint()))
+			st.numPages = int64(r.uvarint())
+			st.numTuples = int64(r.uvarint())
+			st.lastUsed = int(r.uvarint())
+			if st.numPages > 0 {
+				st.lastPage = r.take(PageSize)
+			}
+			rec.states = append(rec.states, st)
+		}
+	default:
+		return rec, false
+	}
+	return rec, !r.bad
+}
+
+// recoverWAL replays the directory's log, if any: relations touched by
+// append records after the last checkpoint are rewound to their checkpoint
+// geometry and the appends of committed transactions are replayed onto
+// them. Uncommitted work disappears; untouched relations are not opened.
+func recoverWAL(fs FS, dir string) error {
+	path := filepath.Join(dir, walFileName)
+	f, err := fs.OpenFile(path, os.O_RDONLY, 0)
+	if os.IsNotExist(err) {
+		return nil // pre-WAL database or first open
+	}
+	if err != nil {
+		return fmt.Errorf("storage: wal recover: %w", err)
+	}
+	size, err := f.Size()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("storage: wal recover: %w", err)
+	}
+	data := make([]byte, size)
+	if size > 0 {
+		if n, err := f.ReadAt(data, 0); int64(n) < size {
+			f.Close()
+			return fmt.Errorf("storage: wal recover: short read: %w", err)
+		}
+	}
+	f.Close()
+
+	recs := parseWAL(data)
+	base := make(map[string]heapState)
+	start := 0
+	for i, r := range recs {
+		if r.typ == recCheckpoint {
+			start = i + 1
+			clear(base)
+			for _, st := range r.states {
+				base[st.name] = st
+			}
+		}
+	}
+	committed := make(map[uint64]bool)
+	for _, r := range recs[start:] {
+		if r.typ == recCommit {
+			committed[r.txid] = true
+		}
+	}
+	touched := make(map[string]bool)
+	redo := make(map[string][][]byte)
+	for _, r := range recs[start:] {
+		if r.typ != recAppend {
+			continue
+		}
+		touched[r.name] = true
+		if committed[r.txid] {
+			redo[r.name] = append(redo[r.name], r.data)
+		}
+	}
+	names := make([]string, 0, len(touched))
+	for n := range touched {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := redoRelation(fs, dir, name, base[name], redo[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// redoRelation rewinds one heap file to its checkpoint geometry st (the
+// zero state for a relation created after the checkpoint), then replays
+// recs — raw serialized tuples in commit order — with the same page-packing
+// rule HeapFile.Append uses, and truncates the file to the replayed length.
+// Everything the crash may have left beyond or torn inside the replayed
+// region is overwritten or cut off.
+func redoRelation(fs FS, dir, name string, st heapState, recs [][]byte) error {
+	path := filepath.Join(dir, name+".heap")
+	f, err := fs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: redo %s: %w", name, err)
+	}
+	defer f.Close()
+	page := make([]byte, PageSize)
+	numPages := st.numPages
+	lastUsed := st.lastUsed
+	if numPages > 0 {
+		copy(page, st.lastPage)
+	}
+	count := binary.LittleEndian.Uint16(page[0:2])
+	flushLast := func() error {
+		binary.LittleEndian.PutUint16(page[0:2], count)
+		if _, err := f.WriteAt(page, (numPages-1)*PageSize); err != nil {
+			return fmt.Errorf("storage: redo %s: %w", name, err)
+		}
+		return nil
+	}
+	dirtyLast := numPages > 0 // the restored image must reach the disk
+	for _, rec := range recs {
+		need := recHeader + len(rec)
+		if numPages == 0 || lastUsed+need > PageSize {
+			if numPages > 0 {
+				if err := flushLast(); err != nil {
+					return err
+				}
+			}
+			numPages++
+			for i := range page {
+				page[i] = 0
+			}
+			lastUsed = pageHeader
+			count = 0
+		}
+		binary.LittleEndian.PutUint16(page[lastUsed:], uint16(len(rec)))
+		copy(page[lastUsed+recHeader:], rec)
+		lastUsed += need
+		count++
+		dirtyLast = true
+	}
+	if dirtyLast {
+		if err := flushLast(); err != nil {
+			return err
+		}
+	}
+	if err := f.Truncate(numPages * PageSize); err != nil {
+		return fmt.Errorf("storage: redo %s: %w", name, err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("storage: redo %s: %w", name, err)
+	}
+	return nil
+}
+
+// readHeapState derives a heap file's checkpoint geometry by walking its
+// page headers, without needing the relation's schema.
+func readHeapState(fs FS, dir, name string) (heapState, error) {
+	path := filepath.Join(dir, name+".heap")
+	f, err := fs.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return heapState{}, fmt.Errorf("storage: read heap state %s: %w", name, err)
+	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil {
+		return heapState{}, fmt.Errorf("storage: read heap state %s: %w", name, err)
+	}
+	if size%PageSize != 0 {
+		return heapState{}, fmt.Errorf("storage: heap %s is %d bytes, not page aligned", name, size)
+	}
+	st := heapState{name: name, numPages: size / PageSize}
+	page := make([]byte, PageSize)
+	for pid := int64(0); pid < st.numPages; pid++ {
+		if _, err := f.ReadAt(page, pid*PageSize); err != nil {
+			return heapState{}, fmt.Errorf("storage: read heap state %s: %w", name, err)
+		}
+		count := int(binary.LittleEndian.Uint16(page[0:2]))
+		st.numTuples += int64(count)
+		if pid == st.numPages-1 {
+			off := pageHeader
+			for i := 0; i < count; i++ {
+				if off+recHeader > PageSize {
+					return heapState{}, fmt.Errorf("storage: corrupt heap page in %s", name)
+				}
+				off += recHeader + int(binary.LittleEndian.Uint16(page[off:]))
+				if off > PageSize {
+					return heapState{}, fmt.Errorf("storage: corrupt heap page in %s", name)
+				}
+			}
+			st.lastUsed = off
+			st.lastPage = append([]byte(nil), page...)
+		}
+	}
+	return st, nil
+}

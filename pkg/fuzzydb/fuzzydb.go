@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/fsql"
@@ -33,6 +34,8 @@ type config struct {
 	bufferPages  int
 	parallelism  int
 	disableBatch bool
+	noWAL        bool
+	groupCommit  time.Duration
 }
 
 // Option customizes Open.
@@ -74,6 +77,31 @@ func WithTupleAtATime() Option {
 	}
 }
 
+// WithNoWAL disables the write-ahead log. Without it the database offers
+// no crash safety — mutations reach the heap files only on explicit
+// flushes — matching the pre-WAL engine. It exists as an ablation switch
+// for measuring logging overhead; durable is the default.
+func WithNoWAL() Option {
+	return func(c *config) error {
+		c.noWAL = true
+		return nil
+	}
+}
+
+// WithGroupCommitWindow sets how long a commit waits for concurrent
+// commits to share its fsync. 0 (the default) syncs immediately; a small
+// window (hundreds of microseconds) trades commit latency for fewer
+// fsyncs under concurrent writers.
+func WithGroupCommitWindow(d time.Duration) Option {
+	return func(c *config) error {
+		if d < 0 {
+			return fmt.Errorf("fuzzydb: negative group-commit window %v", d)
+		}
+		c.groupCommit = d
+		return nil
+	}
+}
+
 // DB is an open fuzzy database. It is not safe for concurrent use by
 // multiple goroutines (one DB = one session); open several DBs over
 // distinct directories for concurrent work.
@@ -104,7 +132,11 @@ func Open(dir string, opts ...Option) (*DB, error) {
 		}
 		dir, ownsDir = d, true
 	}
-	sess, err := core.OpenSession(dir, c.bufferPages)
+	sess, err := core.OpenSessionOptions(dir, core.SessionOptions{
+		BufferPages:       c.bufferPages,
+		NoWAL:             c.noWAL,
+		GroupCommitWindow: c.groupCommit,
+	})
 	if err != nil {
 		if ownsDir {
 			os.RemoveAll(dir)
@@ -129,17 +161,31 @@ func (db *DB) SortCacheStats() (hits, misses int64) {
 // Dir returns the database directory.
 func (db *DB) Dir() string { return db.dir }
 
-// Close releases the database. A temporary database (opened with dir "")
-// is deleted. Close is idempotent.
+// Close releases the database's file handles. A temporary database
+// (opened with dir "") is deleted; a persistent one reopens with its
+// committed contents, replayed from the write-ahead log. Close is
+// idempotent.
 func (db *DB) Close() error {
 	if db.closed {
 		return nil
 	}
 	db.closed = true
+	err := db.sess.Close()
 	if db.ownsDir {
-		return os.RemoveAll(db.dir)
+		if rerr := os.RemoveAll(db.dir); rerr != nil {
+			return rerr
+		}
 	}
-	return nil
+	return err
+}
+
+// Checkpoint flushes every relation to its heap file and truncates the
+// write-ahead log. Without a WAL (WithNoWAL) it is a no-op.
+func (db *DB) Checkpoint() error {
+	if err := db.check(); err != nil {
+		return err
+	}
+	return db.sess.Catalog().Manager().Checkpoint()
 }
 
 // Exec executes a Fuzzy SQL script (one or more ';'-separated statements:
