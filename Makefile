@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-compare bench-check crash fmt vet golden
+.PHONY: all build test race bench bench-compare bench-check crash fmt vet golden serve server-smoke
 
 all: build test
 
@@ -36,6 +36,22 @@ crash:
 # after an intentional planner change; the diff is the review artifact.
 golden:
 	$(GO) test ./internal/core -run TestGoldenPlans -update-golden
+
+# Run the network server on the default port with a throwaway database.
+serve:
+	$(GO) run ./cmd/fuzzydbd
+
+# CI's live-server smoke: start fuzzydbd, drive it with 200 concurrent
+# fuzzyload connections (answers verified), SIGTERM, require a clean
+# checkpointed shutdown.
+server-smoke:
+	$(GO) build -o /tmp/fuzzydbd ./cmd/fuzzydbd
+	$(GO) build -o /tmp/fuzzyload ./cmd/fuzzyload
+	/tmp/fuzzydbd -addr 127.0.0.1:4540 & \
+	pid=$$!; sleep 1; \
+	/tmp/fuzzyload -addr 127.0.0.1:4540 -connections 200 -duration 5s; rc=$$?; \
+	kill -TERM $$pid; wait $$pid; \
+	exit $$rc
 
 fmt:
 	gofmt -w .

@@ -1,0 +1,106 @@
+// Command fuzzydbd serves a fuzzy database over TCP, speaking the
+// internal/wire protocol. Each connection gets its own session (private
+// linguistic-term scope, prepared statements, cursors); read-only queries
+// of different connections run concurrently, writes serialize behind the
+// engine's single-writer lock. SIGINT/SIGTERM shut down gracefully:
+// drain, checkpoint, close the write-ahead log.
+//
+// Usage:
+//
+//	fuzzydbd [-addr :4540] [-dir DIR] [-init script.sql]
+//	         [-buffer-pages N] [-parallelism N]
+//	         [-max-conns N] [-max-workers N]
+//
+// With no -dir the server runs a throwaway in-memory-directory database,
+// deleted on exit — handy for tests and load generation.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+	"repro/pkg/fuzzydb"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+	log.SetPrefix("fuzzydbd: ")
+
+	addr := flag.String("addr", ":4540", "TCP listen address")
+	dir := flag.String("dir", "", "database directory (empty: temporary, deleted on exit)")
+	initScript := flag.String("init", "", "Fuzzy SQL script to run before serving")
+	bufferPages := flag.Int("buffer-pages", 256, "buffer pool size in 8 KiB pages")
+	parallelism := flag.Int("parallelism", 0, "query workers per statement (0 = all CPUs)")
+	maxConns := flag.Int("max-conns", 4096, "maximum concurrent connections")
+	maxWorkers := flag.Int("max-workers", 64, "maximum concurrently executing statements")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown drain budget")
+	flag.Parse()
+
+	if err := run(*addr, *dir, *initScript, *bufferPages, *parallelism, *maxConns, *maxWorkers, *drainTimeout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(addr, dir, initScript string, bufferPages, parallelism, maxConns, maxWorkers int, drainTimeout time.Duration) error {
+	db, err := fuzzydb.Open(dir,
+		fuzzydb.WithBufferPoolPages(bufferPages),
+		fuzzydb.WithParallelism(parallelism),
+	)
+	if err != nil {
+		return err
+	}
+	if initScript != "" {
+		script, err := os.ReadFile(initScript)
+		if err != nil {
+			db.Close()
+			return err
+		}
+		if err := db.Exec(string(script)); err != nil {
+			db.Close()
+			return fmt.Errorf("init script: %w", err)
+		}
+		log.Printf("ran init script %s", initScript)
+	}
+
+	srv := server.New(db, server.Config{MaxConns: maxConns, MaxWorkers: maxWorkers})
+
+	// Graceful shutdown on SIGINT/SIGTERM: stop accepting, drain
+	// in-flight statements, checkpoint, close the WAL. The handler is
+	// installed before the listener exists, so once the address answers,
+	// signals are guaranteed to shut down rather than kill.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		db.Close()
+		return err
+	}
+	log.Printf("serving %s on %s", db.Dir(), lis.Addr())
+	done := make(chan error, 1)
+	go func() {
+		s := <-sig
+		log.Printf("caught %s, shutting down", s)
+		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		done <- srv.Shutdown(ctx)
+	}()
+
+	if err := srv.Serve(lis); err != server.ErrServerClosed {
+		return err
+	}
+	if err := <-done; err != nil {
+		return err
+	}
+	log.Printf("shutdown complete (checkpointed)")
+	return nil
+}

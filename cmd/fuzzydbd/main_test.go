@@ -1,0 +1,96 @@
+package main
+
+import (
+	"context"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/pkg/client"
+)
+
+// freeAddr reserves a loopback port and releases it for run to claim.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	addr := lis.Addr().String()
+	lis.Close()
+	return addr
+}
+
+func TestRunServeAndSignalShutdown(t *testing.T) {
+	init := filepath.Join(t.TempDir(), "init.sql")
+	if err := os.WriteFile(init, []byte(`
+		CREATE TABLE BOOT (X NUMBER);
+		INSERT INTO BOOT VALUES (42);
+	`), 0o644); err != nil {
+		t.Fatalf("write init: %v", err)
+	}
+
+	addr := freeAddr(t)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(addr, "", init, 64, 1, 16, 16, 10*time.Second)
+	}()
+
+	// The signal handler is installed before the listener, so a
+	// successful dial means SIGTERM will be caught, not kill the process.
+	var conn *client.Conn
+	var err error
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		conn, err = client.Dial(addr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never came up: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	rows, err := conn.Query(context.Background(), `SELECT BOOT.X FROM BOOT`)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	got, _, err := rows.All()
+	if err != nil || len(got) != 1 || got[0][0] != "42" {
+		t.Fatalf("answer = %v (err %v), want [[42]] from the init script", got, err)
+	}
+	conn.Close()
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after SIGTERM, want nil", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not return after SIGTERM")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("999.999.999.999:0", "", "", 64, 1, 4, 4, time.Second); err == nil {
+		t.Error("run with a bogus address succeeded")
+	}
+	if err := run(freeAddr(t), "", filepath.Join(t.TempDir(), "missing.sql"), 64, 1, 4, 4, time.Second); err == nil {
+		t.Error("run with a missing init script succeeded")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.sql")
+	if err := os.WriteFile(bad, []byte(`SELEKT`), 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	err := run(freeAddr(t), "", bad, 64, 1, 4, 4, time.Second)
+	if err == nil || !strings.Contains(err.Error(), "init script") {
+		t.Errorf("run with a broken init script: %v", err)
+	}
+}

@@ -1,0 +1,227 @@
+// Command fuzzyload drives a fuzzydbd server with many concurrent
+// connections, measuring throughput and latency and failing loudly on
+// any error — the server-side counterpart of the embedded benchmarks and
+// the smoke test CI runs against a live server.
+//
+// Usage:
+//
+//	fuzzyload -addr localhost:4540 -connections 200 -duration 5s
+//
+// Each connection runs the paper's nested dating query (a type N query
+// through the unnesting rewrites) in a loop. With -prepared each
+// connection prepares the query once and re-executes the server-side
+// plan; with -write-every N every Nth request becomes an INSERT, mixing
+// writers into the read load. The process exits non-zero if any request
+// fails or any answer diverges from the expected one.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/pkg/client"
+)
+
+// The dating-service dataset and nested query of the paper's running
+// example (Example 4.1); every connection checks each answer against the
+// known result {Ann, Betty}, so a concurrency bug that corrupts answers
+// fails the load run, not just crashes it.
+const setupScript = `
+	CREATE TABLE F (ID NUMBER, NAME STRING, AGE NUMBER, INCOME NUMBER);
+	CREATE TABLE M (ID NUMBER, NAME STRING, AGE NUMBER, INCOME NUMBER);
+	INSERT INTO F VALUES (101, 'Ann',   'about 35',     'about 60K');
+	INSERT INTO F VALUES (102, 'Ann',   'medium young', 'medium high');
+	INSERT INTO F VALUES (103, 'Betty', 'middle age',   'high');
+	INSERT INTO F VALUES (104, 'Cathy', 'about 50',     'low');
+	INSERT INTO M VALUES (201, 'Allen', 24,           'about 25K');
+	INSERT INTO M VALUES (202, 'Allen', 'about 50',   'about 40K');
+	INSERT INTO M VALUES (203, 'Bill',  'middle age', 'high');
+	INSERT INTO M VALUES (204, 'Carl',  'about 29',   'medium low');
+	CREATE TABLE LOADLOG (ID NUMBER, NOTE STRING);
+`
+
+const loadQuery = `
+	SELECT F.NAME FROM F
+	WHERE F.AGE = 'medium young' AND
+	      F.INCOME IN (SELECT M.INCOME FROM M WHERE M.AGE = 'middle age')`
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fuzzyload: ")
+
+	addr := flag.String("addr", "localhost:4540", "fuzzydbd address")
+	connections := flag.Int("connections", 100, "concurrent connections")
+	duration := flag.Duration("duration", 5*time.Second, "load duration")
+	prepared := flag.Bool("prepared", false, "use prepared statements")
+	writeEvery := flag.Int("write-every", 0, "make every Nth request an INSERT (0: read-only)")
+	fetchSize := flag.Int("fetch", 0, "cursor fetch size (0: stream whole answers)")
+	setup := flag.Bool("setup", true, "create and populate the load schema first")
+	flag.Parse()
+
+	if err := run(*addr, *connections, *duration, *prepared, *writeEvery, *fetchSize, *setup); err != nil {
+		log.Print(err)
+		os.Exit(1)
+	}
+}
+
+type stats struct {
+	requests atomic.Int64
+	errors   atomic.Int64
+	wrong    atomic.Int64
+
+	mu        sync.Mutex
+	latencies []time.Duration // sampled request latencies
+}
+
+func (st *stats) record(d time.Duration) {
+	st.requests.Add(1)
+	st.mu.Lock()
+	// Cap the sample so hours-long runs stay bounded.
+	if len(st.latencies) < 1<<20 {
+		st.latencies = append(st.latencies, d)
+	}
+	st.mu.Unlock()
+}
+
+func run(addr string, connections int, duration time.Duration, prepared bool, writeEvery, fetchSize int, setup bool) error {
+	if setup {
+		conn, err := client.Dial(addr)
+		if err != nil {
+			return fmt.Errorf("dial %s: %w", addr, err)
+		}
+		if err := conn.Exec(context.Background(), setupScript); err != nil {
+			conn.Close()
+			return fmt.Errorf("setup: %w", err)
+		}
+		conn.Close()
+	}
+
+	log.Printf("%d connections against %s for %s (prepared=%v write-every=%d fetch=%d)",
+		connections, addr, duration, prepared, writeEvery, fetchSize)
+
+	var st stats
+	deadline := time.Now().Add(duration)
+	var wg sync.WaitGroup
+	firstErr := make(chan error, 1)
+	fail := func(err error) {
+		st.errors.Add(1)
+		select {
+		case firstErr <- err:
+		default:
+		}
+	}
+
+	for w := 0; w < connections; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			conn, err := client.Dial(addr)
+			if err != nil {
+				fail(fmt.Errorf("worker %d: dial: %w", worker, err))
+				return
+			}
+			defer conn.Close()
+			worklet(worker, conn, &st, deadline, prepared, writeEvery, fetchSize, fail)
+		}(w)
+	}
+	wg.Wait()
+
+	reqs := st.requests.Load()
+	errs := st.errors.Load()
+	wrong := st.wrong.Load()
+	elapsed := duration
+	st.mu.Lock()
+	lat := st.latencies
+	st.mu.Unlock()
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(p float64) time.Duration {
+		if len(lat) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lat)-1))
+		return lat[i]
+	}
+	log.Printf("%d requests in %s: %.0f req/s, p50 %s p95 %s p99 %s, %d errors, %d wrong answers",
+		reqs, elapsed, float64(reqs)/elapsed.Seconds(),
+		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond), pct(0.99).Round(time.Microsecond),
+		errs, wrong)
+
+	if errs > 0 || wrong > 0 {
+		select {
+		case err := <-firstErr:
+			return fmt.Errorf("%d errors, %d wrong answers (first: %v)", errs, wrong, err)
+		default:
+			return fmt.Errorf("%d errors, %d wrong answers", errs, wrong)
+		}
+	}
+	return nil
+}
+
+// worklet is one connection's request loop.
+func worklet(worker int, conn *client.Conn, st *stats, deadline time.Time, prepared bool, writeEvery, fetchSize int, fail func(error)) {
+	ctx := context.Background()
+	var stmt *client.Stmt
+	if prepared {
+		var err error
+		stmt, err = conn.Prepare(ctx, loadQuery)
+		if err != nil {
+			fail(fmt.Errorf("worker %d: prepare: %w", worker, err))
+			return
+		}
+		defer stmt.Close()
+	}
+	var ins *client.Stmt
+	if writeEvery > 0 {
+		var err error
+		ins, err = conn.Prepare(ctx, `INSERT INTO LOADLOG VALUES (?, ?)`)
+		if err != nil {
+			fail(fmt.Errorf("worker %d: prepare insert: %w", worker, err))
+			return
+		}
+		defer ins.Close()
+	}
+
+	for i := 0; time.Now().Before(deadline); i++ {
+		start := time.Now()
+		if writeEvery > 0 && i%writeEvery == writeEvery-1 {
+			if err := ins.Exec(ctx, worker*1000000+i, "load"); err != nil {
+				fail(fmt.Errorf("worker %d: insert: %w", worker, err))
+				return
+			}
+			st.record(time.Since(start))
+			continue
+		}
+		var rows *client.Rows
+		var err error
+		switch {
+		case prepared:
+			rows, err = stmt.QueryFetch(ctx, fetchSize)
+		case fetchSize > 0:
+			rows, err = conn.QueryFetch(ctx, loadQuery, fetchSize)
+		default:
+			rows, err = conn.Query(ctx, loadQuery)
+		}
+		if err != nil {
+			fail(fmt.Errorf("worker %d: query: %w", worker, err))
+			return
+		}
+		got, _, err := rows.All()
+		if err != nil {
+			fail(fmt.Errorf("worker %d: rows: %w", worker, err))
+			return
+		}
+		st.record(time.Since(start))
+		if len(got) != 2 || got[0][0] != "Ann" || got[1][0] != "Betty" {
+			st.wrong.Add(1)
+			fail(fmt.Errorf("worker %d: answer diverged: %v", worker, got))
+			return
+		}
+	}
+}

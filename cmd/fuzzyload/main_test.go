@@ -1,0 +1,63 @@
+package main
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/pkg/fuzzydb"
+)
+
+func startServer(t *testing.T) string {
+	t.Helper()
+	db, err := fuzzydb.Open("")
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	srv := server.New(db, server.Config{Logf: t.Logf})
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		db.Close()
+		t.Fatalf("listen: %v", err)
+	}
+	go srv.Serve(lis)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+	})
+	return lis.Addr().String()
+}
+
+func TestRunModes(t *testing.T) {
+	addr := startServer(t)
+	// Plain streaming queries; the first run also creates the schema.
+	if err := run(addr, 3, 300*time.Millisecond, false, 0, 0, true); err != nil {
+		t.Fatalf("plain run: %v", err)
+	}
+	// Prepared statements with a write mixed in, reusing the schema.
+	if err := run(addr, 3, 300*time.Millisecond, true, 3, 0, false); err != nil {
+		t.Fatalf("prepared+write run: %v", err)
+	}
+	// Cursor mode.
+	if err := run(addr, 2, 300*time.Millisecond, false, 0, 1, false); err != nil {
+		t.Fatalf("cursor run: %v", err)
+	}
+}
+
+func TestRunFailures(t *testing.T) {
+	// No server at the address: setup fails.
+	if err := run("127.0.0.1:1", 1, 100*time.Millisecond, false, 0, 0, true); err == nil {
+		t.Error("run against a dead address succeeded")
+	}
+	// Skipping setup against an empty database: every query errors and
+	// the run reports them.
+	addr := startServer(t)
+	if err := run(addr, 2, 200*time.Millisecond, false, 0, 0, false); err == nil {
+		t.Error("run against an empty database reported no errors")
+	}
+}

@@ -8,15 +8,23 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/frel"
 	"repro/internal/fuzzy"
 	"repro/internal/storage"
 )
 
-// Catalog is the root object of a database session.
+// Catalog is the root object of a database session. Lookups (Relation,
+// Term, listings) may run concurrently with each other; mutations (DDL,
+// term definitions, Save) must be serialized against everything else by
+// the caller — the public fuzzydb layer does so with a readers-writer
+// lock, and the catalog's own mutex only keeps the maps themselves safe
+// for concurrent lookups while a forked session defines shared state.
 type Catalog struct {
-	mgr       *storage.Manager
+	mgr *storage.Manager
+
+	mu        sync.RWMutex // guards the two maps
 	relations map[string]*storage.HeapFile
 	terms     map[string]fuzzy.Trapezoid
 }
@@ -39,7 +47,10 @@ func relKey(name string) string { return strings.ToUpper(name) }
 // names are case-insensitive.
 func (c *Catalog) CreateRelation(name string, schema *frel.Schema) (*storage.HeapFile, error) {
 	key := relKey(name)
-	if _, ok := c.relations[key]; ok {
+	c.mu.RLock()
+	_, exists := c.relations[key]
+	c.mu.RUnlock()
+	if exists {
 		return nil, fmt.Errorf("catalog: relation %q already exists", name)
 	}
 	schema = schema.Clone()
@@ -48,13 +59,17 @@ func (c *Catalog) CreateRelation(name string, schema *frel.Schema) (*storage.Hea
 	if err != nil {
 		return nil, err
 	}
+	c.mu.Lock()
 	c.relations[key] = h
+	c.mu.Unlock()
 	return h, nil
 }
 
 // Relation looks up a relation by name.
 func (c *Catalog) Relation(name string) (*storage.HeapFile, error) {
+	c.mu.RLock()
 	h, ok := c.relations[relKey(name)]
+	c.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("catalog: unknown relation %q", name)
 	}
@@ -68,7 +83,9 @@ func (c *Catalog) Relation(name string) (*storage.HeapFile, error) {
 // crash leaves either the old contents or the new ones, never a mixture.
 func (c *Catalog) ReplaceRelationContents(name string, tuples []frel.Tuple) error {
 	key := relKey(name)
+	c.mu.RLock()
 	h, ok := c.relations[key]
+	c.mu.RUnlock()
 	if !ok {
 		return fmt.Errorf("catalog: unknown relation %q", name)
 	}
@@ -89,7 +106,9 @@ func (c *Catalog) ReplaceRelationContents(name string, tuples []frel.Tuple) erro
 		if err := nh.Flush(); err != nil {
 			return err
 		}
+		c.mu.Lock()
 		c.relations[key] = nh
+		c.mu.Unlock()
 		return nil
 	}
 	// Checkpoint first: afterwards the log holds no append records for the
@@ -140,7 +159,9 @@ func (c *Catalog) ReplaceRelationContents(name string, tuples []frel.Tuple) erro
 	if err != nil {
 		return err
 	}
+	c.mu.Lock()
 	c.relations[key] = nh
+	c.mu.Unlock()
 	// Record the new geometry as the checkpoint base.
 	return c.mgr.Checkpoint()
 }
@@ -151,11 +172,15 @@ func (c *Catalog) ReplaceRelationContents(name string, tuples []frel.Tuple) erro
 // heap file, never a catalog entry pointing at nothing.
 func (c *Catalog) DropRelation(name string) error {
 	key := relKey(name)
+	c.mu.Lock()
 	h, ok := c.relations[key]
+	if ok {
+		delete(c.relations, key)
+	}
+	c.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("catalog: unknown relation %q", name)
 	}
-	delete(c.relations, key)
 	if c.mgr.WALEnabled() {
 		if err := c.Save(); err != nil {
 			return err
@@ -166,10 +191,12 @@ func (c *Catalog) DropRelation(name string) error {
 
 // Relations returns the sorted names of all relations.
 func (c *Catalog) Relations() []string {
+	c.mu.RLock()
 	names := make([]string, 0, len(c.relations))
 	for n := range c.relations {
 		names = append(names, n)
 	}
+	c.mu.RUnlock()
 	sort.Strings(names)
 	return names
 }
@@ -182,22 +209,28 @@ func (c *Catalog) DefineTerm(name string, t fuzzy.Trapezoid) error {
 	if !t.Valid() {
 		return fmt.Errorf("catalog: term %q has invalid distribution %v", name, t)
 	}
+	c.mu.Lock()
 	c.terms[termKey(name)] = t
+	c.mu.Unlock()
 	return nil
 }
 
 // Term looks up a linguistic term.
 func (c *Catalog) Term(name string) (fuzzy.Trapezoid, bool) {
+	c.mu.RLock()
 	t, ok := c.terms[termKey(name)]
+	c.mu.RUnlock()
 	return t, ok
 }
 
 // Terms returns the sorted names of all defined terms.
 func (c *Catalog) Terms() []string {
+	c.mu.RLock()
 	names := make([]string, 0, len(c.terms))
 	for n := range c.terms {
 		names = append(names, n)
 	}
+	c.mu.RUnlock()
 	sort.Strings(names)
 	return names
 }
@@ -215,10 +248,12 @@ func (c *Catalog) Terms() []string {
 //
 // AGE terms are in years, INCOME terms in thousands of dollars.
 func (c *Catalog) DefinePaperTerms() {
+	c.mu.Lock()
 	for name, t := range PaperTerms() {
 		// Distributions below are valid by construction.
 		c.terms[termKey(name)] = t
 	}
+	c.mu.Unlock()
 }
 
 // PaperTerms returns the reconstructed Fig. 1 / Fig. 2 dictionary; see

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"repro/internal/frel"
@@ -42,12 +43,22 @@ const fileName = "catalog.json"
 // Open can restore the database later.
 func (c *Catalog) Save() error {
 	var cf catalogFile
+	// Snapshot the maps, then do the I/O without holding the lock.
+	c.mu.RLock()
 	cf.Terms = make(map[string][4]float64, len(c.terms))
 	for name, t := range c.terms {
 		cf.Terms[name] = [4]float64{t.A, t.B, t.C, t.D}
 	}
-	for _, name := range c.Relations() {
-		h := c.relations[name]
+	heaps := make(map[string]*storage.HeapFile, len(c.relations))
+	names := make([]string, 0, len(c.relations))
+	for name, h := range c.relations {
+		heaps[name] = h
+		names = append(names, name)
+	}
+	c.mu.RUnlock()
+	sort.Strings(names)
+	for _, name := range names {
+		h := heaps[name]
 		if err := h.Flush(); err != nil {
 			return err
 		}

@@ -20,6 +20,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -34,10 +35,22 @@ import (
 
 // Env is the evaluation environment: relation and term resolution plus the
 // resource knobs (sort memory, nested-loop block size) and work counters.
+// ErrUnknownTerm reports a linguistic term that resolves in neither the
+// session's term scope nor the shared catalog. The public API maps it to
+// a typed error code.
+var ErrUnknownTerm = errors.New("unknown linguistic term")
+
 type Env struct {
 	cat      *catalog.Catalog
 	mem      map[string]*frel.Relation
 	memTerms map[string]fuzzy.Trapezoid
+
+	// scopeTerms, when non-nil, is the session-local linguistic-term
+	// scope: a per-connection vocabulary layered over the shared catalog,
+	// consulted first by term resolution (scope → database). Forked
+	// sessions get one; the database's base session resolves directly
+	// against the catalog.
+	scopeTerms map[string]fuzzy.Trapezoid
 
 	// SortMemPages is the memory budget, in pages, for external sorts
 	// (default 256 pages = the paper's 2 MB).
@@ -179,8 +192,14 @@ func (e *Env) workers() int {
 	return e.Parallelism
 }
 
-// term resolves a linguistic term.
+// term resolves a linguistic term: the session-local scope first, then
+// the shared catalog (or the in-memory dictionary without a catalog).
 func (e *Env) term(name string) (fuzzy.Trapezoid, bool) {
+	if e.scopeTerms != nil {
+		if t, ok := e.scopeTerms[termKey(name)]; ok {
+			return t, true
+		}
+	}
 	if e.cat != nil {
 		if t, ok := e.cat.Term(name); ok {
 			return t, true
@@ -188,6 +207,56 @@ func (e *Env) term(name string) (fuzzy.Trapezoid, bool) {
 	}
 	t, ok := e.memTerms[termKey(name)]
 	return t, ok
+}
+
+// EnableTermScope gives the environment a session-local term scope;
+// subsequent DefineScopedTerm calls land there and shadow same-named
+// catalog terms for this environment only.
+func (e *Env) EnableTermScope() {
+	if e.scopeTerms == nil {
+		e.scopeTerms = make(map[string]fuzzy.Trapezoid)
+	}
+}
+
+// HasTermScope reports whether the environment carries a session-local
+// term scope.
+func (e *Env) HasTermScope() bool { return e.scopeTerms != nil }
+
+// DefineScopedTerm binds a linguistic term in the session-local scope.
+func (e *Env) DefineScopedTerm(name string, t fuzzy.Trapezoid) error {
+	if e.scopeTerms == nil {
+		return fmt.Errorf("core: environment has no term scope")
+	}
+	if !t.Valid() {
+		return fmt.Errorf("core: term %q has invalid distribution %v", name, t)
+	}
+	e.scopeTerms[termKey(name)] = t
+	return nil
+}
+
+// ScopedTerms returns the names of the terms defined in the session-local
+// scope (unsorted; nil without a scope).
+func (e *Env) ScopedTerms() []string {
+	names := make([]string, 0, len(e.scopeTerms))
+	for n := range e.scopeTerms {
+		names = append(names, n)
+	}
+	return names
+}
+
+// ReleaseSortCache drops the environment's cached sort orders, deleting
+// the sorted temporary heap files held by the external side of the cache.
+// Sessions forked off a long-running database call it on close so
+// per-connection caches do not accumulate temporary files.
+func (e *Env) ReleaseSortCache() {
+	for _, ent := range e.sortHeap {
+		_ = ent.sorted.Drop() // best-effort cleanup
+	}
+	e.sortHeap = nil
+	e.sortMem = nil
+	e.memBase = nil
+	e.aliasMemo = nil
+	e.heapSeen = nil
 }
 
 // source resolves a FROM-clause relation reference to an exec.Source

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/fsql"
+)
+
+func mustParseQuery(t *testing.T, src string) *fsql.Select {
+	t.Helper()
+	q, err := fsql.ParseQuery(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// TestForkTermScope checks the session → database term resolution order:
+// a DEFINE TERM through a forked session lands in its private scope,
+// shadows the shared definition for that fork only, and disappears when
+// the fork is closed.
+func TestForkTermScope(t *testing.T) {
+	base, err := OpenSession(t.TempDir(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer base.Close()
+	if _, err := base.ExecScript(`
+		CREATE TABLE F (NAME STRING, AGE NUMBER);
+		INSERT INTO F VALUES ('Ann', 25);
+		INSERT INTO F VALUES ('Old Joe', 70);
+	`); err != nil {
+		t.Fatal(err)
+	}
+
+	f1 := base.Fork()
+	defer f1.Close()
+	f2 := base.Fork()
+	defer f2.Close()
+
+	// f1 redefines "young" privately to cover age 70.
+	if _, err := f1.ExecScript(`DEFINE TERM 'young' AS TRAP(0, 0, 80, 90)`); err != nil {
+		t.Fatal(err)
+	}
+	q := `SELECT F.NAME FROM F WHERE F.AGE = 'young'`
+	count := func(s *Session) int {
+		rels, err := s.ExecScript(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rels[0].Len()
+	}
+	if got := count(f1); got != 2 {
+		t.Errorf("fork with private 'young': %d answers, want 2", got)
+	}
+	// f2 and the base still see the paper's "young" (Ann only).
+	if got := count(f2); got != 1 {
+		t.Errorf("sibling fork: %d answers, want 1", got)
+	}
+	if got := count(base); got != 1 {
+		t.Errorf("base session: %d answers, want 1", got)
+	}
+
+	// A term unknown everywhere reports ErrUnknownTerm.
+	if _, err := f2.ExecScript(`SELECT F.NAME FROM F WHERE F.AGE = 'no such term'`); err == nil {
+		t.Error("want unknown-term error")
+	}
+
+	// A shared term defined through the base session is visible to forks
+	// unless shadowed.
+	if _, err := base.ExecScript(`DEFINE TERM 'ancient' AS TRAP(60, 65, 120, 120)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f2.ExecScript(`SELECT F.NAME FROM F WHERE F.AGE = 'ancient'`); err != nil {
+		t.Errorf("fork cannot see shared term: %v", err)
+	}
+}
+
+// TestEvalPlanReuse executes one cached plan repeatedly while the base
+// relation changes; re-execution must observe the new contents.
+func TestEvalPlanReuse(t *testing.T) {
+	sess, err := OpenSession(t.TempDir(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if _, err := sess.ExecScript(`
+		CREATE TABLE R (K NUMBER, B NUMBER);
+		CREATE TABLE S (B NUMBER);
+		INSERT INTO R VALUES (1, 10);
+		INSERT INTO S VALUES (10);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	q := mustParseQuery(t, `SELECT R.K FROM R WHERE R.B IN (SELECT S.B FROM S)`)
+	p, err := sess.Env.PlanQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	rel, err := sess.Env.EvalPlanContext(ctx, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 1 {
+		t.Fatalf("first execution: %d answers, want 1", rel.Len())
+	}
+	if _, err := sess.ExecScript(`INSERT INTO R VALUES (2, 10)`); err != nil {
+		t.Fatal(err)
+	}
+	rel, err = sess.Env.EvalPlanContext(ctx, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 2 {
+		t.Fatalf("re-execution after insert: %d answers, want 2", rel.Len())
+	}
+}

@@ -58,6 +58,8 @@ func resolveOperand(opd fsql.Operand, schemas ...*frel.Schema) (operandInfo, err
 		}, nil
 	case fsql.OpdString:
 		return operandInfo{side: -1, rawString: opd.Str, isRawStr: true}, nil
+	case fsql.OpdParam:
+		return operandInfo{}, fmt.Errorf("core: unbound parameter '?' (bind arguments through a prepared statement)")
 	default:
 		return operandInfo{}, fmt.Errorf("core: unknown operand kind %d", opd.Kind)
 	}
@@ -73,7 +75,7 @@ func (e *Env) finishOperand(info operandInfo, otherKind frel.Kind, otherKnown bo
 	if otherKnown && otherKind == frel.KindNumber {
 		t, ok := e.term(info.rawString)
 		if !ok {
-			return operandInfo{}, fmt.Errorf("core: unknown linguistic term %q (compared against a numeric attribute)", info.rawString)
+			return operandInfo{}, fmt.Errorf("core: %w %q (compared against a numeric attribute)", ErrUnknownTerm, info.rawString)
 		}
 		v := frel.Num(t)
 		return operandInfo{get: func(frel.Tuple) frel.Value { return v }, side: -1, kind: frel.KindNumber, kindKnown: true}, nil

@@ -18,6 +18,10 @@ import (
 type Session struct {
 	Env *Env
 	cat *catalog.Catalog
+	// forked marks a session created by Fork: it shares the catalog and
+	// storage with its parent, owns only its evaluation environment, and
+	// its Close releases the environment instead of the storage manager.
+	forked bool
 }
 
 // NewSession opens a session over the catalog.
@@ -27,6 +31,29 @@ func NewSession(cat *catalog.Catalog) *Session {
 
 // Catalog returns the session's catalog.
 func (s *Session) Catalog() *catalog.Catalog { return s.cat }
+
+// Fork returns a new session over the same catalog and storage with its
+// own evaluation environment (sort caches, counters, knobs copied from
+// the parent) and a fresh session-local term scope resolved before the
+// shared catalog. Forked sessions are how the server gives each
+// connection an isolated session: read-only statements of different forks
+// may run concurrently, and DEFINE TERM through a fork stays private to
+// it. Closing a fork releases its cached sort temporaries but leaves the
+// shared storage open.
+func (s *Session) Fork() *Session {
+	ns := NewSession(s.cat)
+	ns.Env.SortMemPages = s.Env.SortMemPages
+	ns.Env.NLBlockBytes = s.Env.NLBlockBytes
+	ns.Env.Parallelism = s.Env.Parallelism
+	ns.Env.DisableBatch = s.Env.DisableBatch
+	ns.Env.DisableJoinReorder = s.Env.DisableJoinReorder
+	ns.Env.EnableTermScope()
+	ns.forked = true
+	return ns
+}
+
+// Forked reports whether the session was created by Fork.
+func (s *Session) Forked() bool { return s.forked }
 
 // Exec executes one statement. Queries return their answer relation;
 // other statements return nil. Statements that change the catalog (DDL
@@ -84,6 +111,12 @@ func (s *Session) ExecContext(ctx context.Context, stmt fsql.Statement) (*frel.R
 		return nil, s.cat.Manager().Checkpoint()
 
 	case *fsql.DefineTerm:
+		// A forked session defines into its private term scope (the
+		// per-connection vocabulary); only the base session writes the
+		// shared, persisted dictionary.
+		if s.Env.HasTermScope() {
+			return nil, s.Env.DefineScopedTerm(st.Name, st.Value)
+		}
 		if err := s.cat.DefineTerm(st.Name, st.Value); err != nil {
 			return nil, err
 		}
@@ -155,7 +188,7 @@ func (s *Session) insert(st *fsql.Insert) error {
 			}
 			term, ok := s.Env.term(opd.Str)
 			if !ok {
-				return fmt.Errorf("core: unknown linguistic term %q for numeric attribute %s", opd.Str, attr.Name)
+				return fmt.Errorf("core: %w %q for numeric attribute %s", ErrUnknownTerm, opd.Str, attr.Name)
 			}
 			vals[i] = frel.Num(term)
 		default:
@@ -257,9 +290,15 @@ func OpenSessionOptions(dir string, opts SessionOptions) (*Session, error) {
 	return NewSession(cat), nil
 }
 
-// Close releases the session's file handles (heap files and the
-// write-ahead log). It does not checkpoint: committed work replays from
-// the log on the next open.
+// Close releases the session's resources. A base session closes the
+// shared file handles (heap files and the write-ahead log) without
+// checkpointing: committed work replays from the log on the next open. A
+// forked session only drops its cached sort temporaries — the shared
+// storage stays open for its parent and siblings.
 func (s *Session) Close() error {
+	if s.forked {
+		s.Env.ReleaseSortCache()
+		return nil
+	}
 	return s.cat.Manager().Close()
 }

@@ -103,6 +103,7 @@ const (
 	OpdRef    OperandKind = iota // attribute reference
 	OpdNumber                    // numeric or fuzzy literal
 	OpdString                    // quoted string (crisp string or linguistic term)
+	OpdParam                     // '?' placeholder of a prepared statement
 )
 
 // Operand is one side of a predicate or one inserted value.
@@ -111,6 +112,7 @@ type Operand struct {
 	Ref  string          // OpdRef
 	Num  fuzzy.Trapezoid // OpdNumber
 	Str  string          // OpdString
+	Ord  int             // OpdParam: zero-based ordinal in parse order
 }
 
 // RefOperand builds an attribute-reference operand.
@@ -129,6 +131,8 @@ func (o Operand) String() string {
 		return o.Ref
 	case OpdNumber:
 		return o.Num.String()
+	case OpdParam:
+		return "?"
 	default:
 		return quoteStr(o.Str)
 	}

@@ -13,7 +13,7 @@ const (
 	tokIdent
 	tokNumber
 	tokString
-	tokSymbol // ( ) , . ; *
+	tokSymbol // ( ) , . ; * ?
 	tokOp     // = <> != < <= > >=
 )
 
@@ -121,7 +121,7 @@ scan:
 		}
 		return token{}, l.errf(start, "unterminated string literal")
 
-	case c == '(' || c == ')' || c == ',' || c == '.' || c == ';' || c == '*':
+	case c == '(' || c == ')' || c == ',' || c == '.' || c == ';' || c == '*' || c == '?':
 		l.pos++
 		return token{tokSymbol, string(c), start}, nil
 

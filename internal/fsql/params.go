@@ -1,0 +1,152 @@
+package fsql
+
+import "fmt"
+
+// Prepared-statement parameters. A '?' anywhere an operand is accepted
+// (WHERE/HAVING predicates of a SELECT at any nesting depth, INSERT
+// values, DELETE conditions) parses to an OpdParam operand whose ordinal
+// is its position in parse order. BindStatement substitutes literal
+// operands for the placeholders in a deep copy of the statement, so one
+// parsed statement can be bound and executed many times concurrently.
+
+// NumParams returns the number of '?' placeholders in the statement.
+func NumParams(st Statement) int {
+	n := 0
+	walkOperands(st, func(o *Operand) {
+		if o.Kind == OpdParam && o.Ord+1 > n {
+			n = o.Ord + 1
+		}
+	})
+	return n
+}
+
+// BindStatement returns a deep copy of st with every '?' placeholder
+// replaced by the argument of its ordinal. Arguments must be literals
+// (OpdNumber or OpdString) and must match the placeholder count exactly.
+func BindStatement(st Statement, args []Operand) (Statement, error) {
+	want := NumParams(st)
+	if len(args) != want {
+		return nil, fmt.Errorf("fsql: statement has %d parameters, got %d arguments", want, len(args))
+	}
+	for i, a := range args {
+		if a.Kind != OpdNumber && a.Kind != OpdString {
+			return nil, fmt.Errorf("fsql: argument %d must be a literal", i)
+		}
+	}
+	bound := cloneStatement(st)
+	var err error
+	walkOperands(bound, func(o *Operand) {
+		if o.Kind != OpdParam {
+			return
+		}
+		if o.Ord < 0 || o.Ord >= len(args) {
+			err = fmt.Errorf("fsql: parameter ordinal %d out of range", o.Ord)
+			return
+		}
+		*o = args[o.Ord]
+	})
+	if err != nil {
+		return nil, err
+	}
+	return bound, nil
+}
+
+// BindQuery is BindStatement restricted to SELECT queries.
+func BindQuery(q *Select, args []Operand) (*Select, error) {
+	st, err := BindStatement(q, args)
+	if err != nil {
+		return nil, err
+	}
+	return st.(*Select), nil
+}
+
+// walkOperands visits every operand of the statement (in place), following
+// subqueries to any depth.
+func walkOperands(st Statement, f func(*Operand)) {
+	switch s := st.(type) {
+	case *Select:
+		walkSelectOperands(s, f)
+	case *Insert:
+		for i := range s.Values {
+			f(&s.Values[i])
+		}
+	case *Delete:
+		walkPredOperands(s.Where, f)
+	case *Explain:
+		walkSelectOperands(s.Query, f)
+	}
+}
+
+func walkSelectOperands(s *Select, f func(*Operand)) {
+	if s == nil {
+		return
+	}
+	walkPredOperands(s.Where, f)
+	walkPredOperands(s.Having, f)
+}
+
+func walkPredOperands(preds []Predicate, f func(*Operand)) {
+	for i := range preds {
+		p := &preds[i]
+		switch p.Kind {
+		case PredExists, PredNotExists:
+			// No left operand.
+		default:
+			f(&p.Left)
+		}
+		switch p.Kind {
+		case PredCompare, PredNear:
+			f(&p.Right)
+		}
+		walkSelectOperands(p.Sub, f)
+	}
+}
+
+// cloneStatement deep-copies the parts of a statement that binding
+// mutates: predicates, value lists, and nested query blocks.
+func cloneStatement(st Statement) Statement {
+	switch s := st.(type) {
+	case *Select:
+		return CloneSelect(s)
+	case *Insert:
+		c := *s
+		c.Values = append([]Operand(nil), s.Values...)
+		return &c
+	case *Delete:
+		c := *s
+		c.Where = clonePreds(s.Where)
+		return &c
+	case *Explain:
+		c := *s
+		c.Query = CloneSelect(s.Query)
+		return &c
+	default:
+		return st
+	}
+}
+
+// CloneSelect deep-copies a query block, including all nested subqueries.
+func CloneSelect(s *Select) *Select {
+	if s == nil {
+		return nil
+	}
+	c := *s
+	c.Items = append([]SelectItem(nil), s.Items...)
+	c.From = append([]TableRef(nil), s.From...)
+	c.GroupBy = append([]string(nil), s.GroupBy...)
+	c.Where = clonePreds(s.Where)
+	c.Having = clonePreds(s.Having)
+	return &c
+}
+
+func clonePreds(preds []Predicate) []Predicate {
+	if preds == nil {
+		return nil
+	}
+	out := make([]Predicate, len(preds))
+	for i, p := range preds {
+		p.Sub = CloneSelect(p.Sub)
+		out[i] = p
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package fsql
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fuzzy"
+)
+
+func TestParamsParseAndRender(t *testing.T) {
+	q, err := ParseQuery(`SELECT R.K FROM R WHERE R.B = ? AND R.K IN (SELECT S.B FROM S WHERE S.A = ?)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := NumParams(q); got != 2 {
+		t.Fatalf("NumParams = %d, want 2", got)
+	}
+	// Rendering keeps the placeholders and round-trips to the same
+	// ordinals.
+	s := q.String()
+	if strings.Count(s, "?") != 2 {
+		t.Fatalf("rendered %q, want two placeholders", s)
+	}
+	q2, err := ParseQuery(s)
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", s, err)
+	}
+	if q2.Where[0].Right.Ord != 0 || q2.Where[1].Sub.Where[0].Right.Ord != 1 {
+		t.Fatalf("re-parse ordinals wrong: %+v", q2)
+	}
+}
+
+func TestBindQuery(t *testing.T) {
+	q, err := ParseQuery(`SELECT R.K FROM R WHERE R.B = ? AND R.A = ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := BindQuery(q, []Operand{NumOperand(fuzzy.Crisp(7)), StrOperand("young")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound.Where[0].Right.Kind != OpdNumber || bound.Where[1].Right.Str != "young" {
+		t.Fatalf("binding wrong: %v", bound)
+	}
+	// The original is untouched and can be bound again.
+	if q.Where[0].Right.Kind != OpdParam || q.Where[1].Right.Kind != OpdParam {
+		t.Fatalf("original mutated: %v", q)
+	}
+	if _, err := BindQuery(q, nil); err == nil {
+		t.Fatal("want arity error for zero args")
+	}
+	if _, err := BindQuery(q, []Operand{RefOperand("R.K"), NumOperand(fuzzy.Crisp(1))}); err == nil {
+		t.Fatal("want literal-only error for ref argument")
+	}
+}
+
+func TestBindInsertAndDelete(t *testing.T) {
+	st, err := ParseStatement(`INSERT INTO R VALUES (?, ?, 3)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := NumParams(st); got != 2 {
+		t.Fatalf("NumParams = %d, want 2", got)
+	}
+	bound, err := BindStatement(st, []Operand{NumOperand(fuzzy.Crisp(1)), StrOperand("x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := bound.(*Insert)
+	if ins.Values[0].Kind != OpdNumber || ins.Values[1].Str != "x" {
+		t.Fatalf("insert binding wrong: %v", ins)
+	}
+	if st.(*Insert).Values[0].Kind != OpdParam {
+		t.Fatal("original insert mutated")
+	}
+
+	del, err := ParseStatement(`DELETE FROM R WHERE R.K = ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := BindStatement(del, []Operand{NumOperand(fuzzy.Crisp(9))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2.(*Delete).Where[0].Right.Kind != OpdNumber {
+		t.Fatalf("delete binding wrong: %v", b2)
+	}
+}

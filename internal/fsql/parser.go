@@ -13,6 +13,9 @@ import (
 type parser struct {
 	lx  *lexer
 	tok token
+	// params counts '?' placeholders, assigning each its ordinal in
+	// parse order.
+	params int
 }
 
 func newParser(src string) (*parser, error) {
@@ -651,6 +654,10 @@ func (p *parser) parseSubquery() (*Select, error) {
 
 func (p *parser) parseOperand() (Operand, error) {
 	switch {
+	case p.tok.kind == tokSymbol && p.tok.text == "?":
+		opd := Operand{Kind: OpdParam, Ord: p.params}
+		p.params++
+		return opd, p.advance()
 	case p.tok.kind == tokNumber || p.tok.kind == tokSymbol && p.tok.text == "-":
 		v, err := p.number()
 		if err != nil {

@@ -55,6 +55,10 @@ type HeapFile struct {
 
 	// stats caches the planner statistics for statsVersion; Stats builds
 	// them with one scan and Append then maintains them incrementally.
+	// statsMu makes the memoization safe for concurrent readers (the
+	// server plans read-only queries in parallel); mutations are already
+	// serialized against all readers by the session layer.
+	statsMu      sync.Mutex
 	stats        *frel.TableStats
 	statsVersion uint64
 }
@@ -63,6 +67,8 @@ type HeapFile struct {
 // on the first call (or after the cached statistics went stale) and then
 // maintained incrementally by Append.
 func (h *HeapFile) Stats() (*frel.TableStats, error) {
+	h.statsMu.Lock()
+	defer h.statsMu.Unlock()
 	if h.stats != nil && h.statsVersion == h.version {
 		return h.stats, nil
 	}
@@ -192,10 +198,12 @@ func (h *HeapFile) Append(t frel.Tuple) error {
 	binary.LittleEndian.PutUint16(f.Data[0:2], count+1)
 	h.lastUsed += need
 	h.numTuples++
+	h.statsMu.Lock()
 	if h.stats != nil && h.statsVersion == h.version {
 		h.stats.Observe(t)
 		h.statsVersion = h.version + 1
 	}
+	h.statsMu.Unlock()
 	h.version++
 	if logged {
 		h.pool.MarkNoSteal(f)

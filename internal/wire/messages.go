@@ -1,0 +1,360 @@
+package wire
+
+import (
+	"fmt"
+	"io"
+)
+
+// Message is one protocol message; Write frames and sends it.
+type Message interface {
+	// Type returns the frame type the message travels as.
+	Type() Type
+	// encode appends the payload.
+	encode(b *builder)
+}
+
+// Write frames m and writes it to w.
+func Write(w io.Writer, m Message) error {
+	var b builder
+	m.encode(&b)
+	return WriteFrame(w, m.Type(), b.buf)
+}
+
+// Decode parses the payload of a frame of the given type.
+func Decode(t Type, payload []byte) (Message, error) {
+	var m interface {
+		Message
+		decode(r *reader)
+	}
+	switch t {
+	case TypeHello:
+		m = &Hello{}
+	case TypeQuery:
+		m = &Query{}
+	case TypeParse:
+		m = &Parse{}
+	case TypeBindExec:
+		m = &BindExec{}
+	case TypeFetch:
+		m = &Fetch{}
+	case TypeCloseStmt:
+		m = &CloseStmt{}
+	case TypeCheckpoint:
+		m = &Checkpoint{}
+	case TypeQuit:
+		m = &Quit{}
+	case TypeExec:
+		m = &Exec{}
+	case TypeHelloOK:
+		m = &HelloOK{}
+	case TypeParseOK:
+		m = &ParseOK{}
+	case TypeRowHeader:
+		m = &RowHeader{}
+	case TypeRowBatch:
+		m = &RowBatch{}
+	case TypeDone:
+		m = &Done{}
+	case TypeError:
+		m = &Error{}
+	default:
+		return nil, fmt.Errorf("wire: unknown message type 0x%02x", byte(t))
+	}
+	r := &reader{buf: payload}
+	m.decode(r)
+	if err := r.done(t); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// ReadMessage reads one frame and decodes it.
+func ReadMessage(r io.Reader) (Message, error) {
+	t, payload, err := ReadFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(t, payload)
+}
+
+// Hello opens a connection.
+type Hello struct {
+	Version uint32 // protocol version the client speaks
+	Client  string // client software name, for the server's log
+}
+
+func (*Hello) Type() Type { return TypeHello }
+func (m *Hello) encode(b *builder) {
+	b.uvarint(uint64(m.Version))
+	b.string(m.Client)
+}
+func (m *Hello) decode(r *reader) {
+	m.Version = uint32(r.uvarint("Hello.Version"))
+	m.Client = r.string("Hello.Client")
+}
+
+// HelloOK acknowledges Hello.
+type HelloOK struct {
+	Version uint32 // protocol version the server speaks
+	Server  string // server software name
+}
+
+func (*HelloOK) Type() Type { return TypeHelloOK }
+func (m *HelloOK) encode(b *builder) {
+	b.uvarint(uint64(m.Version))
+	b.string(m.Server)
+}
+func (m *HelloOK) decode(r *reader) {
+	m.Version = uint32(r.uvarint("HelloOK.Version"))
+	m.Server = r.string("HelloOK.Server")
+}
+
+// Query evaluates one SELECT. FetchSize 0 streams the whole answer in
+// RowBatch frames ending with one whose More is false; FetchSize > 0
+// suspends after that many rows — the cursor id arrives in RowHeader and
+// the client pulls the rest with Fetch.
+type Query struct {
+	SQL       string
+	FetchSize uint32
+}
+
+func (*Query) Type() Type { return TypeQuery }
+func (m *Query) encode(b *builder) {
+	b.string(m.SQL)
+	b.uvarint(uint64(m.FetchSize))
+}
+func (m *Query) decode(r *reader) {
+	m.SQL = r.string("Query.SQL")
+	m.FetchSize = uint32(r.uvarint("Query.FetchSize"))
+}
+
+// Exec runs a Fuzzy SQL script, discarding query answers; Done replies.
+type Exec struct {
+	SQL string
+}
+
+func (*Exec) Type() Type          { return TypeExec }
+func (m *Exec) encode(b *builder) { b.string(m.SQL) }
+func (m *Exec) decode(r *reader)  { m.SQL = r.string("Exec.SQL") }
+
+// Parse prepares one statement; ParseOK replies with its handle.
+type Parse struct {
+	SQL string
+}
+
+func (*Parse) Type() Type          { return TypeParse }
+func (m *Parse) encode(b *builder) { b.string(m.SQL) }
+func (m *Parse) decode(r *reader)  { m.SQL = r.string("Parse.SQL") }
+
+// ParseOK returns a prepared statement's server-side handle.
+type ParseOK struct {
+	Stmt      uint32 // handle for BindExec/CloseStmt
+	NumParams uint32 // number of '?' parameters
+	IsQuery   bool   // whether execution returns rows
+}
+
+func (*ParseOK) Type() Type { return TypeParseOK }
+func (m *ParseOK) encode(b *builder) {
+	b.uvarint(uint64(m.Stmt))
+	b.uvarint(uint64(m.NumParams))
+	if m.IsQuery {
+		b.byte(1)
+	} else {
+		b.byte(0)
+	}
+}
+func (m *ParseOK) decode(r *reader) {
+	m.Stmt = uint32(r.uvarint("ParseOK.Stmt"))
+	m.NumParams = uint32(r.uvarint("ParseOK.NumParams"))
+	m.IsQuery = r.byte("ParseOK.IsQuery") != 0
+}
+
+// Arg is one bound argument of BindExec: a crisp number or a string
+// (strings naming linguistic terms resolve server-side as usual).
+type Arg struct {
+	IsNum bool
+	Num   float64
+	Str   string
+}
+
+// NumArg builds a numeric argument.
+func NumArg(v float64) Arg { return Arg{IsNum: true, Num: v} }
+
+// StrArg builds a string argument.
+func StrArg(s string) Arg { return Arg{Str: s} }
+
+// BindExec executes a prepared statement. For queries, FetchSize acts as
+// in Query; for other statements the reply is Done.
+type BindExec struct {
+	Stmt      uint32
+	Args      []Arg
+	FetchSize uint32
+}
+
+func (*BindExec) Type() Type { return TypeBindExec }
+func (m *BindExec) encode(b *builder) {
+	b.uvarint(uint64(m.Stmt))
+	b.uvarint(uint64(len(m.Args)))
+	for _, a := range m.Args {
+		if a.IsNum {
+			b.byte(1)
+			b.float(a.Num)
+		} else {
+			b.byte(0)
+			b.string(a.Str)
+		}
+	}
+	b.uvarint(uint64(m.FetchSize))
+}
+func (m *BindExec) decode(r *reader) {
+	m.Stmt = uint32(r.uvarint("BindExec.Stmt"))
+	n := r.uvarint("BindExec.Args")
+	if r.err != nil {
+		return
+	}
+	if n > uint64(len(r.buf)) { // each argument costs at least one tag byte
+		r.fail("BindExec.Args")
+		return
+	}
+	m.Args = make([]Arg, n)
+	for i := range m.Args {
+		if r.byte("BindExec.Arg.tag") == 1 {
+			m.Args[i] = NumArg(r.float("BindExec.Arg.num"))
+		} else {
+			m.Args[i] = StrArg(r.string("BindExec.Arg.str"))
+		}
+	}
+	m.FetchSize = uint32(r.uvarint("BindExec.FetchSize"))
+}
+
+// Fetch pulls up to MaxRows more rows from a suspended cursor; MaxRows 0
+// drains it.
+type Fetch struct {
+	Cursor  uint32
+	MaxRows uint32
+}
+
+func (*Fetch) Type() Type { return TypeFetch }
+func (m *Fetch) encode(b *builder) {
+	b.uvarint(uint64(m.Cursor))
+	b.uvarint(uint64(m.MaxRows))
+}
+func (m *Fetch) decode(r *reader) {
+	m.Cursor = uint32(r.uvarint("Fetch.Cursor"))
+	m.MaxRows = uint32(r.uvarint("Fetch.MaxRows"))
+}
+
+// CloseStmt releases a prepared statement; Done replies.
+type CloseStmt struct {
+	Stmt uint32
+}
+
+func (*CloseStmt) Type() Type          { return TypeCloseStmt }
+func (m *CloseStmt) encode(b *builder) { b.uvarint(uint64(m.Stmt)) }
+func (m *CloseStmt) decode(r *reader)  { m.Stmt = uint32(r.uvarint("CloseStmt.Stmt")) }
+
+// Checkpoint forces a checkpoint; Done replies.
+type Checkpoint struct{}
+
+func (*Checkpoint) Type() Type      { return TypeCheckpoint }
+func (*Checkpoint) encode(*builder) {}
+func (*Checkpoint) decode(*reader)  {}
+
+// Quit announces an orderly disconnect; the server closes the connection.
+type Quit struct{}
+
+func (*Quit) Type() Type      { return TypeQuit }
+func (*Quit) encode(*builder) {}
+func (*Quit) decode(*reader)  {}
+
+// RowHeader opens an answer stream: the cursor id RowBatch and Fetch
+// refer to, and the answer's column names.
+type RowHeader struct {
+	Cursor  uint32
+	Columns []string
+}
+
+func (*RowHeader) Type() Type { return TypeRowHeader }
+func (m *RowHeader) encode(b *builder) {
+	b.uvarint(uint64(m.Cursor))
+	b.strings(m.Columns)
+}
+func (m *RowHeader) decode(r *reader) {
+	m.Cursor = uint32(r.uvarint("RowHeader.Cursor"))
+	m.Columns = r.strings("RowHeader.Columns")
+}
+
+// Row is one answer tuple: its membership degree and rendered values.
+type Row struct {
+	Degree float64
+	Values []string
+}
+
+// RowBatch carries a slice of an answer. More reports that the cursor
+// stays open server-side (fetch again); the final batch of a stream has
+// More false and may be empty.
+type RowBatch struct {
+	Cursor uint32
+	Rows   []Row
+	More   bool
+}
+
+func (*RowBatch) Type() Type { return TypeRowBatch }
+func (m *RowBatch) encode(b *builder) {
+	b.uvarint(uint64(m.Cursor))
+	if m.More {
+		b.byte(1)
+	} else {
+		b.byte(0)
+	}
+	b.uvarint(uint64(len(m.Rows)))
+	for _, row := range m.Rows {
+		b.float(row.Degree)
+		b.strings(row.Values)
+	}
+}
+func (m *RowBatch) decode(r *reader) {
+	m.Cursor = uint32(r.uvarint("RowBatch.Cursor"))
+	m.More = r.byte("RowBatch.More") != 0
+	n := r.uvarint("RowBatch.Rows")
+	if r.err != nil {
+		return
+	}
+	if n > uint64(len(r.buf))/8 { // each row costs at least its degree
+		r.fail("RowBatch.Rows")
+		return
+	}
+	m.Rows = make([]Row, n)
+	for i := range m.Rows {
+		m.Rows[i].Degree = r.float("RowBatch.Row.degree")
+		m.Rows[i].Values = r.strings("RowBatch.Row.values")
+	}
+}
+
+// Done completes a request that returns no rows.
+type Done struct {
+	// Statements is how many statements an Exec ran; 0 elsewhere.
+	Statements uint32
+}
+
+func (*Done) Type() Type          { return TypeDone }
+func (m *Done) encode(b *builder) { b.uvarint(uint64(m.Statements)) }
+func (m *Done) decode(r *reader)  { m.Statements = uint32(r.uvarint("Done.Statements")) }
+
+// Error reports a failed request: the fuzzydb.ErrorCode as one byte plus
+// the message. The connection survives; the client surfaces it as a
+// typed *fuzzydb.Error.
+type Error struct {
+	Code byte
+	Msg  string
+}
+
+func (*Error) Type() Type { return TypeError }
+func (m *Error) encode(b *builder) {
+	b.byte(m.Code)
+	b.string(m.Msg)
+}
+func (m *Error) decode(r *reader) {
+	m.Code = r.byte("Error.Code")
+	m.Msg = r.string("Error.Msg")
+}

@@ -1,0 +1,273 @@
+// Package wire implements fuzzydbd's client/server protocol: a binary
+// framing over any byte stream plus the message codecs both ends share.
+//
+// A frame is
+//
+//	type byte | payload length (uvarint) | payload
+//
+// and every message is one frame. The payload encodings use three
+// primitives: unsigned varints, length-prefixed UTF-8 strings, and
+// float64s as 8 little-endian bytes of their IEEE 754 bits. Values travel
+// as rendered strings (the engine's public API renders answers that way;
+// ill-known numbers look like "TRAP(28,30,39,42)"), degrees as float64s.
+//
+// The package is deliberately dependency-free — both internal/server and
+// pkg/client build on it, and nothing here imports the engine. Error
+// frames carry the one-byte fuzzydb.ErrorCode values verbatim.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Type identifies a message. Client→server types occupy 0x01..0x7f,
+// server→client types 0x81..0xff.
+type Type byte
+
+const (
+	// TypeHello opens a connection: protocol version + client name.
+	TypeHello Type = 0x01
+	// TypeQuery evaluates one SELECT, streaming its answer.
+	TypeQuery Type = 0x02
+	// TypeParse prepares a statement, returning a handle.
+	TypeParse Type = 0x03
+	// TypeBindExec executes a prepared statement with bound arguments.
+	TypeBindExec Type = 0x04
+	// TypeFetch asks for the next rows of a suspended cursor.
+	TypeFetch Type = 0x05
+	// TypeCloseStmt releases a prepared statement.
+	TypeCloseStmt Type = 0x06
+	// TypeCheckpoint forces a checkpoint (flush heaps, truncate the WAL).
+	TypeCheckpoint Type = 0x07
+	// TypeQuit announces an orderly disconnect.
+	TypeQuit Type = 0x08
+	// TypeExec runs a Fuzzy SQL script, discarding query answers.
+	TypeExec Type = 0x09
+
+	// TypeHelloOK acknowledges Hello: protocol version + server name.
+	TypeHelloOK Type = 0x81
+	// TypeParseOK returns a prepared statement's handle and arity.
+	TypeParseOK Type = 0x82
+	// TypeRowHeader starts an answer: cursor id + column names.
+	TypeRowHeader Type = 0x83
+	// TypeRowBatch carries answer rows; More marks a suspended cursor.
+	TypeRowBatch Type = 0x84
+	// TypeDone completes a rowless request (Exec, Checkpoint, CloseStmt).
+	TypeDone Type = 0x85
+	// TypeError reports a failure: fuzzydb error code + message.
+	TypeError Type = 0x86
+)
+
+// String names the type for diagnostics.
+func (t Type) String() string {
+	switch t {
+	case TypeHello:
+		return "Hello"
+	case TypeQuery:
+		return "Query"
+	case TypeParse:
+		return "Parse"
+	case TypeBindExec:
+		return "BindExec"
+	case TypeFetch:
+		return "Fetch"
+	case TypeCloseStmt:
+		return "CloseStmt"
+	case TypeCheckpoint:
+		return "Checkpoint"
+	case TypeQuit:
+		return "Quit"
+	case TypeExec:
+		return "Exec"
+	case TypeHelloOK:
+		return "HelloOK"
+	case TypeParseOK:
+		return "ParseOK"
+	case TypeRowHeader:
+		return "RowHeader"
+	case TypeRowBatch:
+		return "RowBatch"
+	case TypeDone:
+		return "Done"
+	case TypeError:
+		return "Error"
+	default:
+		return fmt.Sprintf("Type(0x%02x)", byte(t))
+	}
+}
+
+// Version is the protocol version this package implements. Hello carries
+// the client's version; the server refuses mismatches.
+const Version = 1
+
+// MaxPayload bounds a frame's payload (16 MiB). ReadFrame rejects larger
+// length prefixes before allocating, so a corrupt or hostile peer cannot
+// balloon memory.
+const MaxPayload = 16 << 20
+
+// WriteFrame writes one frame: t, uvarint length, payload.
+func WriteFrame(w io.Writer, t Type, payload []byte) error {
+	if len(payload) > MaxPayload {
+		return fmt.Errorf("wire: payload of %d bytes exceeds the %d-byte frame limit", len(payload), MaxPayload)
+	}
+	hdr := make([]byte, 1, 1+binary.MaxVarintLen32)
+	hdr[0] = byte(t)
+	hdr = binary.AppendUvarint(hdr, uint64(len(payload)))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame. A stream that ends cleanly between frames
+// returns io.EOF; one cut mid-frame returns io.ErrUnexpectedEOF.
+func ReadFrame(r io.Reader) (Type, []byte, error) {
+	var tb [1]byte
+	if _, err := io.ReadFull(r, tb[:]); err != nil {
+		return 0, nil, err
+	}
+	n, err := binary.ReadUvarint(byteReader{r})
+	if err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	if n > MaxPayload {
+		return 0, nil, fmt.Errorf("wire: frame announces %d bytes, limit is %d", n, MaxPayload)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	return Type(tb[0]), payload, nil
+}
+
+// byteReader adapts an io.Reader for binary.ReadUvarint without pulling
+// ahead of the varint (it reads one byte at a time; callers wrap the
+// connection in a bufio.Reader so this stays cheap).
+type byteReader struct{ r io.Reader }
+
+func (b byteReader) ReadByte() (byte, error) {
+	var buf [1]byte
+	_, err := io.ReadFull(b.r, buf[:])
+	return buf[0], err
+}
+
+// builder accumulates a payload.
+type builder struct{ buf []byte }
+
+func (b *builder) uvarint(v uint64) { b.buf = binary.AppendUvarint(b.buf, v) }
+func (b *builder) byte(v byte)      { b.buf = append(b.buf, v) }
+func (b *builder) float(v float64) {
+	b.buf = binary.LittleEndian.AppendUint64(b.buf, math.Float64bits(v))
+}
+func (b *builder) string(s string) { b.uvarint(uint64(len(s))); b.buf = append(b.buf, s...) }
+func (b *builder) strings(ss []string) {
+	b.uvarint(uint64(len(ss)))
+	for _, s := range ss {
+		b.string(s)
+	}
+}
+
+// reader consumes a payload, latching the first error; callers check Err
+// (or use the decode helpers, which do) after reading.
+type reader struct {
+	buf []byte
+	err error
+}
+
+func (r *reader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("wire: truncated payload reading %s", what)
+	}
+}
+
+func (r *reader) uvarint(what string) uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf)
+	if n <= 0 {
+		r.fail(what)
+		return 0
+	}
+	r.buf = r.buf[n:]
+	return v
+}
+
+func (r *reader) byte(what string) byte {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.buf) < 1 {
+		r.fail(what)
+		return 0
+	}
+	v := r.buf[0]
+	r.buf = r.buf[1:]
+	return v
+}
+
+func (r *reader) float(what string) float64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.buf) < 8 {
+		r.fail(what)
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.buf))
+	r.buf = r.buf[8:]
+	return v
+}
+
+func (r *reader) string(what string) string {
+	n := r.uvarint(what)
+	if r.err != nil {
+		return ""
+	}
+	if uint64(len(r.buf)) < n {
+		r.fail(what)
+		return ""
+	}
+	s := string(r.buf[:n])
+	r.buf = r.buf[n:]
+	return s
+}
+
+func (r *reader) strings(what string) []string {
+	n := r.uvarint(what)
+	if r.err != nil {
+		return nil
+	}
+	// Each element costs at least its 1-byte length prefix, bounding the
+	// allocation by the remaining payload.
+	if uint64(len(r.buf)) < n {
+		r.fail(what)
+		return nil
+	}
+	ss := make([]string, n)
+	for i := range ss {
+		ss[i] = r.string(what)
+	}
+	return ss
+}
+
+// done returns the latched error, or complains about trailing bytes.
+func (r *reader) done(t Type) error {
+	if r.err != nil {
+		return r.err
+	}
+	if len(r.buf) != 0 {
+		return fmt.Errorf("wire: %d trailing bytes after %s payload", len(r.buf), t)
+	}
+	return nil
+}

@@ -1,0 +1,209 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// roundTrip frames m, reads it back, and decodes it.
+func roundTrip(t *testing.T, m Message) Message {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, m); err != nil {
+		t.Fatalf("Write(%s): %v", m.Type(), err)
+	}
+	got, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatalf("ReadMessage(%s): %v", m.Type(), err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("%s: %d bytes left after one message", m.Type(), buf.Len())
+	}
+	return got
+}
+
+func TestRoundTripAllMessages(t *testing.T) {
+	msgs := []Message{
+		&Hello{Version: 1, Client: "fuzzyload/0.1"},
+		&HelloOK{Version: 1, Server: "fuzzydbd"},
+		&Query{SQL: "SELECT F.NAME FROM F", FetchSize: 128},
+		&Query{SQL: ""},
+		&Exec{SQL: "CREATE TABLE T (X NUMBER); INSERT INTO T VALUES (1);"},
+		&Parse{SQL: "SELECT F.NAME FROM F WHERE F.AGE > ?"},
+		&ParseOK{Stmt: 7, NumParams: 2, IsQuery: true},
+		&ParseOK{Stmt: 8},
+		&BindExec{Stmt: 7, Args: []Arg{NumArg(25), StrArg("young"), StrArg("")}, FetchSize: 64},
+		&BindExec{Stmt: 9},
+		&Fetch{Cursor: 3, MaxRows: 500},
+		&CloseStmt{Stmt: 7},
+		&Checkpoint{},
+		&Quit{},
+		&RowHeader{Cursor: 3, Columns: []string{"F.NAME", "F.AGE"}},
+		&RowHeader{Cursor: 0, Columns: []string{}},
+		&RowBatch{Cursor: 3, More: true, Rows: []Row{
+			{Degree: 0.7, Values: []string{"Ann", "TRAP(30,35,35,40)"}},
+			{Degree: 1, Values: []string{"Betty", "25"}},
+		}},
+		&RowBatch{Cursor: 3},
+		&Done{Statements: 4},
+		&Error{Code: 2, Msg: "fsql: unexpected token"},
+	}
+	for _, m := range msgs {
+		got := roundTrip(t, m)
+		if !reflect.DeepEqual(normalize(got), normalize(m)) {
+			t.Errorf("%s round trip:\n got %#v\nwant %#v", m.Type(), got, m)
+		}
+	}
+}
+
+// normalize maps nil and empty slices onto each other for comparison
+// (the codec does not distinguish them).
+func normalize(m Message) Message {
+	switch v := m.(type) {
+	case *RowHeader:
+		if len(v.Columns) == 0 {
+			return &RowHeader{Cursor: v.Cursor}
+		}
+	case *BindExec:
+		if len(v.Args) == 0 {
+			return &BindExec{Stmt: v.Stmt, FetchSize: v.FetchSize}
+		}
+	case *RowBatch:
+		if len(v.Rows) == 0 {
+			return &RowBatch{Cursor: v.Cursor, More: v.More}
+		}
+	}
+	return m
+}
+
+func TestTypeStrings(t *testing.T) {
+	for _, typ := range []Type{
+		TypeHello, TypeQuery, TypeParse, TypeBindExec, TypeFetch, TypeCloseStmt,
+		TypeCheckpoint, TypeQuit, TypeExec, TypeHelloOK, TypeParseOK,
+		TypeRowHeader, TypeRowBatch, TypeDone, TypeError,
+	} {
+		if s := typ.String(); strings.HasPrefix(s, "Type(") {
+			t.Errorf("type 0x%02x has no name", byte(typ))
+		}
+	}
+	if Type(0x42).String() != "Type(0x42)" {
+		t.Error("unknown type misrenders")
+	}
+}
+
+// TestTruncatedFrames cuts a valid frame at every byte boundary: each
+// prefix must fail with ErrUnexpectedEOF (or cleanly with io.EOF at
+// length zero), never succeed or hang.
+func TestTruncatedFrames(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, &RowBatch{Cursor: 1, Rows: []Row{{Degree: 0.5, Values: []string{"x"}}}}); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		_, _, err := ReadFrame(bytes.NewReader(full[:cut]))
+		if cut == 0 {
+			if err != io.EOF {
+				t.Errorf("cut=0: err = %v, want io.EOF", err)
+			}
+			continue
+		}
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Errorf("cut=%d: err = %v, want unexpected EOF", cut, err)
+		}
+	}
+}
+
+// TestTruncatedPayloads checks that every decoder survives payloads cut
+// at arbitrary points: an error, never a panic or bogus success.
+func TestTruncatedPayloads(t *testing.T) {
+	msgs := []Message{
+		&Hello{Version: 1, Client: "c"},
+		&Query{SQL: "SELECT", FetchSize: 9},
+		&ParseOK{Stmt: 1, NumParams: 2, IsQuery: true},
+		&BindExec{Stmt: 1, Args: []Arg{NumArg(1), StrArg("s")}, FetchSize: 3},
+		&RowHeader{Cursor: 1, Columns: []string{"A", "B"}},
+		&RowBatch{Cursor: 1, More: true, Rows: []Row{{Degree: 1, Values: []string{"v"}}}},
+		&Error{Code: 4, Msg: "boom"},
+	}
+	for _, m := range msgs {
+		var b builder
+		m.encode(&b)
+		for cut := 0; cut < len(b.buf); cut++ {
+			if _, err := Decode(m.Type(), b.buf[:cut]); err == nil {
+				t.Errorf("%s: decode of %d/%d bytes succeeded", m.Type(), cut, len(b.buf))
+			}
+		}
+	}
+}
+
+func TestTrailingBytesRejected(t *testing.T) {
+	var b builder
+	(&Hello{Version: 1, Client: "c"}).encode(&b)
+	if _, err := Decode(TypeHello, append(b.buf, 0xff)); err == nil {
+		t.Error("trailing byte accepted")
+	}
+}
+
+func TestUnknownTypeRejected(t *testing.T) {
+	if _, err := Decode(Type(0x7f), nil); err == nil {
+		t.Error("unknown type accepted")
+	}
+}
+
+// TestOversizedFrameRejected checks both directions: writing a payload
+// over the limit fails, and a length prefix over the limit is rejected
+// before any allocation.
+func TestOversizedFrameRejected(t *testing.T) {
+	if err := WriteFrame(io.Discard, TypeExec, make([]byte, MaxPayload+1)); err == nil {
+		t.Error("oversized write accepted")
+	}
+	hdr := []byte{byte(TypeExec)}
+	hdr = binary.AppendUvarint(hdr, MaxPayload+1)
+	if _, _, err := ReadFrame(bytes.NewReader(hdr)); err == nil {
+		t.Error("oversized length prefix accepted")
+	}
+}
+
+// TestHostileCounts feeds element counts that vastly exceed the payload:
+// the decoders must reject them without allocating gigabytes.
+func TestHostileCounts(t *testing.T) {
+	// RowBatch claiming 2^40 rows in a 10-byte payload.
+	var b builder
+	b.uvarint(1)       // cursor
+	b.byte(0)          // more
+	b.uvarint(1 << 40) // rows
+	if _, err := Decode(TypeRowBatch, b.buf); err == nil {
+		t.Error("hostile row count accepted")
+	}
+	// RowHeader claiming 2^40 columns.
+	b = builder{}
+	b.uvarint(1)
+	b.uvarint(1 << 40)
+	if _, err := Decode(TypeRowHeader, b.buf); err == nil {
+		t.Error("hostile column count accepted")
+	}
+	// BindExec claiming 2^40 args.
+	b = builder{}
+	b.uvarint(1)
+	b.uvarint(1 << 40)
+	if _, err := Decode(TypeBindExec, b.buf); err == nil {
+		t.Error("hostile arg count accepted")
+	}
+}
+
+func TestFrameLevelRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, TypeQuit, nil); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := ReadFrame(&buf)
+	if err != nil || typ != TypeQuit || len(payload) != 0 {
+		t.Fatalf("ReadFrame = %v %v %v", typ, payload, err)
+	}
+}

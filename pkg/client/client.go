@@ -1,0 +1,296 @@
+// Package client is the Go client for fuzzydbd, the fuzzy database's
+// network server. It mirrors the embedded pkg/fuzzydb API — Exec, Query
+// returning a streaming Rows, Prepare returning a Stmt — over the
+// internal/wire protocol, and surfaces server failures as the same typed
+// *fuzzydb.Error values the embedded API returns, reconstructed from the
+// code each Error frame carries.
+//
+//	conn, err := client.Dial("localhost:4540")
+//	defer conn.Close()
+//	rows, err := conn.Query(ctx, `SELECT F.NAME FROM F WHERE F.AGE = 'young'`)
+//	for rows.Next() { ... }
+//
+// A Conn is safe for concurrent use: requests serialize over the single
+// connection. Open several Conns for parallelism.
+package client
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+	"repro/pkg/fuzzydb"
+)
+
+// Conn is one connection to a fuzzydbd server.
+type Conn struct {
+	mu     sync.Mutex
+	c      net.Conn
+	r      *bufio.Reader
+	w      *bufio.Writer
+	closed bool
+}
+
+// Dial connects to a fuzzydbd server and performs the handshake.
+func Dial(addr string) (*Conn, error) {
+	return DialContext(context.Background(), addr)
+}
+
+// DialContext is Dial observing ctx for the connect and handshake.
+func DialContext(ctx context.Context, addr string) (*Conn, error) {
+	var d net.Dialer
+	nc, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Conn{c: nc, r: bufio.NewReader(nc), w: bufio.NewWriter(nc)}
+	c.applyDeadline(ctx)
+	if err := c.send(&wire.Hello{Version: wire.Version, Client: "fuzzydb-go-client"}); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	msg, err := c.read()
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	if _, ok := msg.(*wire.HelloOK); !ok {
+		nc.Close()
+		if e, ok := msg.(*wire.Error); ok {
+			return nil, decodeError(e)
+		}
+		return nil, fuzzydb.NewError(fuzzydb.CodeProtocol, fmt.Sprintf("handshake: unexpected %s", msg.Type()))
+	}
+	c.clearDeadline()
+	return c, nil
+}
+
+// Close sends Quit and closes the connection. It is idempotent.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	wire.Write(c.w, &wire.Quit{}) // best effort; the close is authoritative
+	c.w.Flush()
+	return c.c.Close()
+}
+
+// Exec runs a Fuzzy SQL script on the server, discarding query answers.
+func (c *Conn) Exec(ctx context.Context, sql string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, err := c.roundTrip(ctx, &wire.Exec{SQL: sql})
+	return err
+}
+
+// Checkpoint forces a server-side checkpoint.
+func (c *Conn) Checkpoint(ctx context.Context) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, err := c.roundTrip(ctx, &wire.Checkpoint{})
+	return err
+}
+
+// Query evaluates one SELECT. The whole answer streams back immediately
+// (in batches) and iterates without further round trips.
+func (c *Conn) Query(ctx context.Context, sql string) (*Rows, error) {
+	return c.query(ctx, &wire.Query{SQL: sql}, 0)
+}
+
+// QueryFetch is Query in cursor mode: the server suspends the answer
+// after fetchSize rows and Rows pulls further windows on demand (each a
+// round trip). fetchSize 0 behaves like Query.
+func (c *Conn) QueryFetch(ctx context.Context, sql string, fetchSize int) (*Rows, error) {
+	return c.query(ctx, &wire.Query{SQL: sql, FetchSize: uint32(fetchSize)}, fetchSize)
+}
+
+// Prepare parses one statement server-side, returning its handle.
+func (c *Conn) Prepare(ctx context.Context, sql string) (*Stmt, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	msg, err := c.roundTrip(ctx, &wire.Parse{SQL: sql})
+	if err != nil {
+		return nil, err
+	}
+	ok, isOK := msg.(*wire.ParseOK)
+	if !isOK {
+		return nil, fuzzydb.NewError(fuzzydb.CodeProtocol, fmt.Sprintf("expected ParseOK, got %s", msg.Type()))
+	}
+	return &Stmt{conn: c, id: ok.Stmt, numParams: int(ok.NumParams), isQuery: ok.IsQuery}, nil
+}
+
+// Stmt is a statement prepared on the server: parse (and for
+// parameterless queries, plan) once, execute many times.
+type Stmt struct {
+	conn      *Conn
+	id        uint32
+	numParams int
+	isQuery   bool
+	closed    bool
+}
+
+// NumParams returns the number of '?' parameters.
+func (s *Stmt) NumParams() int { return s.numParams }
+
+// IsQuery reports whether executing the statement returns rows.
+func (s *Stmt) IsQuery() bool { return s.isQuery }
+
+// Exec executes a prepared non-query statement with the given arguments
+// (numbers or strings, one per '?').
+func (s *Stmt) Exec(ctx context.Context, args ...any) error {
+	bound, err := wireArgs(args)
+	if err != nil {
+		return err
+	}
+	c := s.conn
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s.closed {
+		return fuzzydb.NewError(fuzzydb.CodeClosed, "statement is closed")
+	}
+	_, err = c.roundTrip(ctx, &wire.BindExec{Stmt: s.id, Args: bound})
+	return err
+}
+
+// Query executes a prepared SELECT with the given arguments, streaming
+// the whole answer.
+func (s *Stmt) Query(ctx context.Context, args ...any) (*Rows, error) {
+	return s.queryFetch(ctx, 0, args)
+}
+
+// QueryFetch is Query in cursor mode (see Conn.QueryFetch).
+func (s *Stmt) QueryFetch(ctx context.Context, fetchSize int, args ...any) (*Rows, error) {
+	return s.queryFetch(ctx, fetchSize, args)
+}
+
+func (s *Stmt) queryFetch(ctx context.Context, fetchSize int, args []any) (*Rows, error) {
+	bound, err := wireArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	if s.closed {
+		return nil, fuzzydb.NewError(fuzzydb.CodeClosed, "statement is closed")
+	}
+	return s.conn.query(ctx, &wire.BindExec{Stmt: s.id, Args: bound, FetchSize: uint32(fetchSize)}, fetchSize)
+}
+
+// Close releases the server-side statement.
+func (s *Stmt) Close() error {
+	c := s.conn
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	_, err := c.roundTrip(context.Background(), &wire.CloseStmt{Stmt: s.id})
+	return err
+}
+
+// wireArgs converts Go arguments to wire arguments.
+func wireArgs(args []any) ([]wire.Arg, error) {
+	if len(args) == 0 {
+		return nil, nil
+	}
+	out := make([]wire.Arg, len(args))
+	for i, a := range args {
+		switch v := a.(type) {
+		case int:
+			out[i] = wire.NumArg(float64(v))
+		case int64:
+			out[i] = wire.NumArg(float64(v))
+		case float64:
+			out[i] = wire.NumArg(v)
+		case string:
+			out[i] = wire.StrArg(v)
+		default:
+			return nil, fuzzydb.NewError(fuzzydb.CodeExec, fmt.Sprintf("argument %d: unsupported type %T (want a number or string)", i, a))
+		}
+	}
+	return out, nil
+}
+
+// query sends a row-returning request and reads the header plus the
+// first window of batches.
+func (c *Conn) query(ctx context.Context, req wire.Message, fetchSize int) (*Rows, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, fuzzydb.NewError(fuzzydb.CodeClosed, "connection is closed")
+	}
+	c.applyDeadline(ctx)
+	defer c.clearDeadline()
+	if err := c.send(req); err != nil {
+		return nil, err
+	}
+	msg, err := c.read()
+	if err != nil {
+		return nil, err
+	}
+	switch m := msg.(type) {
+	case *wire.Error:
+		return nil, decodeError(m)
+	case *wire.RowHeader:
+		rows := &Rows{conn: c, cursor: m.Cursor, cols: m.Columns, fetchSize: fetchSize}
+		if err := rows.readWindow(fetchSize); err != nil {
+			return nil, err
+		}
+		return rows, nil
+	default:
+		return nil, fuzzydb.NewError(fuzzydb.CodeProtocol, fmt.Sprintf("expected RowHeader, got %s", msg.Type()))
+	}
+}
+
+// roundTrip sends a request expecting a single Done (or ParseOK) reply.
+// Caller holds c.mu.
+func (c *Conn) roundTrip(ctx context.Context, req wire.Message) (wire.Message, error) {
+	if c.closed {
+		return nil, fuzzydb.NewError(fuzzydb.CodeClosed, "connection is closed")
+	}
+	c.applyDeadline(ctx)
+	defer c.clearDeadline()
+	if err := c.send(req); err != nil {
+		return nil, err
+	}
+	msg, err := c.read()
+	if err != nil {
+		return nil, err
+	}
+	if e, ok := msg.(*wire.Error); ok {
+		return nil, decodeError(e)
+	}
+	return msg, nil
+}
+
+func (c *Conn) send(m wire.Message) error {
+	if err := wire.Write(c.w, m); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+func (c *Conn) read() (wire.Message, error) {
+	return wire.ReadMessage(c.r)
+}
+
+// applyDeadline maps ctx's deadline onto the socket; cancellation without
+// a deadline is checked between requests, not mid-read.
+func (c *Conn) applyDeadline(ctx context.Context) {
+	if dl, ok := ctx.Deadline(); ok {
+		c.c.SetDeadline(dl)
+	}
+}
+
+func (c *Conn) clearDeadline() { c.c.SetDeadline(time.Time{}) }
+
+// decodeError reconstructs the server's typed error.
+func decodeError(e *wire.Error) error {
+	return fuzzydb.NewError(fuzzydb.ErrorCode(e.Code), e.Msg)
+}

@@ -1,0 +1,190 @@
+package client
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/wire"
+	"repro/pkg/fuzzydb"
+)
+
+// Rows is a cursor over a network query answer, mirroring
+// fuzzydb.Rows. In streaming mode (fetch size 0) the whole answer
+// arrived with the query and Next never blocks; in cursor mode an
+// exhausted window pulls the next one from the server (a round trip).
+type Rows struct {
+	conn      *Conn
+	cursor    uint32
+	cols      []string
+	fetchSize int
+
+	buf    []wire.Row // rows received, not yet consumed
+	i      int        // index of the current row in buf; -1 before Next
+	done   bool       // the server sent a final (More false) batch
+	closed bool
+	err    error
+}
+
+// Columns returns the answer's column names.
+func (r *Rows) Columns() []string { return append([]string(nil), r.cols...) }
+
+// Next advances to the next answer row, fetching from the server when
+// the local window is exhausted. It returns false at the end of the
+// answer or on error; check Err afterwards.
+func (r *Rows) Next() bool {
+	if r.closed || r.err != nil {
+		return false
+	}
+	if r.i+1 < len(r.buf) {
+		r.i++
+		return true
+	}
+	if r.done {
+		return false
+	}
+	// Cursor mode: pull the next window.
+	c := r.conn
+	c.mu.Lock()
+	err := func() error {
+		if c.closed {
+			return fuzzydb.NewError(fuzzydb.CodeClosed, "connection is closed")
+		}
+		if err := c.send(&wire.Fetch{Cursor: r.cursor, MaxRows: uint32(r.fetchSize)}); err != nil {
+			return err
+		}
+		r.buf = r.buf[:0]
+		r.i = -1
+		return r.readWindowLocked(r.fetchSize)
+	}()
+	c.mu.Unlock()
+	if err != nil {
+		r.err = err
+		return false
+	}
+	if len(r.buf) == 0 {
+		return false
+	}
+	r.i = 0
+	return true
+}
+
+// readWindow reads one window of batches. The caller holds conn.mu.
+func (r *Rows) readWindow(quota int) error {
+	r.i = -1
+	return r.readWindowLocked(quota)
+}
+
+// readWindowLocked accumulates batches into r.buf until the stream ends
+// (More false) or, in cursor mode, the window quota is reached — the
+// server sends exactly quota rows before suspending, so counting tells
+// us when to stop reading without blocking.
+func (r *Rows) readWindowLocked(quota int) error {
+	got := 0
+	for {
+		msg, err := r.conn.read()
+		if err != nil {
+			return err
+		}
+		switch m := msg.(type) {
+		case *wire.Error:
+			r.done = true
+			return decodeError(m)
+		case *wire.RowBatch:
+			r.buf = append(r.buf, m.Rows...)
+			got += len(m.Rows)
+			if !m.More {
+				r.done = true
+				return nil
+			}
+			if quota > 0 && got >= quota {
+				return nil
+			}
+		default:
+			return fuzzydb.NewError(fuzzydb.CodeProtocol, fmt.Sprintf("expected RowBatch, got %s", msg.Type()))
+		}
+	}
+}
+
+// Scan copies the current row into dest, one target per column: *string
+// (any value) or *float64 (crisp numbers only), as in fuzzydb.Rows.Scan.
+func (r *Rows) Scan(dest ...any) error {
+	if r.closed {
+		return fuzzydb.NewError(fuzzydb.CodeClosed, "rows are closed")
+	}
+	if r.i < 0 || r.i >= len(r.buf) {
+		return fuzzydb.NewError(fuzzydb.CodeExec, "Scan called without a successful Next")
+	}
+	row := r.buf[r.i]
+	if len(dest) != len(row.Values) {
+		return fuzzydb.NewError(fuzzydb.CodeExec, fmt.Sprintf("Scan got %d targets for %d columns", len(dest), len(row.Values)))
+	}
+	for i, d := range dest {
+		v := row.Values[i]
+		switch p := d.(type) {
+		case *string:
+			*p = v
+		case *float64:
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return fuzzydb.NewError(fuzzydb.CodeExec, fmt.Sprintf("column %s is not a crisp number; scan into a *string", r.cols[i]))
+			}
+			*p = f
+		default:
+			return fuzzydb.NewError(fuzzydb.CodeExec, fmt.Sprintf("unsupported Scan target %T (want *string or *float64)", d))
+		}
+	}
+	return nil
+}
+
+// Degree returns the membership degree of the current row.
+func (r *Rows) Degree() float64 {
+	if r.i < 0 || r.i >= len(r.buf) {
+		return 0
+	}
+	return r.buf[r.i].Degree
+}
+
+// Err returns the error, if any, that ended iteration early.
+func (r *Rows) Err() error { return r.err }
+
+// Close releases the cursor. A suspended server-side cursor is drained
+// so the connection stays usable for further requests. Idempotent.
+func (r *Rows) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	if r.done {
+		return nil
+	}
+	// Drain the suspended cursor: MaxRows 0 streams the rest.
+	c := r.conn
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	if err := c.send(&wire.Fetch{Cursor: r.cursor, MaxRows: 0}); err != nil {
+		return err
+	}
+	r.buf = r.buf[:0]
+	r.i = -1
+	err := r.readWindowLocked(0)
+	r.buf = nil
+	return err
+}
+
+// All drains the remaining rows into memory: values rendered as strings
+// plus each row's degree. It closes the cursor.
+func (r *Rows) All() (rows [][]string, degrees []float64, err error) {
+	for r.Next() {
+		row := r.buf[r.i]
+		rows = append(rows, append([]string(nil), row.Values...))
+		degrees = append(degrees, row.Degree)
+	}
+	if r.err != nil {
+		return nil, nil, r.err
+	}
+	r.Close()
+	return rows, degrees, nil
+}

@@ -1,0 +1,109 @@
+package fuzzydb
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// ErrorCode classifies a database error for programmatic handling. Codes
+// are stable one-byte values: the wire protocol carries them verbatim, so
+// a network client can switch on the same constants as an embedded one.
+type ErrorCode uint8
+
+const (
+	// CodeInternal is an unclassified engine failure (I/O, corruption).
+	CodeInternal ErrorCode = 1
+	// CodeParse marks a Fuzzy SQL syntax error.
+	CodeParse ErrorCode = 2
+	// CodePlan marks a planning failure (unresolvable reference, shape
+	// outside the supported classes that also defeats the naive fallback).
+	CodePlan ErrorCode = 3
+	// CodeExec marks a runtime evaluation failure.
+	CodeExec ErrorCode = 4
+	// CodeClosed reports use of a closed DB, Session, Stmt, or Rows.
+	CodeClosed ErrorCode = 5
+	// CodeTermUndefined reports a linguistic term found in neither the
+	// session's term scope nor the shared dictionary.
+	CodeTermUndefined ErrorCode = 6
+	// CodeProtocol reports a wire-protocol violation (malformed frame,
+	// message out of sequence); it never arises from the embedded API.
+	CodeProtocol ErrorCode = 7
+)
+
+// String returns the code's stable lowercase name.
+func (c ErrorCode) String() string {
+	switch c {
+	case CodeInternal:
+		return "internal"
+	case CodeParse:
+		return "parse"
+	case CodePlan:
+		return "plan"
+	case CodeExec:
+		return "exec"
+	case CodeClosed:
+		return "closed"
+	case CodeTermUndefined:
+		return "term-undefined"
+	case CodeProtocol:
+		return "protocol"
+	default:
+		return fmt.Sprintf("code(%d)", uint8(c))
+	}
+}
+
+// Error is the typed error every public entry point returns: a stable
+// code plus a human-readable message. It maps onto the wire protocol's
+// Error message unchanged, so errors look the same to embedded and
+// network callers. Errors wrap their cause — errors.Is still sees
+// context.Canceled through a cancelled query's error.
+type Error struct {
+	Code ErrorCode
+	Msg  string
+	// cause is the wrapped engine error; nil for errors reconstructed
+	// from the wire.
+	cause error
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return "fuzzydb: " + e.Msg }
+
+// Unwrap returns the wrapped cause, keeping errors.Is/As chains intact.
+func (e *Error) Unwrap() error { return e.cause }
+
+// NewError builds an Error from a code and message, as the wire layer
+// does when it reconstructs a server-side error on the client.
+func NewError(code ErrorCode, msg string) *Error { return &Error{Code: code, Msg: msg} }
+
+// AsError extracts the typed error from err's chain.
+func AsError(err error) (*Error, bool) {
+	var fe *Error
+	if errors.As(err, &fe) {
+		return fe, true
+	}
+	return nil, false
+}
+
+// wrapErr classifies err under the given default code. Errors that are
+// already typed pass through; unknown-term failures refine to
+// CodeTermUndefined wherever they surface.
+func wrapErr(code ErrorCode, err error) error {
+	if err == nil {
+		return nil
+	}
+	var fe *Error
+	if errors.As(err, &fe) {
+		return err
+	}
+	if errors.Is(err, core.ErrUnknownTerm) {
+		code = CodeTermUndefined
+	}
+	return &Error{Code: code, Msg: err.Error(), cause: err}
+}
+
+// errClosed reports use of a closed handle ("database", "session", ...).
+func errClosed(what string) error {
+	return &Error{Code: CodeClosed, Msg: what + " is closed"}
+}

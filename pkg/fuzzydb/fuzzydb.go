@@ -15,7 +15,17 @@
 //	}
 //
 // The package wraps the internal engine without exposing its types: rows
-// come back as rendered strings plus a membership degree per tuple.
+// come back as rendered strings plus a membership degree per tuple, either
+// materialized (Result) or streamed (Rows).
+//
+// A DB is safe for concurrent use. Read-only statements (SELECT, EXPLAIN)
+// run concurrently under a shared reader lock; mutations (DDL, INSERT,
+// DELETE, shared DEFINE TERM, CHECKPOINT) serialize behind the writer
+// lock. For isolated contexts — a private linguistic vocabulary, an own
+// sort cache, prepared statements — open a Session per goroutine or
+// connection; the fuzzydbd network server maps each client connection to
+// one. All entry points return *Error values carrying a stable ErrorCode,
+// the same codes the wire protocol transports.
 package fuzzydb
 
 import (
@@ -23,10 +33,10 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/fsql"
 )
 
 // config collects the Open options.
@@ -102,11 +112,17 @@ func WithGroupCommitWindow(d time.Duration) Option {
 	}
 }
 
-// DB is an open fuzzy database. It is not safe for concurrent use by
-// multiple goroutines (one DB = one session); open several DBs over
-// distinct directories for concurrent work.
+// DB is an open fuzzy database, safe for concurrent use: concurrent
+// read-only statements share a reader lock, mutations take the writer
+// lock (the engine is single-writer — see DESIGN.md §12). The DB's own
+// methods run in a base session whose DEFINE TERM writes the shared,
+// persisted dictionary; DB.Session opens isolated per-caller sessions.
 type DB struct {
-	sess    *core.Session
+	// mu is the database readers-writer lock. Sessions acquire it around
+	// every statement: RLock for read-only work, Lock for mutations and
+	// for Close (which thereby drains in-flight statements).
+	mu      sync.RWMutex
+	base    *Session
 	dir     string
 	ownsDir bool
 	closed  bool
@@ -145,7 +161,9 @@ func Open(dir string, opts ...Option) (*DB, error) {
 	}
 	sess.Env.Parallelism = c.parallelism
 	sess.Env.DisableBatch = c.disableBatch
-	return &DB{sess: sess, dir: dir, ownsDir: ownsDir}, nil
+	db := &DB{dir: dir, ownsDir: ownsDir}
+	db.base = &Session{db: db, sess: sess}
+	return db, nil
 }
 
 // SortCacheStats reports the sort-order cache traffic accumulated over the
@@ -154,38 +172,44 @@ func Open(dir string, opts ...Option) (*DB, error) {
 // mutations invalidate the affected entries, so a repeated query on
 // unchanged data hits.
 func (db *DB) SortCacheStats() (hits, misses int64) {
-	return db.sess.Env.Counters.SortCacheHits.Load(),
-		db.sess.Env.Counters.SortCacheMisses.Load()
+	return db.base.sess.Env.Counters.SortCacheHits.Load(),
+		db.base.sess.Env.Counters.SortCacheMisses.Load()
 }
 
 // Dir returns the database directory.
 func (db *DB) Dir() string { return db.dir }
 
-// Close releases the database's file handles. A temporary database
-// (opened with dir "") is deleted; a persistent one reopens with its
-// committed contents, replayed from the write-ahead log. Close is
-// idempotent.
+// Close releases the database's file handles, draining in-flight
+// statements first (it takes the writer lock) and invalidating open
+// sessions. A temporary database (opened with dir "") is deleted; a
+// persistent one reopens with its committed contents, replayed from the
+// write-ahead log. Close is idempotent.
 func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if db.closed {
 		return nil
 	}
 	db.closed = true
-	err := db.sess.Close()
+	err := db.base.sess.Close()
 	if db.ownsDir {
 		if rerr := os.RemoveAll(db.dir); rerr != nil {
 			return rerr
 		}
 	}
-	return err
+	return wrapErr(CodeInternal, err)
 }
 
 // Checkpoint flushes every relation to its heap file and truncates the
-// write-ahead log. Without a WAL (WithNoWAL) it is a no-op.
+// write-ahead log. Without a WAL (WithNoWAL) it is a no-op. It serializes
+// behind running statements like any other mutation.
 func (db *DB) Checkpoint() error {
-	if err := db.check(); err != nil {
-		return err
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return errClosed("database")
 	}
-	return db.sess.Catalog().Manager().Checkpoint()
+	return wrapErr(CodeInternal, db.base.sess.Catalog().Manager().Checkpoint())
 }
 
 // Exec executes a Fuzzy SQL script (one or more ';'-separated statements:
@@ -197,11 +221,7 @@ func (db *DB) Exec(sql string) error {
 // ExecContext is Exec observing ctx: cancellation aborts the running
 // statement.
 func (db *DB) ExecContext(ctx context.Context, sql string) error {
-	if err := db.check(); err != nil {
-		return err
-	}
-	_, err := db.sess.ExecScriptContext(ctx, sql)
-	return err
+	return db.base.ExecContext(ctx, sql)
 }
 
 // Query evaluates one SELECT (through the unnesting rewrites) and returns
@@ -212,15 +232,13 @@ func (db *DB) Query(sql string) (*Result, error) {
 
 // QueryContext is Query observing ctx.
 func (db *DB) QueryContext(ctx context.Context, sql string) (*Result, error) {
-	q, err := db.parseQuery(sql)
-	if err != nil {
-		return nil, err
-	}
-	rel, err := db.sess.Env.EvalUnnestedContext(ctx, q)
-	if err != nil {
-		return nil, err
-	}
-	return newResult(rel), nil
+	return db.base.QueryContext(ctx, sql)
+}
+
+// QueryRows evaluates one SELECT and returns a streaming cursor over its
+// answer (see Rows; Query returns the same answer materialized).
+func (db *DB) QueryRows(ctx context.Context, sql string) (*Rows, error) {
+	return db.base.QueryRows(ctx, sql)
 }
 
 // QueryNaive evaluates one SELECT by the nested execution semantics
@@ -228,13 +246,18 @@ func (db *DB) QueryContext(ctx context.Context, sql string) (*Result, error) {
 // Query — useful for cross-checking — but nested queries cost a full
 // inner evaluation per outer tuple.
 func (db *DB) QueryNaive(sql string) (*Result, error) {
-	q, err := db.parseQuery(sql)
+	q, err := parseQuery(sql)
 	if err != nil {
 		return nil, err
 	}
-	rel, err := db.sess.Env.EvalNaiveContext(context.Background(), q)
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return nil, errClosed("database")
+	}
+	rel, err := db.base.sess.Env.EvalNaiveContext(context.Background(), q)
 	if err != nil {
-		return nil, err
+		return nil, wrapErr(CodeExec, err)
 	}
 	return newResult(rel), nil
 }
@@ -242,11 +265,16 @@ func (db *DB) QueryNaive(sql string) (*Result, error) {
 // Explain reports the unnesting strategy Query would use for the SELECT,
 // e.g. "merge-join chain (type N query, Theorem 4.1)".
 func (db *DB) Explain(sql string) (string, error) {
-	q, err := db.parseQuery(sql)
+	q, err := parseQuery(sql)
 	if err != nil {
 		return "", err
 	}
-	plan := db.sess.Env.Explain(q)
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return "", errClosed("database")
+	}
+	plan := db.base.sess.Env.Explain(q)
 	if plan.Note == "" {
 		return fmt.Sprint(plan.Strategy), nil
 	}
@@ -280,13 +308,18 @@ type PlanInfo struct {
 // plan: strategy, applied unnesting rules, and the operator tree with the
 // cost model's estimates.
 func (db *DB) Plan(sql string) (*PlanInfo, error) {
-	q, err := db.parseQuery(sql)
+	q, err := parseQuery(sql)
 	if err != nil {
 		return nil, err
 	}
-	p, err := db.sess.Env.PlanQuery(q)
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return nil, errClosed("database")
+	}
+	p, err := db.base.sess.Env.PlanQuery(q)
 	if err != nil {
-		return nil, err
+		return nil, wrapErr(CodePlan, err)
 	}
 	est := p.Root.Est()
 	return &PlanInfo{
@@ -298,18 +331,4 @@ func (db *DB) Plan(sql string) (*PlanInfo, error) {
 		Cost:      est.Cost,
 		NaiveCost: p.NaiveCost,
 	}, nil
-}
-
-func (db *DB) parseQuery(sql string) (*fsql.Select, error) {
-	if err := db.check(); err != nil {
-		return nil, err
-	}
-	return fsql.ParseQuery(strings.TrimSuffix(strings.TrimSpace(sql), ";"))
-}
-
-func (db *DB) check() error {
-	if db.closed {
-		return fmt.Errorf("fuzzydb: database is closed")
-	}
-	return nil
 }

@@ -1,0 +1,108 @@
+package fuzzydb
+
+import (
+	"fmt"
+
+	"repro/internal/frel"
+)
+
+// Rows is a cursor over a query answer, the streaming alternative to the
+// materialized Result: values render lazily, one row at a time, as the
+// caller advances. The wire protocol's client mirrors this interface, so
+// code written against Rows runs unchanged over a network connection.
+//
+// Usage follows database/sql:
+//
+//	rows, err := db.QueryRows(ctx, sql)
+//	defer rows.Close()
+//	for rows.Next() {
+//	    var name string
+//	    if err := rows.Scan(&name); err != nil { ... }
+//	    fmt.Println(name, rows.Degree())
+//	}
+//	err = rows.Err()
+//
+// Both Rows and Result remain supported: Result for small answers wanted
+// whole (it offers Equal, Stats, String), Rows for iteration.
+type Rows struct {
+	rel    *frel.Relation
+	cols   []string
+	i      int // index of the current row; -1 before the first Next
+	closed bool
+	err    error
+}
+
+func newRows(rel *frel.Relation) *Rows {
+	cols := make([]string, len(rel.Schema.Attrs))
+	for i, a := range rel.Schema.Attrs {
+		cols[i] = a.Name
+	}
+	return &Rows{rel: rel, cols: cols, i: -1}
+}
+
+// Columns returns the answer's column names.
+func (r *Rows) Columns() []string { return append([]string(nil), r.cols...) }
+
+// Next advances to the next answer row. It returns false when the rows
+// are exhausted or closed; check Err afterwards.
+func (r *Rows) Next() bool {
+	if r.closed || r.err != nil || r.i+1 >= r.rel.Len() {
+		return false
+	}
+	r.i++
+	return true
+}
+
+// Scan copies the current row into dest, one target per column. A target
+// may be a *string (any value renders; ill-known numbers render as their
+// possibility distribution, e.g. "TRAP(28,30,39,42)") or a *float64
+// (crisp numbers only).
+func (r *Rows) Scan(dest ...any) error {
+	if r.closed {
+		return errClosed("rows")
+	}
+	if r.i < 0 || r.i >= r.rel.Len() {
+		return &Error{Code: CodeExec, Msg: "Scan called without a successful Next"}
+	}
+	t := r.rel.Tuples[r.i]
+	if len(dest) != len(t.Values) {
+		return &Error{Code: CodeExec, Msg: fmt.Sprintf("Scan got %d targets for %d columns", len(dest), len(t.Values))}
+	}
+	for i, d := range dest {
+		v := t.Values[i]
+		switch p := d.(type) {
+		case *string:
+			if v.Kind == frel.KindString {
+				*p = v.Str
+			} else {
+				*p = v.Num.String()
+			}
+		case *float64:
+			if v.Kind != frel.KindNumber || !v.Num.IsCrisp() {
+				return &Error{Code: CodeExec, Msg: fmt.Sprintf("column %s is not a crisp number; scan into a *string", r.cols[i])}
+			}
+			lo, _ := v.Num.Core()
+			*p = lo
+		default:
+			return &Error{Code: CodeExec, Msg: fmt.Sprintf("unsupported Scan target %T (want *string or *float64)", d)}
+		}
+	}
+	return nil
+}
+
+// Degree returns the membership degree of the current row.
+func (r *Rows) Degree() float64 {
+	if r.i < 0 || r.i >= r.rel.Len() {
+		return 0
+	}
+	return r.rel.Tuples[r.i].D
+}
+
+// Err returns the error, if any, that ended iteration early.
+func (r *Rows) Err() error { return r.err }
+
+// Close releases the cursor. It is idempotent; Next returns false after.
+func (r *Rows) Close() error {
+	r.closed = true
+	return nil
+}

@@ -1,0 +1,346 @@
+package fuzzydb
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/frel"
+	"repro/internal/fsql"
+	"repro/internal/fuzzy"
+	"repro/internal/plan"
+)
+
+// Session is an isolated execution context over a shared database: its
+// own evaluation environment (sort caches, counters) and a private
+// linguistic-term scope resolved before the shared dictionary, so DEFINE
+// TERM through a session customizes the vocabulary for that session
+// alone. The network server gives every connection one Session; embedded
+// callers open them for the same isolation.
+//
+// A Session serializes its own statements (it is safe for concurrent use,
+// but calls queue), while read-only statements of different sessions run
+// concurrently; mutations serialize behind the database writer lock.
+type Session struct {
+	db   *DB
+	sess *core.Session
+
+	mu     sync.Mutex // serializes this session's statements
+	closed bool
+}
+
+// Session opens a new session over the database. Sessions must be closed
+// when done; closing the database invalidates them.
+func (db *DB) Session() (*Session, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return nil, errClosed("database")
+	}
+	return &Session{db: db, sess: db.base.sess.Fork()}, nil
+}
+
+// readOnly reports whether st leaves shared state untouched when sess
+// executes it: SELECT and EXPLAIN never mutate, and DEFINE TERM through a
+// forked session writes only its private term scope. Read-only statements
+// of different sessions run under the shared reader lock; everything else
+// takes the writer lock.
+func readOnly(sess *core.Session, st fsql.Statement) bool {
+	switch st.(type) {
+	case *fsql.Select, *fsql.Explain:
+		return true
+	case *fsql.DefineTerm:
+		return sess.Forked()
+	}
+	return false
+}
+
+// run executes one parsed statement under the session and database locks.
+func (s *Session) run(ctx context.Context, st fsql.Statement) (*frel.Relation, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.runLocked(ctx, st)
+}
+
+// runLocked is run for callers already holding s.mu.
+func (s *Session) runLocked(ctx context.Context, st fsql.Statement) (*frel.Relation, error) {
+	if s.closed {
+		return nil, errClosed("session")
+	}
+	if readOnly(s.sess, st) {
+		s.db.mu.RLock()
+		defer s.db.mu.RUnlock()
+	} else {
+		s.db.mu.Lock()
+		defer s.db.mu.Unlock()
+	}
+	if s.db.closed {
+		return nil, errClosed("database")
+	}
+	rel, err := s.sess.ExecContext(ctx, st)
+	if err != nil {
+		return nil, wrapErr(CodeExec, err)
+	}
+	return rel, nil
+}
+
+// ExecContext executes a Fuzzy SQL script (one or more ';'-separated
+// statements), discarding query answers. Cancelling ctx aborts the
+// running statement and skips the rest.
+func (s *Session) ExecContext(ctx context.Context, sql string) error {
+	stmts, err := fsql.ParseScript(sql)
+	if err != nil {
+		return wrapErr(CodeParse, err)
+	}
+	for _, st := range stmts {
+		if _, err := s.run(ctx, st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Exec is ExecContext with a background context.
+func (s *Session) Exec(sql string) error { return s.ExecContext(context.Background(), sql) }
+
+// QueryContext evaluates one SELECT (through the unnesting rewrites) and
+// returns its materialized answer.
+func (s *Session) QueryContext(ctx context.Context, sql string) (*Result, error) {
+	q, err := parseQuery(sql)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := s.run(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	return newResult(rel), nil
+}
+
+// Query is QueryContext with a background context.
+func (s *Session) Query(sql string) (*Result, error) {
+	return s.QueryContext(context.Background(), sql)
+}
+
+// QueryRows evaluates one SELECT and returns a streaming cursor over its
+// answer.
+func (s *Session) QueryRows(ctx context.Context, sql string) (*Rows, error) {
+	q, err := parseQuery(sql)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := s.run(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	return newRows(rel), nil
+}
+
+// Close releases the session's cached sort temporaries. The shared
+// database stays open; Close is idempotent.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	s.db.mu.RLock()
+	defer s.db.mu.RUnlock()
+	if s.db.closed {
+		// The database released the storage already; nothing left to drop.
+		return nil
+	}
+	return wrapErr(CodeInternal, s.sess.Close())
+}
+
+// Stmt is a prepared statement: parsed once, executed many times.
+// Parameters are written '?' and bound positionally at execution. A
+// parameterless SELECT is also planned once at Prepare — re-executions
+// replay the recorded plan (sources and terms still re-resolve per run,
+// so answers follow later inserts).
+type Stmt struct {
+	s       *Session
+	text    string
+	st      fsql.Statement
+	sel     *fsql.Select // non-nil when the statement is a query
+	nparams int
+	cached  *plan.Plan // replayable plan, for parameterless queries
+	closed  bool
+}
+
+// Prepare parses one statement (its trailing ';' is optional) and, for a
+// parameterless query, plans it. The returned statement is bound to this
+// session: it sees the session's term scope and serializes with its other
+// statements.
+func (s *Session) Prepare(sql string) (*Stmt, error) {
+	st, err := fsql.ParseStatement(sql)
+	if err != nil {
+		return nil, wrapErr(CodeParse, err)
+	}
+	stmt := &Stmt{s: s, text: sql, st: st, nparams: fsql.NumParams(st)}
+	if sel, ok := st.(*fsql.Select); ok {
+		stmt.sel = sel
+		if stmt.nparams == 0 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			if s.closed {
+				return nil, errClosed("session")
+			}
+			s.db.mu.RLock()
+			defer s.db.mu.RUnlock()
+			if s.db.closed {
+				return nil, errClosed("database")
+			}
+			p, err := s.sess.Env.PlanQuery(sel)
+			if err != nil {
+				return nil, wrapErr(CodePlan, err)
+			}
+			stmt.cached = p
+		}
+	}
+	return stmt, nil
+}
+
+// Text returns the statement's Fuzzy SQL source.
+func (st *Stmt) Text() string { return st.text }
+
+// IsQuery reports whether executing the statement returns rows.
+func (st *Stmt) IsQuery() bool { return st.sel != nil }
+
+// NumParams returns the number of '?' parameters the statement takes.
+func (st *Stmt) NumParams() int { return st.nparams }
+
+// Query executes a prepared SELECT with the given arguments (one per '?',
+// numbers or strings) and returns its materialized answer.
+func (st *Stmt) Query(ctx context.Context, args ...any) (*Result, error) {
+	rel, err := st.query(ctx, args)
+	if err != nil {
+		return nil, err
+	}
+	return newResult(rel), nil
+}
+
+// QueryRows is Query returning a streaming cursor.
+func (st *Stmt) QueryRows(ctx context.Context, args ...any) (*Rows, error) {
+	rel, err := st.query(ctx, args)
+	if err != nil {
+		return nil, err
+	}
+	return newRows(rel), nil
+}
+
+func (st *Stmt) query(ctx context.Context, args []any) (*frel.Relation, error) {
+	if st.sel == nil {
+		return nil, &Error{Code: CodeExec, Msg: fmt.Sprintf("prepared statement is not a query (%T)", st.st)}
+	}
+	ops, err := bindArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	if len(ops) != st.nparams {
+		return nil, &Error{Code: CodeExec, Msg: fmt.Sprintf("statement takes %d parameters, got %d arguments", st.nparams, len(ops))}
+	}
+	s := st.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errClosed("session")
+	}
+	if st.closed {
+		return nil, errClosed("statement")
+	}
+	s.db.mu.RLock()
+	defer s.db.mu.RUnlock()
+	if s.db.closed {
+		return nil, errClosed("database")
+	}
+	if st.cached != nil {
+		rel, err := s.sess.Env.EvalPlanContext(ctx, st.cached)
+		if err != nil {
+			return nil, wrapErr(CodeExec, err)
+		}
+		return rel, nil
+	}
+	q, err := fsql.BindQuery(st.sel, ops)
+	if err != nil {
+		return nil, wrapErr(CodeExec, err)
+	}
+	rel, err := s.sess.Env.EvalUnnestedContext(ctx, q)
+	if err != nil {
+		return nil, wrapErr(CodeExec, err)
+	}
+	return rel, nil
+}
+
+// Exec executes a prepared non-query statement (INSERT, DELETE, DDL) with
+// the given arguments. Executing a prepared SELECT this way evaluates it
+// and discards the answer.
+func (st *Stmt) Exec(ctx context.Context, args ...any) error {
+	ops, err := bindArgs(args)
+	if err != nil {
+		return err
+	}
+	s := st.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st.closed {
+		return errClosed("statement")
+	}
+	bound := st.st
+	if st.nparams > 0 {
+		b, err := fsql.BindStatement(st.st, ops)
+		if err != nil {
+			return wrapErr(CodeExec, err)
+		}
+		bound = b
+	} else if len(ops) != 0 {
+		return &Error{Code: CodeExec, Msg: fmt.Sprintf("statement takes no parameters, got %d arguments", len(ops))}
+	}
+	_, err = s.runLocked(ctx, bound)
+	return err
+}
+
+// Close releases the prepared statement. It is idempotent.
+func (st *Stmt) Close() error {
+	s := st.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st.closed = true
+	st.cached = nil
+	return nil
+}
+
+// bindArgs converts Go argument values to Fuzzy SQL literal operands.
+func bindArgs(args []any) ([]fsql.Operand, error) {
+	if len(args) == 0 {
+		return nil, nil
+	}
+	ops := make([]fsql.Operand, len(args))
+	for i, a := range args {
+		switch v := a.(type) {
+		case int:
+			ops[i] = fsql.NumOperand(fuzzy.Crisp(float64(v)))
+		case int64:
+			ops[i] = fsql.NumOperand(fuzzy.Crisp(float64(v)))
+		case float64:
+			ops[i] = fsql.NumOperand(fuzzy.Crisp(v))
+		case string:
+			ops[i] = fsql.StrOperand(v)
+		default:
+			return nil, &Error{Code: CodeExec, Msg: fmt.Sprintf("argument %d: unsupported type %T (want a number or string)", i, a)}
+		}
+	}
+	return ops, nil
+}
+
+// parseQuery parses one SELECT, tolerating a trailing ';'.
+func parseQuery(sql string) (*fsql.Select, error) {
+	q, err := fsql.ParseQuery(strings.TrimSuffix(strings.TrimSpace(sql), ";"))
+	if err != nil {
+		return nil, wrapErr(CodeParse, err)
+	}
+	return q, nil
+}

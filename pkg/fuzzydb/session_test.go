@@ -1,0 +1,377 @@
+package fuzzydb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func openSession(t *testing.T, db *DB) *Session {
+	t.Helper()
+	s, err := db.Session()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// TestSessionTermScope checks the session → database resolution order of
+// linguistic terms: DEFINE TERM through a session is private to it, while
+// DEFINE TERM through the DB writes the shared dictionary.
+func TestSessionTermScope(t *testing.T) {
+	db := openTemp(t)
+	if err := db.Exec(`
+		CREATE TABLE F (NAME STRING, AGE NUMBER);
+		INSERT INTO F VALUES ('Ann', 25);
+		INSERT INTO F VALUES ('Old Joe', 70);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	s1 := openSession(t, db)
+	s2 := openSession(t, db)
+
+	if err := s1.Exec(`DEFINE TERM 'young' AS TRAP(0, 0, 80, 90)`); err != nil {
+		t.Fatal(err)
+	}
+	q := `SELECT F.NAME FROM F WHERE F.AGE = 'young'`
+	count := func(res *Result, err error) int {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Len()
+	}
+	if got := count(s1.Query(q)); got != 2 {
+		t.Errorf("session with private 'young': %d answers, want 2", got)
+	}
+	if got := count(s2.Query(q)); got != 1 {
+		t.Errorf("sibling session: %d answers, want 1", got)
+	}
+	if got := count(db.Query(q)); got != 1 {
+		t.Errorf("base: %d answers, want 1", got)
+	}
+
+	// A shared definition through the DB is visible to sessions.
+	if err := db.Exec(`DEFINE TERM 'ancient' AS TRAP(60, 65, 120, 120)`); err != nil {
+		t.Fatal(err)
+	}
+	if got := count(s2.Query(`SELECT F.NAME FROM F WHERE F.AGE = 'ancient'`)); got != 1 {
+		t.Errorf("shared term through session: %d answers, want 1", got)
+	}
+
+	// An undefined term reports CodeTermUndefined.
+	_, err := s2.Query(`SELECT F.NAME FROM F WHERE F.AGE = 'no such term'`)
+	fe, ok := AsError(err)
+	if !ok || fe.Code != CodeTermUndefined {
+		t.Errorf("unknown term: err = %v, want CodeTermUndefined", err)
+	}
+}
+
+// TestPreparedQueryPlanReuse prepares a parameterless nested query (its
+// plan is cached at Prepare) and re-executes it across an INSERT: the
+// cached plan must observe the new contents.
+func TestPreparedQueryPlanReuse(t *testing.T) {
+	db := openTemp(t)
+	if err := db.Exec(`
+		CREATE TABLE R (K NUMBER, B NUMBER);
+		CREATE TABLE S (B NUMBER);
+		INSERT INTO R VALUES (1, 10);
+		INSERT INTO S VALUES (10);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	s := openSession(t, db)
+	stmt, err := s.Prepare(`SELECT R.K FROM R WHERE R.B IN (SELECT S.B FROM S)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stmt.Close()
+	if stmt.NumParams() != 0 {
+		t.Fatalf("NumParams = %d", stmt.NumParams())
+	}
+	ctx := context.Background()
+	res, err := stmt.Query(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 {
+		t.Fatalf("first execution: %d answers, want 1", res.Len())
+	}
+	if err := db.Exec(`INSERT INTO R VALUES (2, 10)`); err != nil {
+		t.Fatal(err)
+	}
+	res, err = stmt.Query(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 {
+		t.Errorf("re-execution after insert: %d answers, want 2", res.Len())
+	}
+}
+
+// TestPreparedParams binds '?' parameters: numbers and strings, in
+// queries and inserts, with arity and type errors reported.
+func TestPreparedParams(t *testing.T) {
+	db := openTemp(t)
+	if err := db.Exec(`CREATE TABLE T (NAME STRING, AGE NUMBER)`); err != nil {
+		t.Fatal(err)
+	}
+	s := openSession(t, db)
+	ctx := context.Background()
+
+	ins, err := s.Prepare(`INSERT INTO T VALUES (?, ?)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ins.Close()
+	if ins.NumParams() != 2 {
+		t.Fatalf("NumParams = %d", ins.NumParams())
+	}
+	for i := 0; i < 3; i++ {
+		if err := ins.Exec(ctx, fmt.Sprintf("p%d", i), 20+10*i); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	sel, err := s.Prepare(`SELECT T.NAME FROM T WHERE T.AGE > ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sel.Close()
+	res, err := sel.Query(ctx, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 {
+		t.Errorf("AGE > 25: %d answers, want 2\n%s", res.Len(), res)
+	}
+	res, err = sel.Query(ctx, 35.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 {
+		t.Errorf("AGE > 35: %d answers, want 1", res.Len())
+	}
+
+	if _, err := sel.Query(ctx); err == nil {
+		t.Error("want arity error for missing argument")
+	}
+	if _, err := sel.Query(ctx, struct{}{}); err == nil {
+		t.Error("want type error for struct argument")
+	}
+	if err := ins.Exec(ctx, "x"); err == nil {
+		t.Error("want arity error for INSERT with one of two arguments")
+	}
+	if _, err := ins.Query(ctx, "x", 1); err == nil {
+		t.Error("Query on a prepared INSERT should fail")
+	}
+}
+
+// TestConcurrentSessions runs many read-only sessions against a shared
+// database while a writer inserts, exercising the readers-writer locking
+// (meaningful under -race).
+func TestConcurrentSessions(t *testing.T) {
+	db := openTemp(t)
+	if err := db.Exec(datingData); err != nil {
+		t.Fatal(err)
+	}
+	want, err := db.Query(query2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s, err := db.Session()
+			if err != nil {
+				errc <- err
+				return
+			}
+			defer s.Close()
+			for i := 0; i < 5; i++ {
+				res, err := s.Query(query2)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if !res.Equal(want, 1e-9) {
+					errc <- fmt.Errorf("concurrent answer diverged:\n%s", res)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			// Rows with no bearing on query2's answer.
+			if err := db.Exec(`INSERT INTO M VALUES (900, 'Zed', 99, 1)`); err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+// TestSessionClosed checks the CodeClosed paths of sessions and
+// statements, and that closing the DB invalidates open sessions.
+func TestSessionClosed(t *testing.T) {
+	db := openTemp(t)
+	if err := db.Exec(`CREATE TABLE T (X NUMBER)`); err != nil {
+		t.Fatal(err)
+	}
+	s, err := db.Session()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmt, err := s.Prepare(`SELECT T.X FROM T`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+	if _, err := s.Query(`SELECT T.X FROM T`); !isCode(err, CodeClosed) {
+		t.Errorf("Query on closed session: %v", err)
+	}
+	if _, err := stmt.Query(context.Background()); !isCode(err, CodeClosed) {
+		t.Errorf("Stmt.Query on closed session: %v", err)
+	}
+
+	s2, err := db.Session()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Query(`SELECT T.X FROM T`); !isCode(err, CodeClosed) {
+		t.Errorf("Query after DB close: %v", err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Errorf("session Close after DB close: %v", err)
+	}
+	if _, err := db.Session(); !isCode(err, CodeClosed) {
+		t.Errorf("Session on closed DB: %v", err)
+	}
+}
+
+func isCode(err error, code ErrorCode) bool {
+	fe, ok := AsError(err)
+	return ok && fe.Code == code
+}
+
+// TestTypedErrors checks the code classification at the public boundary.
+func TestTypedErrors(t *testing.T) {
+	db := openTemp(t)
+	if err := db.Exec(`CREATE TABLE T (X NUMBER)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query(`SELEC nonsense`); !isCode(err, CodeParse) {
+		t.Errorf("parse error: %v", err)
+	}
+	if err := db.Exec(`INSERT INTO T VALUES ('no such term')`); !isCode(err, CodeTermUndefined) {
+		t.Errorf("unknown term on insert: %v", err)
+	}
+	if _, err := db.Query(`SELECT T.Y FROM T`); !isCode(err, CodeExec) {
+		t.Errorf("unresolvable reference: %v", err)
+	}
+	// A cancelled context stays visible through the typed wrapper.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := db.ExecContext(ctx, `SELECT T.X FROM T`); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled exec: %v", err)
+	}
+	if CodeTermUndefined.String() != "term-undefined" || ErrorCode(99).String() != "code(99)" {
+		t.Error("ErrorCode.String misrenders")
+	}
+	e := NewError(CodeProtocol, "bad frame")
+	if e.Error() != "fuzzydb: bad frame" || e.Code != CodeProtocol {
+		t.Errorf("NewError: %v", e)
+	}
+}
+
+// TestRowsIterator drives the streaming cursor: Next/Scan/Degree, both
+// scan target kinds, and its misuse errors.
+func TestRowsIterator(t *testing.T) {
+	db := openTemp(t)
+	if err := db.Exec(`
+		CREATE TABLE T (NAME STRING, AGE NUMBER);
+		INSERT INTO T VALUES ('Ann', 25);
+		INSERT INTO T VALUES ('Joe', 'about 35');
+	`); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := db.QueryRows(context.Background(), `SELECT T.NAME, T.AGE FROM T`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	if cols := rows.Columns(); len(cols) != 2 || cols[0] != "T.NAME" {
+		t.Errorf("Columns = %v", cols)
+	}
+	var name string
+	if err := rows.Scan(&name); err == nil {
+		t.Error("Scan before Next should fail")
+	}
+	got := map[string]string{}
+	for rows.Next() {
+		var age string
+		if err := rows.Scan(&name, &age); err != nil {
+			t.Fatal(err)
+		}
+		if d := rows.Degree(); d != 1 {
+			t.Errorf("Degree = %g", d)
+		}
+		got[name] = age
+	}
+	if rows.Err() != nil {
+		t.Fatal(rows.Err())
+	}
+	if got["Ann"] != "25" || got["Joe"] != "TRAP(30,35,35,40)" {
+		t.Errorf("scanned %v", got)
+	}
+
+	// Numeric scan targets: crisp values only.
+	rows2, err := db.QueryRows(context.Background(), `SELECT T.AGE FROM T WHERE T.NAME = 'Ann'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows2.Close()
+	if !rows2.Next() {
+		t.Fatal("no row")
+	}
+	var age float64
+	if err := rows2.Scan(&age); err != nil || age != 25 {
+		t.Errorf("Scan(*float64) = %g, %v", age, err)
+	}
+	if err := rows2.Scan(&age, &age); err == nil {
+		t.Error("want column-count error")
+	}
+	var n int
+	if err := rows2.Scan(&n); err == nil {
+		t.Error("want unsupported-target error")
+	}
+	rows2.Close()
+	if rows2.Next() {
+		t.Error("Next after Close")
+	}
+	if err := rows2.Scan(&age); !isCode(err, CodeClosed) {
+		t.Errorf("Scan after Close: %v", err)
+	}
+}

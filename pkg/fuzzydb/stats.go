@@ -66,13 +66,18 @@ func (db *DB) ExplainAnalyze(sql string) (*Result, *QueryStats, error) {
 
 // ExplainAnalyzeContext is ExplainAnalyze observing ctx.
 func (db *DB) ExplainAnalyzeContext(ctx context.Context, sql string) (*Result, *QueryStats, error) {
-	q, err := db.parseQuery(sql)
+	q, err := parseQuery(sql)
 	if err != nil {
 		return nil, nil, err
 	}
-	rel, es, err := db.sess.Env.EvalUnnestedAnalyze(ctx, q)
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return nil, nil, errClosed("database")
+	}
+	rel, es, err := db.base.sess.Env.EvalUnnestedAnalyze(ctx, q)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, wrapErr(CodeExec, err)
 	}
 	res := newResult(rel)
 	res.stats = convertStats(es)
