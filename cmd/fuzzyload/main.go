@@ -11,8 +11,12 @@
 // through the unnesting rewrites) in a loop. With -prepared each
 // connection prepares the query once and re-executes the server-side
 // plan; with -write-every N every Nth request becomes an INSERT, mixing
-// writers into the read load. The process exits non-zero if any request
-// fails or any answer diverges from the expected one.
+// writers into the read load. With -txn each connection instead runs
+// multi-statement read-modify-write transactions (BEGIN, snapshot read,
+// INSERT derived from the read, read-own-write check, COMMIT — with
+// conflict retries and periodic ROLLBACKs) and verifies at the end that
+// its committed sequence is exactly intact. The process exits non-zero
+// if any request fails or any answer diverges from the expected one.
 package main
 
 import (
@@ -22,11 +26,13 @@ import (
 	"log"
 	"os"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/pkg/client"
+	"repro/pkg/fuzzydb"
 )
 
 // The dating-service dataset and nested query of the paper's running
@@ -45,6 +51,7 @@ const setupScript = `
 	INSERT INTO M VALUES (203, 'Bill',  'middle age', 'high');
 	INSERT INTO M VALUES (204, 'Carl',  'about 29',   'medium low');
 	CREATE TABLE LOADLOG (ID NUMBER, NOTE STRING);
+	CREATE TABLE TXNK (W NUMBER, N NUMBER);
 `
 
 const loadQuery = `
@@ -63,18 +70,20 @@ func main() {
 	writeEvery := flag.Int("write-every", 0, "make every Nth request an INSERT (0: read-only)")
 	fetchSize := flag.Int("fetch", 0, "cursor fetch size (0: stream whole answers)")
 	setup := flag.Bool("setup", true, "create and populate the load schema first")
+	txn := flag.Bool("txn", false, "run read-modify-write transactions instead of queries")
 	flag.Parse()
 
-	if err := run(*addr, *connections, *duration, *prepared, *writeEvery, *fetchSize, *setup); err != nil {
+	if err := run(*addr, *connections, *duration, *prepared, *writeEvery, *fetchSize, *setup, *txn); err != nil {
 		log.Print(err)
 		os.Exit(1)
 	}
 }
 
 type stats struct {
-	requests atomic.Int64
-	errors   atomic.Int64
-	wrong    atomic.Int64
+	requests  atomic.Int64
+	errors    atomic.Int64
+	wrong     atomic.Int64
+	conflicts atomic.Int64 // transactions retried after a write conflict
 
 	mu        sync.Mutex
 	latencies []time.Duration // sampled request latencies
@@ -90,7 +99,7 @@ func (st *stats) record(d time.Duration) {
 	st.mu.Unlock()
 }
 
-func run(addr string, connections int, duration time.Duration, prepared bool, writeEvery, fetchSize int, setup bool) error {
+func run(addr string, connections int, duration time.Duration, prepared bool, writeEvery, fetchSize int, setup, txn bool) error {
 	if setup {
 		conn, err := client.Dial(addr)
 		if err != nil {
@@ -103,8 +112,8 @@ func run(addr string, connections int, duration time.Duration, prepared bool, wr
 		conn.Close()
 	}
 
-	log.Printf("%d connections against %s for %s (prepared=%v write-every=%d fetch=%d)",
-		connections, addr, duration, prepared, writeEvery, fetchSize)
+	log.Printf("%d connections against %s for %s (prepared=%v write-every=%d fetch=%d txn=%v)",
+		connections, addr, duration, prepared, writeEvery, fetchSize, txn)
 
 	var st stats
 	deadline := time.Now().Add(duration)
@@ -128,6 +137,10 @@ func run(addr string, connections int, duration time.Duration, prepared bool, wr
 				return
 			}
 			defer conn.Close()
+			if txn {
+				txnWorklet(worker, conn, &st, deadline, fail)
+				return
+			}
 			worklet(worker, conn, &st, deadline, prepared, writeEvery, fetchSize, fail)
 		}(w)
 	}
@@ -148,10 +161,10 @@ func run(addr string, connections int, duration time.Duration, prepared bool, wr
 		i := int(p * float64(len(lat)-1))
 		return lat[i]
 	}
-	log.Printf("%d requests in %s: %.0f req/s, p50 %s p95 %s p99 %s, %d errors, %d wrong answers",
+	log.Printf("%d requests in %s: %.0f req/s, p50 %s p95 %s p99 %s, %d conflict retries, %d errors, %d wrong answers",
 		reqs, elapsed, float64(reqs)/elapsed.Seconds(),
 		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond), pct(0.99).Round(time.Microsecond),
-		errs, wrong)
+		st.conflicts.Load(), errs, wrong)
 
 	if errs > 0 || wrong > 0 {
 		select {
@@ -223,5 +236,119 @@ func worklet(worker int, conn *client.Conn, st *stats, deadline time.Time, prepa
 			fail(fmt.Errorf("worker %d: answer diverged: %v", worker, got))
 			return
 		}
+	}
+}
+
+// txnWorklet is one connection's transaction loop: read-modify-write
+// against the shared TXNK table. Each transaction reads the worker's own
+// rows under the BEGIN-time snapshot, inserts the next sequence value
+// derived from that read, re-reads to see its own write, and commits —
+// retrying from BEGIN on write conflicts. Every 5th transaction rolls
+// itself back instead. The sequence numbers double as the verifier: a
+// lost update, torn transaction, or leaked rollback would break the
+// exact 0..committed-1 run the final read checks for.
+func txnWorklet(worker int, conn *client.Conn, st *stats, deadline time.Time, fail func(error)) {
+	ctx := context.Background()
+	countQ := fmt.Sprintf(`SELECT TXNK.N FROM TXNK WHERE TXNK.W = %d`, worker)
+
+	// readSeqs returns the worker's committed-or-own sequence values.
+	readSeqs := func() ([]int, error) {
+		rows, err := conn.Query(ctx, countQ)
+		if err != nil {
+			return nil, err
+		}
+		got, _, err := rows.All()
+		if err != nil {
+			return nil, err
+		}
+		out := make([]int, 0, len(got))
+		for _, row := range got {
+			n, err := strconv.Atoi(row[0])
+			if err != nil {
+				return nil, fmt.Errorf("unparsable sequence %q", row[0])
+			}
+			out = append(out, n)
+		}
+		return out, nil
+	}
+	isConflict := func(err error) bool {
+		fe, ok := fuzzydb.AsError(err)
+		return ok && fe.Code == fuzzydb.CodeTxnConflict
+	}
+
+	committed := 0
+	for i := 0; time.Now().Before(deadline); i++ {
+		start := time.Now()
+		rollback := i%5 == 4
+		for {
+			if err := conn.Begin(ctx); err != nil {
+				fail(fmt.Errorf("worker %d: begin: %w", worker, err))
+				return
+			}
+			seqs, err := readSeqs()
+			if err != nil {
+				fail(fmt.Errorf("worker %d: snapshot read: %w", worker, err))
+				return
+			}
+			if len(seqs) != committed {
+				st.wrong.Add(1)
+				fail(fmt.Errorf("worker %d: snapshot read saw %d rows, committed %d", worker, len(seqs), committed))
+				return
+			}
+			err = conn.Exec(ctx, fmt.Sprintf(`INSERT INTO TXNK VALUES (%d, %d)`, worker, committed))
+			if isConflict(err) {
+				st.conflicts.Add(1)
+				continue // the server rolled the transaction back; retry
+			}
+			if err != nil {
+				fail(fmt.Errorf("worker %d: insert: %w", worker, err))
+				return
+			}
+			seqs, err = readSeqs()
+			if err != nil {
+				fail(fmt.Errorf("worker %d: read own write: %w", worker, err))
+				return
+			}
+			if len(seqs) != committed+1 {
+				st.wrong.Add(1)
+				fail(fmt.Errorf("worker %d: own write invisible: %d rows, want %d", worker, len(seqs), committed+1))
+				return
+			}
+			if rollback {
+				if err := conn.Rollback(ctx); err != nil {
+					fail(fmt.Errorf("worker %d: rollback: %w", worker, err))
+					return
+				}
+				break
+			}
+			err = conn.Commit(ctx)
+			if isConflict(err) {
+				st.conflicts.Add(1)
+				continue
+			}
+			if err != nil {
+				fail(fmt.Errorf("worker %d: commit: %w", worker, err))
+				return
+			}
+			committed++
+			break
+		}
+		st.record(time.Since(start))
+	}
+
+	// Final verification: exactly the committed sequence, nothing else.
+	seqs, err := readSeqs()
+	if err != nil {
+		fail(fmt.Errorf("worker %d: final read: %w", worker, err))
+		return
+	}
+	sort.Ints(seqs)
+	ok := len(seqs) == committed
+	for i := 0; ok && i < len(seqs); i++ {
+		ok = seqs[i] == i
+	}
+	if !ok {
+		st.wrong.Add(1)
+		fail(fmt.Errorf("worker %d: final sequence %v, want exactly 0..%d", worker, seqs, committed-1))
 	}
 }

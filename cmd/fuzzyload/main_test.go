@@ -36,28 +36,32 @@ func startServer(t *testing.T) string {
 func TestRunModes(t *testing.T) {
 	addr := startServer(t)
 	// Plain streaming queries; the first run also creates the schema.
-	if err := run(addr, 3, 300*time.Millisecond, false, 0, 0, true); err != nil {
+	if err := run(addr, 3, 300*time.Millisecond, false, 0, 0, true, false); err != nil {
 		t.Fatalf("plain run: %v", err)
 	}
 	// Prepared statements with a write mixed in, reusing the schema.
-	if err := run(addr, 3, 300*time.Millisecond, true, 3, 0, false); err != nil {
+	if err := run(addr, 3, 300*time.Millisecond, true, 3, 0, false, false); err != nil {
 		t.Fatalf("prepared+write run: %v", err)
 	}
 	// Cursor mode.
-	if err := run(addr, 2, 300*time.Millisecond, false, 0, 1, false); err != nil {
+	if err := run(addr, 2, 300*time.Millisecond, false, 0, 1, false, false); err != nil {
 		t.Fatalf("cursor run: %v", err)
+	}
+	// Transactional read-modify-write mode.
+	if err := run(addr, 3, 300*time.Millisecond, false, 0, 0, false, true); err != nil {
+		t.Fatalf("txn run: %v", err)
 	}
 }
 
 func TestRunFailures(t *testing.T) {
 	// No server at the address: setup fails.
-	if err := run("127.0.0.1:1", 1, 100*time.Millisecond, false, 0, 0, true); err == nil {
+	if err := run("127.0.0.1:1", 1, 100*time.Millisecond, false, 0, 0, true, false); err == nil {
 		t.Error("run against a dead address succeeded")
 	}
 	// Skipping setup against an empty database: every query errors and
 	// the run reports them.
 	addr := startServer(t)
-	if err := run(addr, 2, 200*time.Millisecond, false, 0, 0, false); err == nil {
+	if err := run(addr, 2, 200*time.Millisecond, false, 0, 0, false, false); err == nil {
 		t.Error("run against an empty database reported no errors")
 	}
 }

@@ -85,6 +85,12 @@ type Env struct {
 	// (set for the duration of a *Context evaluation call).
 	ctx context.Context
 
+	// snap, when non-nil, is the snapshot the current evaluation reads
+	// under: heap scans are bounded to the snapshot's committed tuple
+	// counts (see snapshot.go). Set for the duration of one statement (or
+	// one transaction's statements); nil means live reads.
+	snap *Snapshot
+
 	// analyze, when non-nil, is the EXPLAIN ANALYZE collection the run
 	// path attaches per-operator stats nodes to (set for the duration of
 	// an *Analyze evaluation call).
@@ -279,7 +285,19 @@ func (e *Env) source(tr fsql.TableRef) (exec.Source, error) {
 			return nil, err
 		}
 		e.noteHeap(h)
-		var src exec.Source = exec.NewHeapSource(h)
+		var src exec.Source
+		if e.snap != nil && !e.snap.Live(h) {
+			sn, ok := e.snap.Lookup(h)
+			if !ok {
+				// The name resolves to a heap created (or swapped in by a
+				// DELETE rewrite) after the snapshot was taken: the
+				// transaction cannot see a consistent state of it.
+				return nil, fmt.Errorf("core: %w: relation %q changed after the transaction began", ErrTxnConflict, name)
+			}
+			src = exec.NewHeapSourceAt(h, sn.Tuples)
+		} else {
+			src = exec.NewHeapSource(h)
+		}
 		if alias != "" && relKey(alias) != h.Schema.Name {
 			src = &renameSource{Source: src, schema: h.Schema.WithName(relKey(alias))}
 		}
@@ -438,7 +456,7 @@ func (e *Env) sortSource(src exec.Source, attr string, total bool) (exec.Source,
 	if e.external() {
 		if heapBase != nil {
 			key := sortKey{heap: heapBase, attr: attrIdx, total: total}
-			if ent, ok := e.sortHeap[key]; ok && ent.version == heapBase.Version() {
+			if ent, ok := e.sortHeap[key]; ok && ent.version == e.heapVersion(heapBase) {
 				e.Counters.SortCacheHits.Add(1)
 				var out exec.Source = &renameSource{Source: exec.NewHeapSource(ent.sorted), schema: src.Schema()}
 				out = exec.WithContext(e.ctx, out)
@@ -471,7 +489,10 @@ func (e *Env) sortSource(src exec.Source, attr string, total bool) (exec.Source,
 		miss := heapBase != nil
 		if miss {
 			key := sortKey{heap: heapBase, attr: attrIdx, total: total}
-			e.storeHeapSort(key, &heapSortEntry{version: heapBase.Version(), sorted: sorted})
+			// Keyed by the version the evaluation saw: a bounded snapshot
+			// scan's sorted copy must only serve readers of that snapshot
+			// state, never the live (possibly further-appended) heap.
+			e.storeHeapSort(key, &heapSortEntry{version: e.heapVersion(heapBase), sorted: sorted})
 			e.Counters.SortCacheMisses.Add(1)
 		}
 		out := exec.Source(exec.NewHeapSource(sorted))

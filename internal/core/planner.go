@@ -39,7 +39,10 @@ func (e *Env) BoundSchema(tr fsql.TableRef) (*frel.Schema, error) {
 // RelStats resolves the planner statistics of a referenced relation;
 // in-memory relations maintain them incrementally, heap files build them
 // with one scan and maintain them on append (see frel.Relation.Stats and
-// storage.HeapFile.Stats).
+// storage.HeapFile.Stats). Heap statistics are returned as an independent
+// snapshot: the plan holds them across the statement while the single
+// writer may keep appending (estimates may include uncommitted rows,
+// which only affects costing, never answers).
 func (e *Env) RelStats(tr fsql.TableRef) (*frel.TableStats, error) {
 	if r, ok := e.mem[relKey(tr.Name)]; ok {
 		return r.Stats(), nil
@@ -49,7 +52,7 @@ func (e *Env) RelStats(tr fsql.TableRef) (*frel.TableStats, error) {
 		if err != nil {
 			return nil, err
 		}
-		return h.Stats()
+		return h.StatsSnapshot()
 	}
 	return nil, fmt.Errorf("core: unknown relation %q", tr.Name)
 }

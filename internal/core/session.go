@@ -9,6 +9,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/frel"
 	"repro/internal/fsql"
+	"repro/internal/plan"
 	"repro/internal/storage"
 )
 
@@ -22,6 +23,17 @@ type Session struct {
 	// storage with its parent, owns only its evaluation environment, and
 	// its Close releases the environment instead of the storage manager.
 	forked bool
+
+	// txn is the session's open explicit transaction, if any: the
+	// snapshot every statement of the transaction reads under, and the
+	// storage transaction opened lazily at the first write.
+	txn *sessTxn
+}
+
+// sessTxn is the session-level state of one explicit transaction.
+type sessTxn struct {
+	snap *Snapshot
+	stx  *storage.Tx // nil until the first write
 }
 
 // NewSession opens a session over the catalog.
@@ -71,11 +83,11 @@ func (s *Session) ExecContext(ctx context.Context, stmt fsql.Statement) (*frel.R
 	}
 	switch st := stmt.(type) {
 	case *fsql.Select:
-		return s.Env.EvalUnnestedContext(ctx, st)
+		return s.EvalSelect(ctx, st)
 
 	case *fsql.Explain:
 		if st.Analyze {
-			_, stats, err := s.Env.EvalUnnestedAnalyze(ctx, st.Query)
+			_, stats, err := s.EvalAnalyze(ctx, st.Query)
 			if err != nil {
 				return nil, err
 			}
@@ -88,7 +100,19 @@ func (s *Session) ExecContext(ctx context.Context, stmt fsql.Statement) (*frel.R
 		lines := []string{fmt.Sprintf("strategy: %s (%s)", p.Strategy, p.Note)}
 		return planRelation(append(lines, p.Lines()...)), nil
 
+	case *fsql.Begin:
+		return nil, s.beginTxn()
+
+	case *fsql.Commit:
+		return nil, s.commitTxn()
+
+	case *fsql.Rollback:
+		return nil, s.rollbackTxn()
+
 	case *fsql.CreateTable:
+		if err := s.barrier("CREATE TABLE"); err != nil {
+			return nil, err
+		}
 		schema := frel.NewSchema(st.Name, st.Attrs...)
 		if _, err := s.cat.CreateRelation(st.Name, schema); err != nil {
 			return nil, err
@@ -96,6 +120,9 @@ func (s *Session) ExecContext(ctx context.Context, stmt fsql.Statement) (*frel.R
 		return nil, s.cat.Save()
 
 	case *fsql.DropTable:
+		if err := s.barrier("DROP TABLE"); err != nil {
+			return nil, err
+		}
 		if err := s.cat.DropRelation(st.Name); err != nil {
 			return nil, err
 		}
@@ -105,9 +132,15 @@ func (s *Session) ExecContext(ctx context.Context, stmt fsql.Statement) (*frel.R
 		return nil, s.insert(st)
 
 	case *fsql.Delete:
+		if err := s.barrier("DELETE"); err != nil {
+			return nil, err
+		}
 		return nil, s.delete(st)
 
 	case *fsql.Checkpoint:
+		if err := s.barrier("CHECKPOINT"); err != nil {
+			return nil, err
+		}
 		return nil, s.cat.Manager().Checkpoint()
 
 	case *fsql.DefineTerm:
@@ -117,6 +150,9 @@ func (s *Session) ExecContext(ctx context.Context, stmt fsql.Statement) (*frel.R
 		if s.Env.HasTermScope() {
 			return nil, s.Env.DefineScopedTerm(st.Name, st.Value)
 		}
+		if err := s.barrier("DEFINE TERM"); err != nil {
+			return nil, err
+		}
 		if err := s.cat.DefineTerm(st.Name, st.Value); err != nil {
 			return nil, err
 		}
@@ -125,6 +161,119 @@ func (s *Session) ExecContext(ctx context.Context, stmt fsql.Statement) (*frel.R
 	default:
 		return nil, fmt.Errorf("core: unsupported statement %T", stmt)
 	}
+}
+
+// barrier rejects statements that cannot run inside an explicit
+// transaction: they mutate shared structures in place (DDL, DELETE's
+// rewrite, the shared term dictionary) or flush state a transaction may
+// still roll back (CHECKPOINT). The caller runs them as barrier
+// operations between transactions instead.
+func (s *Session) barrier(what string) error {
+	if s.txn != nil {
+		return fmt.Errorf("core: %s cannot run inside a transaction", what)
+	}
+	return nil
+}
+
+// InTxn reports whether the session has an open explicit transaction.
+func (s *Session) InTxn() bool { return s.txn != nil }
+
+// beginTxn opens an explicit transaction: every following statement reads
+// under the snapshot taken here, until COMMIT or ROLLBACK.
+func (s *Session) beginTxn() error {
+	if s.txn != nil {
+		return fmt.Errorf("core: BEGIN inside an open transaction")
+	}
+	if !s.cat.Manager().WALEnabled() {
+		return fmt.Errorf("core: explicit transactions require the write-ahead log")
+	}
+	snap := s.Env.takeSnapshot()
+	if snap == nil {
+		return fmt.Errorf("core: explicit transactions require the write-ahead log")
+	}
+	s.txn = &sessTxn{snap: snap}
+	return nil
+}
+
+// commitTxn makes the open transaction's writes durable and visible. A
+// read-only transaction (no writes) just releases its snapshot.
+func (s *Session) commitTxn() error {
+	if s.txn == nil {
+		return fmt.Errorf("core: COMMIT outside a transaction")
+	}
+	t := s.txn
+	s.txn = nil
+	if t.stx == nil {
+		return nil
+	}
+	return t.stx.Commit()
+}
+
+// rollbackTxn discards the open transaction's writes.
+func (s *Session) rollbackTxn() error {
+	if s.txn == nil {
+		return fmt.Errorf("core: ROLLBACK outside a transaction")
+	}
+	t := s.txn
+	s.txn = nil
+	if t.stx == nil {
+		return nil
+	}
+	return t.stx.Rollback()
+}
+
+// abortTxn rolls back the open transaction after a failed write,
+// preserving the original error.
+func (s *Session) abortTxn(cause error) error {
+	t := s.txn
+	s.txn = nil
+	if t != nil && t.stx != nil {
+		if rbErr := t.stx.Rollback(); rbErr != nil {
+			return fmt.Errorf("%w (rollback also failed: %v)", cause, rbErr)
+		}
+	}
+	return cause
+}
+
+// readSnapshot returns the snapshot the next read-only evaluation runs
+// under: the open transaction's BEGIN-time snapshot, or a fresh committed
+// cut per statement in auto-commit mode. Nil (live reads) without
+// write-ahead-logged storage.
+func (s *Session) readSnapshot() *Snapshot {
+	if s.txn != nil {
+		return s.txn.snap
+	}
+	return s.Env.takeSnapshot()
+}
+
+// EvalSelect evaluates q under the session's read snapshot (see
+// readSnapshot): the scan of every heap relation is bounded to one
+// consistent committed cut, so the query never blocks behind a concurrent
+// writer and never observes a torn or rolled-back transaction.
+func (s *Session) EvalSelect(ctx context.Context, q *fsql.Select) (*frel.Relation, error) {
+	defer s.Env.setSnapshot(s.readSnapshot())()
+	return s.Env.EvalUnnestedContext(ctx, q)
+}
+
+// EvalAnalyze is EvalSelect returning the executor's plan statistics
+// (EXPLAIN ANALYZE).
+func (s *Session) EvalAnalyze(ctx context.Context, q *fsql.Select) (*frel.Relation, *ExecStats, error) {
+	defer s.Env.setSnapshot(s.readSnapshot())()
+	return s.Env.EvalUnnestedAnalyze(ctx, q)
+}
+
+// EvalPlan executes a previously built plan under the session's read
+// snapshot (prepared-statement path).
+func (s *Session) EvalPlan(ctx context.Context, p *plan.Plan) (*frel.Relation, error) {
+	defer s.Env.setSnapshot(s.readSnapshot())()
+	return s.Env.EvalPlanContext(ctx, p)
+}
+
+// EvalNaive evaluates q with the naive nested-loop strategy under the
+// session's read snapshot (the ablation baseline).
+func (s *Session) EvalNaive(ctx context.Context, q *fsql.Select) (*frel.Relation, error) {
+	defer s.Env.setSnapshot(s.readSnapshot())()
+	return s.Env.EvalNaiveContext(ctx, q)
 }
 
 // planRelation packs text lines into a single-column crisp relation, the
@@ -195,7 +344,11 @@ func (s *Session) insert(st *fsql.Insert) error {
 			return fmt.Errorf("core: INSERT values must be literals")
 		}
 	}
-	if err := h.Append(frel.NewTuple(st.Degree, vals...)); err != nil {
+	tuple := frel.NewTuple(st.Degree, vals...)
+	if s.txn != nil {
+		return s.txnWrite(st.Table, h, tuple)
+	}
+	if err := h.Append(tuple); err != nil {
 		return err
 	}
 	if s.cat.Manager().WALEnabled() {
@@ -204,6 +357,37 @@ func (s *Session) insert(st *fsql.Insert) error {
 		return nil
 	}
 	return h.Flush()
+}
+
+// txnWrite appends a tuple on behalf of the open transaction. The first
+// write to a relation validates the transaction's snapshot against the
+// relation's committed state (first-writer-wins conflict detection: a
+// concurrent transaction committed to the relation after this
+// transaction's BEGIN aborts it) and upgrades the relation to live
+// visibility, so later statements of the transaction read their own
+// writes.
+func (s *Session) txnWrite(name string, h *storage.HeapFile, tuple frel.Tuple) error {
+	t := s.txn
+	if !t.snap.Live(h) {
+		sn, ok := t.snap.Lookup(h)
+		if !ok || sn.Version != h.CommittedVersion() {
+			return s.abortTxn(fmt.Errorf("core: %w: relation %q changed after the transaction began", ErrTxnConflict, name))
+		}
+	}
+	if t.stx == nil {
+		stx, err := s.cat.Manager().BeginTxn()
+		if err != nil {
+			s.txn = nil
+			return err
+		}
+		t.stx = stx
+	}
+	// Append rides the manager's open transaction (t.stx).
+	if err := h.Append(tuple); err != nil {
+		return s.abortTxn(err)
+	}
+	t.snap.SetLive(h)
+	return nil
 }
 
 // delete removes the tuples of a relation whose condition is satisfied
@@ -295,10 +479,20 @@ func OpenSessionOptions(dir string, opts SessionOptions) (*Session, error) {
 // checkpointing: committed work replays from the log on the next open. A
 // forked session only drops its cached sort temporaries — the shared
 // storage stays open for its parent and siblings.
+// A session closed with a transaction still open rolls it back first
+// (a client that disconnects mid-transaction must not leave its writes
+// behind).
 func (s *Session) Close() error {
+	var first error
+	if s.txn != nil {
+		first = s.rollbackTxn()
+	}
 	if s.forked {
 		s.Env.ReleaseSortCache()
-		return nil
+		return first
 	}
-	return s.cat.Manager().Close()
+	if err := s.cat.Manager().Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
 }

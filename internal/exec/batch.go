@@ -202,7 +202,7 @@ func (m *KeyedMemSource) OpenBatch() (BatchIterator, error) {
 // OpenBatch implements BatchSource: the scan decodes a page-sized batch at
 // a time into a reused buffer.
 func (h *HeapSource) OpenBatch() (BatchIterator, error) {
-	return &heapBatchIterator{sc: h.Heap.Scan()}, nil
+	return &heapBatchIterator{sc: h.scan()}, nil
 }
 
 type heapBatchIterator struct {

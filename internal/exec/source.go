@@ -105,20 +105,37 @@ func (it *memIterator) Err() error { return nil }
 func (it *memIterator) Close()     {}
 
 // HeapSource serves tuples from an on-disk heap file through its buffer
-// pool, so scans are charged page I/O.
+// pool, so scans are charged page I/O. Limit, when non-negative, bounds
+// the scan to the first Limit tuples — the snapshot-visibility bound of
+// MVCC reads (heaps are append-only, so a committed prefix is a
+// consistent state).
 type HeapSource struct {
-	Heap *storage.HeapFile
+	Heap  *storage.HeapFile
+	Limit int64
 }
 
-// NewHeapSource wraps a heap file.
-func NewHeapSource(h *storage.HeapFile) *HeapSource { return &HeapSource{Heap: h} }
+// NewHeapSource wraps a heap file for a full (unbounded) scan.
+func NewHeapSource(h *storage.HeapFile) *HeapSource { return &HeapSource{Heap: h, Limit: -1} }
+
+// NewHeapSourceAt wraps a heap file for a scan of its first limit tuples
+// only, the snapshot-read entry point.
+func NewHeapSourceAt(h *storage.HeapFile, limit int64) *HeapSource {
+	return &HeapSource{Heap: h, Limit: limit}
+}
 
 // Schema implements Source.
 func (h *HeapSource) Schema() *frel.Schema { return h.Heap.Schema }
 
+func (h *HeapSource) scan() *storage.Scanner {
+	if h.Limit >= 0 {
+		return h.Heap.ScanAt(h.Limit)
+	}
+	return h.Heap.Scan()
+}
+
 // Open implements Source.
 func (h *HeapSource) Open() (Iterator, error) {
-	return &heapIterator{sc: h.Heap.Scan()}, nil
+	return &heapIterator{sc: h.scan()}, nil
 }
 
 type heapIterator struct {

@@ -86,6 +86,17 @@ func (ts *TableStats) Observe(t Tuple) {
 	}
 }
 
+// Clone returns an independent deep copy of the statistics, safe to read
+// while the original keeps being maintained incrementally by a writer.
+func (ts *TableStats) Clone() *TableStats {
+	c := &TableStats{Rows: ts.Rows, Attrs: make([]AttrStats, len(ts.Attrs))}
+	copy(c.Attrs, ts.Attrs)
+	for i := range c.Attrs {
+		c.Attrs[i].sketch.h = append([]uint64(nil), ts.Attrs[i].sketch.h...)
+	}
+	return c
+}
+
 // ObserveAll folds a slice of tuples into the statistics.
 func (ts *TableStats) ObserveAll(tuples []Tuple) {
 	for _, t := range tuples {

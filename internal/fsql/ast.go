@@ -315,6 +315,33 @@ func (*Checkpoint) stmt() {}
 // String renders the statement.
 func (*Checkpoint) String() string { return "CHECKPOINT" }
 
+// Begin is a BEGIN statement: open an explicit multi-statement
+// transaction with snapshot reads and all-or-nothing commit.
+type Begin struct{}
+
+func (*Begin) stmt() {}
+
+// String renders the statement.
+func (*Begin) String() string { return "BEGIN" }
+
+// Commit is a COMMIT statement: make the open transaction's writes
+// durable and visible to new snapshots, atomically.
+type Commit struct{}
+
+func (*Commit) stmt() {}
+
+// String renders the statement.
+func (*Commit) String() string { return "COMMIT" }
+
+// Rollback is a ROLLBACK statement: undo the open transaction, leaving
+// every relation (tuples and degrees) as it was before BEGIN.
+type Rollback struct{}
+
+func (*Rollback) stmt() {}
+
+// String renders the statement.
+func (*Rollback) String() string { return "ROLLBACK" }
+
 // Insert is an INSERT statement. Values are literal operands (references
 // are not allowed); string literals inserted into numeric attributes are
 // resolved via the linguistic-term dictionary at execution time. Degree is

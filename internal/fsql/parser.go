@@ -212,6 +212,21 @@ func (p *parser) parseStatement() (Statement, error) {
 			return nil, err
 		}
 		return &Checkpoint{}, nil
+	case p.kw("BEGIN"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &Begin{}, nil
+	case p.kw("COMMIT"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &Commit{}, nil
+	case p.kw("ROLLBACK"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &Rollback{}, nil
 	default:
 		return nil, fmt.Errorf("fsql: expected a statement, got %s", p.tok)
 	}

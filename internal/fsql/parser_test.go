@@ -1,6 +1,7 @@
 package fsql
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -594,6 +595,50 @@ func TestParseCheckpoint(t *testing.T) {
 		t.Errorf("statement 1 = %T", stmts[1])
 	}
 	if _, err := ParseStatement(`CHECKPOINT NOW`); err == nil {
+		t.Errorf("trailing tokens: want error")
+	}
+}
+
+func TestParseTransactionControl(t *testing.T) {
+	cases := []struct {
+		sql  string
+		want Statement
+	}{
+		{"BEGIN", &Begin{}},
+		{"begin", &Begin{}},
+		{"COMMIT", &Commit{}},
+		{"ROLLBACK", &Rollback{}},
+	}
+	for _, c := range cases {
+		st, err := ParseStatement(c.sql)
+		if err != nil {
+			t.Fatalf("%s: %v", c.sql, err)
+		}
+		if fmt.Sprintf("%T", st) != fmt.Sprintf("%T", c.want) {
+			t.Errorf("%s parsed to %T, want %T", c.sql, st, c.want)
+		}
+		if got := st.String(); got != strings.ToUpper(c.sql) {
+			t.Errorf("%s String = %q", c.sql, got)
+		}
+	}
+	// Script form: a whole transaction parses statement by statement.
+	stmts, err := ParseScript(`BEGIN; INSERT INTO R VALUES (1); COMMIT; BEGIN; ROLLBACK;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 5 {
+		t.Fatalf("script parsed to %d statements, want 5", len(stmts))
+	}
+	if _, ok := stmts[0].(*Begin); !ok {
+		t.Errorf("statement 0 = %T, want *Begin", stmts[0])
+	}
+	if _, ok := stmts[2].(*Commit); !ok {
+		t.Errorf("statement 2 = %T, want *Commit", stmts[2])
+	}
+	if _, ok := stmts[4].(*Rollback); !ok {
+		t.Errorf("statement 4 = %T, want *Rollback", stmts[4])
+	}
+	if _, err := ParseStatement(`BEGIN TRANSACTION`); err == nil {
 		t.Errorf("trailing tokens: want error")
 	}
 }

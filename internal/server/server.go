@@ -9,8 +9,11 @@
 // through a bounded worker semaphore, so a thousand idle connections cost
 // a thousand blocked reads while at most MaxWorkers statements run. The
 // engine underneath lets read-only statements of different sessions run
-// concurrently; mutations serialize behind the database writer lock (the
-// engine is single-writer, see DESIGN.md §12).
+// concurrently against committed snapshots; writes — including each
+// connection's BEGIN/COMMIT transactions — serialize behind the database
+// writer mutex (the engine is single-writer, see DESIGN.md §13). A
+// connection that drops mid-transaction rolls it back when its session
+// closes, and Shutdown's drain does the same before checkpointing.
 package server
 
 import (

@@ -1,0 +1,197 @@
+package server_test
+
+import (
+	"context"
+	"net"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/pkg/client"
+	"repro/pkg/fuzzydb"
+)
+
+// columnValues runs a one-column query and returns the sorted values.
+func columnValues(t *testing.T, conn *client.Conn, query string) []string {
+	t.Helper()
+	rows, err := conn.Query(context.Background(), query)
+	if err != nil {
+		t.Fatalf("Query(%q): %v", query, err)
+	}
+	vals, _, err := rows.All()
+	if err != nil {
+		t.Fatalf("rows(%q): %v", query, err)
+	}
+	out := make([]string, 0, len(vals))
+	for _, row := range vals {
+		out = append(out, row[0])
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestLoopbackTxnConflictKeepsConnectionAlive drives a write-write
+// conflict over the wire: the losing transaction gets CodeTxnConflict
+// and is rolled back server-side, but the connection (and its session)
+// stays usable — including an immediate retry of the same transaction.
+func TestLoopbackTxnConflictKeepsConnectionAlive(t *testing.T) {
+	addr, _ := startServer(t, server.Config{})
+	a := dial(t, addr)
+	b := dial(t, addr)
+	ctx := context.Background()
+
+	if err := a.Exec(ctx, `CREATE TABLE C (X NUMBER)`); err != nil {
+		t.Fatalf("Exec: %v", err)
+	}
+
+	// a's snapshot predates b's committed write, so a's own write must
+	// conflict (first-writer-wins validation against the snapshot).
+	if err := a.Begin(ctx); err != nil {
+		t.Fatalf("Begin: %v", err)
+	}
+	if err := b.Exec(ctx, `INSERT INTO C VALUES (1)`); err != nil {
+		t.Fatalf("concurrent insert: %v", err)
+	}
+	err := a.Exec(ctx, `INSERT INTO C VALUES (2)`)
+	fe, ok := fuzzydb.AsError(err)
+	if !ok || fe.Code != fuzzydb.CodeTxnConflict {
+		t.Fatalf("conflicting insert error = %v, want code %v", err, fuzzydb.CodeTxnConflict)
+	}
+
+	// The transaction is gone (rolled back server-side), the connection is
+	// not: plain statements run and see b's committed row.
+	if got := columnValues(t, a, `SELECT C.X FROM C`); len(got) != 1 || got[0] != "1" {
+		t.Fatalf("after conflict: table = %v, want [1]", got)
+	}
+
+	// Retrying from BEGIN on the same connection succeeds.
+	if err := a.Begin(ctx); err != nil {
+		t.Fatalf("retry Begin: %v", err)
+	}
+	if err := a.Exec(ctx, `INSERT INTO C VALUES (2)`); err != nil {
+		t.Fatalf("retry insert: %v", err)
+	}
+	if err := a.Commit(ctx); err != nil {
+		t.Fatalf("retry Commit: %v", err)
+	}
+	if got := columnValues(t, b, `SELECT C.X FROM C`); len(got) != 2 {
+		t.Fatalf("after retry: table = %v, want two rows", got)
+	}
+}
+
+// TestLoopbackDisconnectRollsBackTxn kills a client mid-transaction and
+// checks the server rolls the transaction back: its writes vanish and
+// the writer mutex is released, so other sessions can write again.
+func TestLoopbackDisconnectRollsBackTxn(t *testing.T) {
+	addr, _ := startServer(t, server.Config{})
+	setup := dial(t, addr)
+	ctx := context.Background()
+	if err := setup.Exec(ctx, `CREATE TABLE D (X NUMBER); INSERT INTO D VALUES (1)`); err != nil {
+		t.Fatalf("Exec: %v", err)
+	}
+
+	a, err := client.Dial(addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	if err := a.Begin(ctx); err != nil {
+		t.Fatalf("Begin: %v", err)
+	}
+	if err := a.Exec(ctx, `INSERT INTO D VALUES (2); INSERT INTO D VALUES (3)`); err != nil {
+		t.Fatalf("insert in txn: %v", err)
+	}
+	// Drop the connection with the transaction open. The server-side
+	// session close rolls it back and releases the writer mutex.
+	if err := a.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// This write blocks on the writer mutex until the server finishes
+	// tearing down a's session — its success proves the rollback ran.
+	if err := setup.Exec(ctx, `INSERT INTO D VALUES (4)`); err != nil {
+		t.Fatalf("insert after disconnect: %v", err)
+	}
+	got := columnValues(t, setup, `SELECT D.X FROM D`)
+	want := []string{"1", "4"}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("after disconnect: table = %v, want %v (mid-txn writes rolled back)", got, want)
+	}
+}
+
+// TestLoopbackShutdownDrainsOpenTxn shuts the server down while a client
+// holds an open transaction with unflushed writes. The drain must resolve
+// the transaction (roll it back) before the final checkpoint — otherwise
+// the checkpoint would deadlock on the writer mutex — and a reopen of the
+// same directory must show the committed state only.
+func TestLoopbackShutdownDrainsOpenTxn(t *testing.T) {
+	dir := t.TempDir()
+	db, err := fuzzydb.Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	srv := server.New(db, server.Config{Logf: t.Logf})
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(lis) }()
+
+	conn, err := client.Dial(lis.Addr().String())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer conn.Close()
+	ctx := context.Background()
+	if err := conn.Exec(ctx, `CREATE TABLE G (X NUMBER); INSERT INTO G VALUES (1)`); err != nil {
+		t.Fatalf("Exec: %v", err)
+	}
+	if err := conn.Begin(ctx); err != nil {
+		t.Fatalf("Begin: %v", err)
+	}
+	if err := conn.Exec(ctx, `INSERT INTO G VALUES (2)`); err != nil {
+		t.Fatalf("insert in txn: %v", err)
+	}
+
+	sctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		t.Fatalf("Shutdown with open txn: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err != server.ErrServerClosed {
+			t.Errorf("Serve returned %v, want ErrServerClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return")
+	}
+
+	// Reopen the directory: the auto-committed row recovered, the open
+	// transaction's write did not.
+	re, err := fuzzydb.Open(dir)
+	if err != nil {
+		t.Fatalf("reopen after shutdown: %v", err)
+	}
+	defer re.Close()
+	rows, err := re.QueryRows(ctx, `SELECT G.X FROM G`)
+	if err != nil {
+		t.Fatalf("query after reopen: %v", err)
+	}
+	defer rows.Close()
+	var vals []string
+	for rows.Next() {
+		var x string
+		if err := rows.Scan(&x); err != nil {
+			t.Fatalf("Scan: %v", err)
+		}
+		vals = append(vals, x)
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatalf("rows: %v", err)
+	}
+	if len(vals) != 1 || vals[0] != "1" {
+		t.Fatalf("recovered table = %v, want [1] (open txn rolled back by drain)", vals)
+	}
+}

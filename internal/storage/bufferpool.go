@@ -17,10 +17,17 @@ type frameKey struct {
 // modified). Pinned frames are never evicted — the property the extended
 // merge-join relies on when it keeps the pages of the current Rng(r) in
 // memory (Section 3 of the paper).
+//
+// A frame may be pinned by several goroutines at once (snapshot readers
+// scanning a relation the writer is appending to); Latch arbitrates access
+// to Data in that case. Heap scans hold it shared per record, appends hold
+// it exclusively per record, so a reader never waits longer than one tuple
+// copy.
 type Frame struct {
 	pager   *Pager
 	ID      PageID
 	Data    []byte
+	Latch   sync.RWMutex // guards Data when a frame is shared across goroutines
 	pins    int
 	dirty   bool
 	nosteal bool          // holds uncommitted data; must not be written out
@@ -38,7 +45,7 @@ type Frame struct {
 // lock, serializing disk access exactly like the single disk arm of the
 // paper's testbed. Frame.Data of a pinned frame may be read or written
 // without the lock — a pinned frame is never evicted or handed to another
-// page — but two goroutines must not share one pinned frame.
+// page — but goroutines sharing one pinned frame must take Frame.Latch.
 type BufferPool struct {
 	mu       sync.Mutex
 	capacity int
@@ -273,6 +280,27 @@ func (bp *BufferPool) FlushAll() error {
 			}
 			f.dirty = false
 		}
+	}
+	return nil
+}
+
+// DiscardPagesFrom forgets every frame of p with ID >= from without
+// writing it back, used by transaction rollback to drop pages the aborted
+// transaction appended (their contents must never reach the disk image
+// the pager is about to truncate away). Frames in the cut must be
+// unpinned: rollback runs with no reader inside the rolled-back region,
+// since snapshot scans never exceed the committed bound.
+func (bp *BufferPool) DiscardPagesFrom(p *Pager, from PageID) error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for key, f := range bp.frames {
+		if key.pager != p || key.id < from {
+			continue
+		}
+		if f.pins > 0 {
+			return fmt.Errorf("storage: DiscardPagesFrom: page %d still pinned", f.ID)
+		}
+		bp.discard(f)
 	}
 	return nil
 }

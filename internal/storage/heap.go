@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/frel"
@@ -41,23 +42,33 @@ type HeapFile struct {
 	mgr     *Manager
 	logName string
 
-	numPages  int64
-	numTuples int64
+	// Geometry counters are atomic: the single writer mutates them while
+	// snapshot readers load them to bound scans and validate caches.
+	numPages  atomic.Int64
+	numTuples atomic.Int64
 
-	// Append cursor.
+	// committed is the tuple count as of the last commit publication, and
+	// committedVer the mutation counter at that point. Together they are
+	// the MVCC visibility horizon: a snapshot reader sees exactly the
+	// first committed tuples (heaps are append-only, so a prefix is a
+	// consistent state). Published under Manager.commitMu.
+	committed    atomic.Int64
+	committedVer atomic.Uint64
+
+	// Append cursor, touched only by the single writer.
 	lastPage PageID
 	lastUsed int // bytes used in the last page (including header)
 	buf      []byte
 
-	// version counts appends; caches keyed by a heap-file pointer (the
-	// engine's sort-order cache) compare versions to detect staleness.
-	version uint64
+	// version counts mutations (appends and rollbacks); caches keyed by a
+	// heap-file pointer (the engine's sort-order cache) compare versions
+	// to detect staleness.
+	version atomic.Uint64
 
 	// stats caches the planner statistics for statsVersion; Stats builds
 	// them with one scan and Append then maintains them incrementally.
 	// statsMu makes the memoization safe for concurrent readers (the
-	// server plans read-only queries in parallel); mutations are already
-	// serialized against all readers by the session layer.
+	// server plans read-only queries in parallel).
 	statsMu      sync.Mutex
 	stats        *frel.TableStats
 	statsVersion uint64
@@ -69,7 +80,30 @@ type HeapFile struct {
 func (h *HeapFile) Stats() (*frel.TableStats, error) {
 	h.statsMu.Lock()
 	defer h.statsMu.Unlock()
-	if h.stats != nil && h.statsVersion == h.version {
+	ts, err := h.statsLocked()
+	if err != nil {
+		return nil, err
+	}
+	return ts, nil
+}
+
+// StatsSnapshot returns an independent copy of the planner statistics,
+// safe to hold across statements while the writer keeps appending (the
+// shared object returned by Stats is mutated incrementally by Append).
+// Estimates may include uncommitted rows; the planner only uses them for
+// costing, never for answers.
+func (h *HeapFile) StatsSnapshot() (*frel.TableStats, error) {
+	h.statsMu.Lock()
+	defer h.statsMu.Unlock()
+	ts, err := h.statsLocked()
+	if err != nil {
+		return nil, err
+	}
+	return ts.Clone(), nil
+}
+
+func (h *HeapFile) statsLocked() (*frel.TableStats, error) {
+	if h.stats != nil && h.statsVersion == h.version.Load() {
 		return h.stats, nil
 	}
 	ts := frel.NewTableStats(len(h.Schema.Attrs))
@@ -85,12 +119,20 @@ func (h *HeapFile) Stats() (*frel.TableStats, error) {
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	h.stats, h.statsVersion = ts, h.version
+	h.stats, h.statsVersion = ts, h.version.Load()
 	return ts, nil
 }
 
 // Version returns the file's mutation counter.
-func (h *HeapFile) Version() uint64 { return h.version }
+func (h *HeapFile) Version() uint64 { return h.version.Load() }
+
+// CommittedTuples returns the number of tuples visible to a snapshot taken
+// now: the count as of the last commit publication.
+func (h *HeapFile) CommittedTuples() int64 { return h.committed.Load() }
+
+// CommittedVersion returns the mutation counter as of the last commit
+// publication.
+func (h *HeapFile) CommittedVersion() uint64 { return h.committedVer.Load() }
 
 // NewHeapFile creates an empty heap file backed by the given pager.
 func NewHeapFile(schema *frel.Schema, pager *Pager, pool *BufferPool) *HeapFile {
@@ -103,18 +145,20 @@ func NewHeapFile(schema *frel.Schema, pager *Pager, pool *BufferPool) *HeapFile 
 // appended to.
 func RecoverHeapFile(schema *frel.Schema, pager *Pager, pool *BufferPool) (*HeapFile, error) {
 	h := NewHeapFile(schema, pager, pool)
-	h.numPages = pager.NumPages()
-	if h.numPages == 0 {
+	numPages := pager.NumPages()
+	h.numPages.Store(numPages)
+	if numPages == 0 {
 		return h, nil
 	}
-	for pid := int64(0); pid < h.numPages; pid++ {
+	var numTuples int64
+	for pid := int64(0); pid < numPages; pid++ {
 		f, err := pool.Get(pager, PageID(pid))
 		if err != nil {
 			return nil, err
 		}
 		count := int(binary.LittleEndian.Uint16(f.Data[0:2]))
-		h.numTuples += int64(count)
-		if pid == h.numPages-1 {
+		numTuples += int64(count)
+		if pid == numPages-1 {
 			// Recover the append cursor by walking the last page.
 			off := pageHeader
 			for i := 0; i < count; i++ {
@@ -130,17 +174,20 @@ func RecoverHeapFile(schema *frel.Schema, pager *Pager, pool *BufferPool) (*Heap
 		}
 		pool.Unpin(f, false)
 	}
+	h.numTuples.Store(numTuples)
+	// Everything on disk after recovery is committed work.
+	h.committed.Store(numTuples)
 	return h, nil
 }
 
 // NumTuples returns the number of tuples appended so far.
-func (h *HeapFile) NumTuples() int64 { return h.numTuples }
+func (h *HeapFile) NumTuples() int64 { return h.numTuples.Load() }
 
 // NumPages returns the number of pages the file occupies.
-func (h *HeapFile) NumPages() int64 { return h.numPages }
+func (h *HeapFile) NumPages() int64 { return h.numPages.Load() }
 
 // Bytes returns the total size of the file in bytes.
-func (h *HeapFile) Bytes() int64 { return h.numPages * PageSize }
+func (h *HeapFile) Bytes() int64 { return h.numPages.Load() * PageSize }
 
 // Pager returns the backing pager.
 func (h *HeapFile) Pager() *Pager { return h.pager }
@@ -169,8 +216,20 @@ func (h *HeapFile) Append(t frel.Tuple) error {
 			}
 			auto = tx
 		}
-		if err := h.mgr.wal.Append(tx.id, h.logName, h.numTuples, rec); err != nil {
-			tx.abandon()
+		// On failure an autocommit or untracked transaction is abandoned
+		// (recovery discards it); a tracked transaction is left open so the
+		// session can Rollback, restoring the in-memory state of heaps its
+		// earlier statements already mutated.
+		if err := tx.touch(h); err != nil {
+			if !tx.tracked {
+				tx.abandon()
+			}
+			return err
+		}
+		if err := h.mgr.wal.Append(tx.id, h.logName, h.numTuples.Load(), rec); err != nil {
+			if !tx.tracked {
+				tx.abandon()
+			}
 			return err
 		}
 	}
@@ -182,7 +241,7 @@ func (h *HeapFile) Append(t frel.Tuple) error {
 		}
 		h.lastPage = f.ID
 		h.lastUsed = pageHeader
-		h.numPages++
+		h.numPages.Add(1)
 		if logged {
 			h.pool.MarkNoSteal(f)
 		}
@@ -192,19 +251,22 @@ func (h *HeapFile) Append(t frel.Tuple) error {
 	if err != nil {
 		return err
 	}
+	f.Latch.Lock()
 	count := binary.LittleEndian.Uint16(f.Data[0:2])
 	binary.LittleEndian.PutUint16(f.Data[h.lastUsed:], uint16(len(rec)))
 	copy(f.Data[h.lastUsed+recHeader:], rec)
 	binary.LittleEndian.PutUint16(f.Data[0:2], count+1)
+	f.Latch.Unlock()
 	h.lastUsed += need
-	h.numTuples++
+	h.numTuples.Add(1)
 	h.statsMu.Lock()
-	if h.stats != nil && h.statsVersion == h.version {
+	v := h.version.Load()
+	if h.stats != nil && h.statsVersion == v {
 		h.stats.Observe(t)
-		h.statsVersion = h.version + 1
+		h.statsVersion = v + 1
 	}
 	h.statsMu.Unlock()
-	h.version++
+	h.version.Add(1)
 	if logged {
 		h.pool.MarkNoSteal(f)
 	}
@@ -273,31 +335,50 @@ func (h *HeapFile) Drop() error {
 }
 
 // Scanner iterates the tuples of a heap file in storage order through the
-// buffer pool. It holds a pin on the current page only, so a scan touches
-// each page once (the access pattern the paper's cost analysis assumes).
+// buffer pool, touching each page once (the access pattern the paper's
+// cost analysis assumes).
+//
+// A scanner may run concurrently with the single writer: the page count is
+// captured at creation and each page's bytes are copied out under one
+// frame-latch acquisition, so record decoding runs lock-free on a private
+// snapshot of the page. A bounded scanner (ScanAt) additionally stops at
+// its snapshot's tuple count, so it only ever decodes records that were
+// committed, and thus fully written, when the snapshot was taken.
 type Scanner struct {
 	h       *HeapFile
+	pages   int64 // page count captured at creation
+	limit   int64 // tuples still to return; -1 = unbounded
 	pageIdx int64
-	frame   *Frame
+	page    []byte // copy of the current page; nil before the first page
+	inPage  bool   // a page copy is loaded and not yet exhausted
 	off     int
 	remain  int // records remaining in the current page
 	err     error
 }
 
-// Scan returns a scanner positioned before the first tuple.
+// Scan returns a scanner positioned before the first tuple, reading
+// through the end of the file.
 func (h *HeapFile) Scan() *Scanner {
-	return &Scanner{h: h}
+	return &Scanner{h: h, pages: h.numPages.Load(), limit: -1}
+}
+
+// ScanAt returns a scanner over the first limit tuples only — the
+// snapshot-read entry point: a reader that captured a committed tuple
+// count sees exactly that prefix, regardless of what the writer appends
+// (or rolls back) meanwhile.
+func (h *HeapFile) ScanAt(limit int64) *Scanner {
+	return &Scanner{h: h, pages: h.numPages.Load(), limit: limit}
 }
 
 // Next returns the next tuple. ok is false when the scan is exhausted or
 // an error occurred; check Err afterwards.
 func (s *Scanner) Next() (t frel.Tuple, ok bool) {
 	for {
-		if s.err != nil {
+		if s.err != nil || s.limit == 0 {
 			return frel.Tuple{}, false
 		}
-		if s.frame == nil {
-			if s.pageIdx >= s.h.numPages {
+		if !s.inPage {
+			if s.pageIdx >= s.pages {
 				return frel.Tuple{}, false
 			}
 			f, err := s.h.pool.Get(s.h.pager, PageID(s.pageIdx))
@@ -305,25 +386,33 @@ func (s *Scanner) Next() (t frel.Tuple, ok bool) {
 				s.err = err
 				return frel.Tuple{}, false
 			}
-			s.frame = f
-			s.remain = int(binary.LittleEndian.Uint16(f.Data[0:2]))
+			if s.page == nil {
+				s.page = make([]byte, PageSize)
+			}
+			f.Latch.RLock()
+			copy(s.page, f.Data)
+			f.Latch.RUnlock()
+			s.h.pool.Unpin(f, false)
+			s.inPage = true
+			s.remain = int(binary.LittleEndian.Uint16(s.page[0:2]))
 			s.off = pageHeader
 		}
 		if s.remain == 0 {
-			s.h.pool.Unpin(s.frame, false)
-			s.frame = nil
+			s.inPage = false
 			s.pageIdx++
 			continue
 		}
-		recLen := int(binary.LittleEndian.Uint16(s.frame.Data[s.off:]))
-		payload := s.frame.Data[s.off+recHeader : s.off+recHeader+recLen]
-		tup, _, err := frel.DecodeTuple(s.h.Schema, payload)
+		recLen := int(binary.LittleEndian.Uint16(s.page[s.off:]))
+		tup, _, err := frel.DecodeTuple(s.h.Schema, s.page[s.off+recHeader:s.off+recHeader+recLen])
 		if err != nil {
 			s.err = err
 			return frel.Tuple{}, false
 		}
 		s.off += recHeader + recLen
 		s.remain--
+		if s.limit > 0 {
+			s.limit--
+		}
 		return tup, true
 	}
 }
@@ -345,12 +434,12 @@ func (s *Scanner) NextBatch(dst []frel.Tuple) []frel.Tuple {
 	return dst
 }
 
-// Close releases the scanner's page pin.
+// Close releases the scanner's resources. The scanner pins each page only
+// while copying it out, so there is nothing pinned to release; Close is
+// kept for symmetry and forward compatibility.
 func (s *Scanner) Close() {
-	if s.frame != nil {
-		s.h.pool.Unpin(s.frame, false)
-		s.frame = nil
-	}
+	s.inPage = false
+	s.page = nil
 }
 
 // Err returns the first error the scanner encountered, if any.
@@ -358,8 +447,18 @@ func (s *Scanner) Err() error { return s.err }
 
 // ReadAll materializes the whole heap file as an in-memory relation.
 func (h *HeapFile) ReadAll() (*frel.Relation, error) {
+	return h.readScanner(h.Scan())
+}
+
+// ReadCommitted materializes the committed prefix of the heap file — the
+// state a fresh snapshot would see, excluding any open transaction's
+// appends.
+func (h *HeapFile) ReadCommitted() (*frel.Relation, error) {
+	return h.readScanner(h.ScanAt(h.committed.Load()))
+}
+
+func (h *HeapFile) readScanner(sc *Scanner) (*frel.Relation, error) {
 	r := frel.NewRelation(h.Schema)
-	sc := h.Scan()
 	defer sc.Close()
 	for {
 		t, ok := sc.Next()
@@ -387,7 +486,42 @@ type Manager struct {
 	seq   int
 	heaps map[string]*HeapFile // logged heaps by log name
 
-	tx *Tx // the open transaction, if any (sessions are single-threaded)
+	tx *Tx // the open transaction, if any (writers are serialized above)
+
+	// commitMu serializes commit publication (updating every touched
+	// heap's committed counters) against Snapshot, so a snapshot is never
+	// a torn view of a half-published commit.
+	commitMu sync.Mutex
+}
+
+// HeapSnap is one heap's visibility horizon inside a snapshot: the
+// committed tuple count and the mutation counter it corresponds to.
+type HeapSnap struct {
+	Tuples  int64
+	Version uint64
+}
+
+// Snapshot captures the committed state of every logged heap as an
+// atomic cut: a reader scanning each heap with ScanAt(snap.Tuples) sees a
+// consistent committed database state, including all-or-nothing
+// transaction visibility. Returns nil without a WAL (no snapshot reads).
+func (m *Manager) Snapshot() map[*HeapFile]HeapSnap {
+	if m.wal == nil {
+		return nil
+	}
+	m.mu.Lock()
+	heaps := make([]*HeapFile, 0, len(m.heaps))
+	for _, h := range m.heaps {
+		heaps = append(heaps, h)
+	}
+	m.mu.Unlock()
+	m.commitMu.Lock()
+	defer m.commitMu.Unlock()
+	snap := make(map[*HeapFile]HeapSnap, len(heaps))
+	for _, h := range heaps {
+		snap[h] = HeapSnap{Tuples: h.committed.Load(), Version: h.committedVer.Load()}
+	}
+	return snap
 }
 
 // ManagerOptions configures NewManagerOptions.
@@ -513,12 +647,29 @@ func (m *Manager) OpenHeap(name string, schema *frel.Schema) (*HeapFile, error) 
 }
 
 // Tx is an open transaction: a group of appends that commits atomically.
-// The engine has no rollback — a transaction that never commits simply
-// does not survive recovery. A Tx from a manager without a WAL is a no-op.
+// A Tx from Begin supports commit only (a transaction that never commits
+// simply does not survive recovery); a Tx from BeginTxn additionally
+// captures per-heap undo state so it can Rollback in place, without a
+// restart. A Tx from a manager without a WAL is a no-op.
 type Tx struct {
-	m    *Manager
-	id   uint64
-	done bool
+	m       *Manager
+	id      uint64
+	done    bool
+	tracked bool // BeginTxn: undo captured, Rollback supported
+
+	touched []*HeapFile            // heaps appended to, in first-touch order
+	undo    map[*HeapFile]heapUndo // pre-transaction state, tracked only
+}
+
+// heapUndo is the geometry (and last-page image) of one heap before a
+// tracked transaction first touched it. Appends only ever extend the file
+// and rewrite the last page, so this is sufficient to roll back in place.
+type heapUndo struct {
+	numPages  int64
+	numTuples int64
+	lastPage  PageID
+	lastUsed  int
+	lastImage []byte // PageSize copy of the last page; nil when numPages == 0
 }
 
 // Begin opens a transaction. Only one transaction may be open at a time;
@@ -539,9 +690,66 @@ func (m *Manager) Begin() (*Tx, error) {
 	return tx, nil
 }
 
+// BeginTxn opens an explicit multi-statement transaction that supports
+// Rollback: the first append to each heap captures its pre-transaction
+// geometry and last-page image. Requires the write-ahead log.
+func (m *Manager) BeginTxn() (*Tx, error) {
+	if m.wal == nil {
+		return nil, fmt.Errorf("storage: explicit transactions require the write-ahead log")
+	}
+	tx, err := m.Begin()
+	if err != nil {
+		return nil, err
+	}
+	tx.tracked = true
+	tx.undo = make(map[*HeapFile]heapUndo)
+	return tx, nil
+}
+
+// touch records that the transaction is about to append to h, capturing
+// undo state on the first touch of a tracked transaction. Called before
+// any mutation of h.
+func (tx *Tx) touch(h *HeapFile) error {
+	if tx.m == nil {
+		return nil
+	}
+	if tx.tracked {
+		if _, ok := tx.undo[h]; ok {
+			return nil
+		}
+		u := heapUndo{
+			numPages:  h.numPages.Load(),
+			numTuples: h.numTuples.Load(),
+			lastPage:  h.lastPage,
+			lastUsed:  h.lastUsed,
+		}
+		if u.numPages > 0 {
+			f, err := h.pool.Get(h.pager, h.lastPage)
+			if err != nil {
+				return err
+			}
+			f.Latch.RLock()
+			u.lastImage = append([]byte(nil), f.Data...)
+			f.Latch.RUnlock()
+			h.pool.Unpin(f, false)
+		}
+		tx.undo[h] = u
+		tx.touched = append(tx.touched, h)
+		return nil
+	}
+	for _, t := range tx.touched {
+		if t == h {
+			return nil
+		}
+	}
+	tx.touched = append(tx.touched, h)
+	return nil
+}
+
 // Commit makes the transaction's appends durable: it logs the commit
 // record, fsyncs the log (sharing the fsync with concurrent commits inside
-// the group-commit window), and releases the no-steal pins.
+// the group-commit window), releases the no-steal pins, and publishes the
+// new committed counts so subsequent snapshots see the whole transaction.
 func (tx *Tx) Commit() error {
 	if tx.m == nil || tx.done {
 		tx.done = true
@@ -553,6 +761,70 @@ func (tx *Tx) Commit() error {
 		return err
 	}
 	tx.m.pool.ClearNoSteal()
+	tx.m.commitMu.Lock()
+	for _, h := range tx.touched {
+		h.committed.Store(h.numTuples.Load())
+		h.committedVer.Store(h.version.Load())
+	}
+	tx.m.commitMu.Unlock()
+	return nil
+}
+
+// Rollback undoes a tracked transaction in place: it logs a rollback
+// marker, restores each touched heap's pre-transaction geometry and
+// last-page image, discards the pool frames and file pages the
+// transaction appended, and leaves the heaps bit-identical to their
+// pre-transaction state. Concurrent snapshot readers are unaffected —
+// their bounds never reach into the rolled-back region.
+func (tx *Tx) Rollback() error {
+	if tx.m == nil || tx.done {
+		tx.done = true
+		return nil
+	}
+	if !tx.tracked {
+		return fmt.Errorf("storage: rollback of an untracked transaction")
+	}
+	tx.done = true
+	tx.m.tx = nil
+	first := tx.m.wal.Rollback(tx.id)
+	for _, h := range tx.touched {
+		if err := h.rollbackTo(tx.undo[h]); err != nil && first == nil {
+			first = err
+		}
+	}
+	tx.m.pool.ClearNoSteal()
+	return first
+}
+
+// rollbackTo restores the heap to the pre-transaction state u.
+func (h *HeapFile) rollbackTo(u heapUndo) error {
+	if err := h.pool.DiscardPagesFrom(h.pager, PageID(u.numPages)); err != nil {
+		return err
+	}
+	if u.numPages > 0 {
+		f, err := h.pool.Get(h.pager, u.lastPage)
+		if err != nil {
+			return err
+		}
+		f.Latch.Lock()
+		copy(f.Data, u.lastImage)
+		f.Latch.Unlock()
+		h.pool.Unpin(f, true)
+	}
+	if err := h.pager.Truncate(u.numPages); err != nil {
+		return err
+	}
+	h.lastPage = u.lastPage
+	if u.numPages == 0 {
+		h.lastPage = -1
+	}
+	h.lastUsed = u.lastUsed
+	h.numPages.Store(u.numPages)
+	h.numTuples.Store(u.numTuples)
+	h.statsMu.Lock()
+	h.stats = nil // incrementally observed rolled-back tuples; rebuild lazily
+	h.statsMu.Unlock()
+	h.version.Add(1)
 	return nil
 }
 
@@ -615,16 +887,18 @@ func (m *Manager) Checkpoint() error {
 func (h *HeapFile) state() (heapState, error) {
 	st := heapState{
 		name:      h.logName,
-		numPages:  h.numPages,
-		numTuples: h.numTuples,
+		numPages:  h.numPages.Load(),
+		numTuples: h.numTuples.Load(),
 	}
-	if h.numPages > 0 {
+	if st.numPages > 0 {
 		st.lastUsed = h.lastUsed
 		f, err := h.pool.Get(h.pager, h.lastPage)
 		if err != nil {
 			return heapState{}, err
 		}
+		f.Latch.RLock()
 		st.lastPage = append([]byte(nil), f.Data...)
+		f.Latch.RUnlock()
 		h.pool.Unpin(f, false)
 	}
 	return st, nil

@@ -56,12 +56,13 @@ func (s *Stats) String() string {
 
 // Pager provides page-granular access to one file. It performs physical
 // I/O and counts it; callers normally go through a BufferPool instead of
-// using a Pager directly.
+// using a Pager directly. The page count is atomic so snapshot readers can
+// bound a scan while the single writer allocates or truncates pages.
 type Pager struct {
 	path  string
 	fs    FS
 	f     File
-	pages int64
+	pages atomic.Int64
 	stats *Stats
 }
 
@@ -109,11 +110,13 @@ func OpenPagerExistingFS(fs FS, path string, stats *Stats) (*Pager, error) {
 		f.Close()
 		return nil, fmt.Errorf("storage: file %s is %d bytes, not page aligned", path, size)
 	}
-	return &Pager{path: path, fs: fs, f: f, stats: stats, pages: size / PageSize}, nil
+	p := &Pager{path: path, fs: fs, f: f, stats: stats}
+	p.pages.Store(size / PageSize)
+	return p, nil
 }
 
 // NumPages returns the number of allocated pages.
-func (p *Pager) NumPages() int64 { return p.pages }
+func (p *Pager) NumPages() int64 { return p.pages.Load() }
 
 // Path returns the backing file path.
 func (p *Pager) Path() string { return p.path }
@@ -121,15 +124,25 @@ func (p *Pager) Path() string { return p.path }
 // Allocate reserves a new page at the end of the file and returns its ID.
 // The page contents are undefined until written.
 func (p *Pager) Allocate() PageID {
-	id := PageID(p.pages)
-	p.pages++
-	return id
+	return PageID(p.pages.Add(1) - 1)
+}
+
+// Truncate cuts the file back to numPages pages, discarding everything
+// beyond. Used by transaction rollback to drop pages appended by the
+// aborted transaction; the buffer pool's frames for the cut region must be
+// discarded first.
+func (p *Pager) Truncate(numPages int64) error {
+	if err := p.f.Truncate(numPages * PageSize); err != nil {
+		return fmt.Errorf("storage: truncate %s: %w", p.path, err)
+	}
+	p.pages.Store(numPages)
+	return nil
 }
 
 // ReadPage reads page id into buf (which must be PageSize bytes long).
 func (p *Pager) ReadPage(id PageID, buf []byte) error {
-	if int64(id) < 0 || int64(id) >= p.pages {
-		return fmt.Errorf("storage: read of unallocated page %d (have %d)", id, p.pages)
+	if n := p.pages.Load(); int64(id) < 0 || int64(id) >= n {
+		return fmt.Errorf("storage: read of unallocated page %d (have %d)", id, n)
 	}
 	if len(buf) != PageSize {
 		return fmt.Errorf("storage: read buffer is %d bytes, want %d", len(buf), PageSize)
@@ -147,8 +160,8 @@ func (p *Pager) ReadPage(id PageID, buf []byte) error {
 
 // WritePage writes buf (PageSize bytes) to page id.
 func (p *Pager) WritePage(id PageID, buf []byte) error {
-	if int64(id) < 0 || int64(id) >= p.pages {
-		return fmt.Errorf("storage: write of unallocated page %d (have %d)", id, p.pages)
+	if n := p.pages.Load(); int64(id) < 0 || int64(id) >= n {
+		return fmt.Errorf("storage: write of unallocated page %d (have %d)", id, n)
 	}
 	if len(buf) != PageSize {
 		return fmt.Errorf("storage: write buffer is %d bytes, want %d", len(buf), PageSize)

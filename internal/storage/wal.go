@@ -38,6 +38,10 @@ import (
 // replays the appends of committed transactions in log order. Relations
 // without append records are left exactly as found on disk, which is what
 // makes rename-based rewrites (DELETE) atomic under the same log.
+// Transactions that logged a rollback record (or no commit record at all —
+// a crash mid-transaction) are discarded the same way: redo replays only
+// committed appends, so committed-prefix semantics hold for explicit
+// multi-statement transactions exactly as for autocommitted ones.
 const (
 	walFileName = "wal"
 	walTmpName  = "wal.tmp"
@@ -52,6 +56,7 @@ const (
 	recAppend     walRecType = 2
 	recCommit     walRecType = 3
 	recCheckpoint walRecType = 4
+	recRollback   walRecType = 5
 )
 
 // heapState is the durable geometry of one heap file at checkpoint time.
@@ -163,6 +168,16 @@ func (w *WAL) Append(txid uint64, name string, seq int64, rec []byte) error {
 	p = append(p, rec...)
 	w.pbuf = p
 	return w.writeLocked(recAppend, p)
+}
+
+// Rollback logs the transaction's rollback record. The record is a marker
+// only — recovery already discards any transaction without a commit record
+// — so it is not synced; losing it in a crash changes nothing.
+func (w *WAL) Rollback(txid uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.pbuf = binary.AppendUvarint(w.pbuf[:0], txid)
+	return w.writeLocked(recRollback, w.pbuf)
 }
 
 // Commit logs the transaction's commit record and makes it durable.
@@ -359,7 +374,7 @@ func decodeBody(body []byte) (walRecord, bool) {
 	rec := walRecord{typ: walRecType(body[0])}
 	r := &byteReader{b: body, off: 1}
 	switch rec.typ {
-	case recBegin, recCommit:
+	case recBegin, recCommit, recRollback:
 		rec.txid = r.uvarint()
 	case recAppend:
 		rec.txid = r.uvarint()

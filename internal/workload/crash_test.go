@@ -158,6 +158,23 @@ func crashSteps(t *testing.T) []crashStep {
 		sqlStep(`INSERT INTO A VALUES (9, 'z') DEGREE 0.125`),
 		sqlStep(`CHECKPOINT`),
 		sqlStep(`INSERT INTO A VALUES (10, 'y')`),
+
+		// Explicit transactions. The committed-state snapshots only move
+		// at COMMIT, so a fault anywhere inside a transaction must
+		// recover to a state without any of its writes. One transaction
+		// commits, one rolls back, and one is still open when the
+		// workload ends — the trailing crash points all land inside it.
+		sqlStep(`BEGIN`),
+		sqlStep(`INSERT INTO A VALUES (11, 'tx') DEGREE 0.5`),
+		sqlStep(`INSERT INTO B VALUES (4, 40) DEGREE 0.375`),
+		sqlStep(`COMMIT`),
+		sqlStep(`BEGIN`),
+		sqlStep(`INSERT INTO A VALUES (12, 'undone')`),
+		sqlStep(`ROLLBACK`),
+		sqlStep(`INSERT INTO A VALUES (13, 'x') DEGREE 0.25`),
+		sqlStep(`BEGIN`),
+		sqlStep(`INSERT INTO B VALUES (5, 50) DEGREE 0.625`),
+		sqlStep(`INSERT INTO B VALUES (6, 60)`),
 	}
 }
 
@@ -194,6 +211,9 @@ func runCrashSteps(fs storage.FS, steps []crashStep, after func(*core.Session)) 
 // dbState is a logical snapshot: every relation's full contents.
 type dbState map[string]*frel.Relation
 
+// snapshotDB captures the committed contents of every relation — the
+// state recovery reproduces. Mid-transaction snapshots therefore exclude
+// the open transaction's appends, exactly as a crash would.
 func snapshotDB(t *testing.T, s *core.Session) dbState {
 	t.Helper()
 	st := make(dbState)
@@ -202,7 +222,7 @@ func snapshotDB(t *testing.T, s *core.Session) dbState {
 		if err != nil {
 			t.Fatal(err)
 		}
-		rel, err := h.ReadAll()
+		rel, err := h.ReadCommitted()
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -90,6 +90,21 @@ func (c *Conn) Exec(ctx context.Context, sql string) error {
 	return err
 }
 
+// Begin opens an explicit transaction on the connection's server-side
+// session: reads see the snapshot taken at Begin plus the transaction's
+// own writes, until Commit or Rollback. A write-write conflict with a
+// concurrently committed transaction aborts it with CodeTxnConflict
+// (the transaction is already rolled back; retry from Begin — the
+// connection stays usable).
+func (c *Conn) Begin(ctx context.Context) error { return c.Exec(ctx, "BEGIN") }
+
+// Commit makes the open transaction's writes durable and visible.
+func (c *Conn) Commit(ctx context.Context) error { return c.Exec(ctx, "COMMIT") }
+
+// Rollback discards the open transaction's writes. Disconnecting with a
+// transaction open rolls it back server-side as well.
+func (c *Conn) Rollback(ctx context.Context) error { return c.Exec(ctx, "ROLLBACK") }
+
 // Checkpoint forces a server-side checkpoint.
 func (c *Conn) Checkpoint(ctx context.Context) error {
 	c.mu.Lock()

@@ -30,6 +30,11 @@ const (
 	// CodeProtocol reports a wire-protocol violation (malformed frame,
 	// message out of sequence); it never arises from the embedded API.
 	CodeProtocol ErrorCode = 7
+	// CodeTxnConflict reports a write-write transaction conflict: a
+	// relation this transaction wrote was modified by another transaction
+	// that committed after this one's BEGIN. The transaction has been
+	// rolled back; retrying it from BEGIN is the expected response.
+	CodeTxnConflict ErrorCode = 8
 )
 
 // String returns the code's stable lowercase name.
@@ -49,6 +54,8 @@ func (c ErrorCode) String() string {
 		return "term-undefined"
 	case CodeProtocol:
 		return "protocol"
+	case CodeTxnConflict:
+		return "txn-conflict"
 	default:
 		return fmt.Sprintf("code(%d)", uint8(c))
 	}
@@ -99,6 +106,9 @@ func wrapErr(code ErrorCode, err error) error {
 	}
 	if errors.Is(err, core.ErrUnknownTerm) {
 		code = CodeTermUndefined
+	}
+	if errors.Is(err, core.ErrTxnConflict) {
+		code = CodeTxnConflict
 	}
 	return &Error{Code: code, Msg: err.Error(), cause: err}
 }

@@ -19,13 +19,17 @@
 // materialized (Result) or streamed (Rows).
 //
 // A DB is safe for concurrent use. Read-only statements (SELECT, EXPLAIN)
-// run concurrently under a shared reader lock; mutations (DDL, INSERT,
-// DELETE, shared DEFINE TERM, CHECKPOINT) serialize behind the writer
-// lock. For isolated contexts — a private linguistic vocabulary, an own
-// sort cache, prepared statements — open a Session per goroutine or
-// connection; the fuzzydbd network server maps each client connection to
-// one. All entry points return *Error values carrying a stable ErrorCode,
-// the same codes the wire protocol transports.
+// run concurrently and — on a write-ahead-logged database — read a
+// consistent committed snapshot, so they never wait for a writer, even
+// one with an open transaction. Writers (INSERT, and BEGIN/COMMIT/
+// ROLLBACK transactions) serialize against each other behind a writer
+// mutex; barrier operations (DDL, DELETE, shared DEFINE TERM,
+// CHECKPOINT) exclude everything and are rejected inside transactions.
+// For isolated contexts — a private linguistic vocabulary, an own sort
+// cache, prepared statements, transactions — open a Session per
+// goroutine or connection; the fuzzydbd network server maps each client
+// connection to one. All entry points return *Error values carrying a
+// stable ErrorCode, the same codes the wire protocol transports.
 package fuzzydb
 
 import (
@@ -118,9 +122,17 @@ func WithGroupCommitWindow(d time.Duration) Option {
 // methods run in a base session whose DEFINE TERM writes the shared,
 // persisted dictionary; DB.Session opens isolated per-caller sessions.
 type DB struct {
-	// mu is the database readers-writer lock. Sessions acquire it around
-	// every statement: RLock for read-only work, Lock for mutations and
-	// for Close (which thereby drains in-flight statements).
+	// wmu is the writer mutex: the engine is single-writer, and every
+	// mutating statement — an autocommitted INSERT, a transaction from its
+	// first write through COMMIT/ROLLBACK, a barrier operation — holds it.
+	// Snapshot readers never take it, so reads proceed while a writer's
+	// transaction is open. Lock order: wmu before mu, always.
+	wmu sync.Mutex
+	// mu is the database readers-writer lock. Read-only statements and
+	// WAL-logged writes (which snapshot isolation makes safe to run beside
+	// readers) take RLock; barrier operations that mutate shared structures
+	// in place (DDL, DELETE, CHECKPOINT, shared DEFINE TERM, any write
+	// without the WAL) and Close take Lock, draining in-flight statements.
 	mu      sync.RWMutex
 	base    *Session
 	dir     string
@@ -202,8 +214,11 @@ func (db *DB) Close() error {
 
 // Checkpoint flushes every relation to its heap file and truncates the
 // write-ahead log. Without a WAL (WithNoWAL) it is a no-op. It serializes
-// behind running statements like any other mutation.
+// behind running statements and open transactions like any other barrier
+// operation.
 func (db *DB) Checkpoint() error {
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
@@ -250,12 +265,15 @@ func (db *DB) QueryNaive(sql string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	s := db.base
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	if db.closed {
 		return nil, errClosed("database")
 	}
-	rel, err := db.base.sess.Env.EvalNaiveContext(context.Background(), q)
+	rel, err := s.sess.EvalNaive(context.Background(), q)
 	if err != nil {
 		return nil, wrapErr(CodeExec, err)
 	}

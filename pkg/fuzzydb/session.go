@@ -29,6 +29,10 @@ type Session struct {
 
 	mu     sync.Mutex // serializes this session's statements
 	closed bool
+	// holdsW records that this session's open transaction holds the
+	// database writer mutex (acquired at the transaction's first write,
+	// released when the transaction ends). Guarded by mu.
+	holdsW bool
 }
 
 // Session opens a new session over the database. Sessions must be closed
@@ -42,19 +46,39 @@ func (db *DB) Session() (*Session, error) {
 	return &Session{db: db, sess: db.base.sess.Fork()}, nil
 }
 
-// readOnly reports whether st leaves shared state untouched when sess
-// executes it: SELECT and EXPLAIN never mutate, and DEFINE TERM through a
-// forked session writes only its private term scope. Read-only statements
-// of different sessions run under the shared reader lock; everything else
-// takes the writer lock.
-func readOnly(sess *core.Session, st fsql.Statement) bool {
+// Statement lock classes. Reads take only the shared reader lock:
+// snapshot isolation makes them safe beside a logged writer, so they
+// never wait for one. Logged writes serialize against each other through
+// the writer mutex but still run beside readers. Barrier operations
+// mutate shared structures in place and exclude everything.
+const (
+	lockRead    = iota // mu.RLock
+	lockWrite          // wmu + mu.RLock (WAL-logged appends)
+	lockBarrier        // wmu + mu.Lock (in-place mutations, NoWAL writes)
+)
+
+// lockClass classifies st for sess: which locks its execution takes.
+func lockClass(sess *core.Session, st fsql.Statement, wal bool) int {
 	switch st.(type) {
 	case *fsql.Select, *fsql.Explain:
-		return true
+		return lockRead
+	case *fsql.Begin, *fsql.Commit, *fsql.Rollback:
+		// Transaction control itself only manipulates snapshots; the
+		// writer mutex is managed by the first-write/transaction-end
+		// bookkeeping in runLocked.
+		return lockRead
 	case *fsql.DefineTerm:
-		return sess.Forked()
+		if sess.Forked() {
+			return lockRead // private term scope only
+		}
+		return lockBarrier
+	case *fsql.Insert:
+		if wal {
+			return lockWrite
+		}
+		return lockBarrier // unlogged writes have no snapshots to hide behind
 	}
-	return false
+	return lockBarrier // DDL, DELETE, CHECKPOINT
 }
 
 // run executes one parsed statement under the session and database locks.
@@ -65,18 +89,60 @@ func (s *Session) run(ctx context.Context, st fsql.Statement) (*frel.Relation, e
 }
 
 // runLocked is run for callers already holding s.mu.
+//
+// Transactions and the writer mutex: a session's open transaction
+// acquires wmu at its first write and keeps holding it across statements
+// until the transaction ends (COMMIT, ROLLBACK, a conflict abort, or
+// Close), so concurrent transactions' writes never interleave, while
+// snapshot readers — including other sessions' read-only transactions —
+// proceed throughout.
 func (s *Session) runLocked(ctx context.Context, st fsql.Statement) (*frel.Relation, error) {
 	if s.closed {
 		return nil, errClosed("session")
 	}
-	if readOnly(s.sess, st) {
-		s.db.mu.RLock()
-		defer s.db.mu.RUnlock()
-	} else {
-		s.db.mu.Lock()
-		defer s.db.mu.Unlock()
+	db := s.db
+	class := lockClass(s.sess, st, s.sess.Catalog().Manager().WALEnabled())
+	if class == lockBarrier && s.sess.InTxn() {
+		// The engine rejects barrier statements inside a transaction;
+		// run it under the locks the transaction already holds to
+		// surface that error without self-deadlocking on wmu.
+		class = lockRead
 	}
-	if s.db.closed {
+
+	// Lock order: wmu before mu, always.
+	acquiredW := false
+	switch class {
+	case lockBarrier:
+		db.wmu.Lock()
+		acquiredW = true
+		db.mu.Lock()
+		defer db.mu.Unlock()
+	case lockWrite:
+		if !s.holdsW {
+			db.wmu.Lock()
+			acquiredW = true
+		}
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+	default:
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+	}
+	defer func() {
+		// Keep wmu across statements of a live open transaction;
+		// otherwise release whatever this session holds. Covers the
+		// whole ending spectrum: auto-commit, COMMIT, ROLLBACK,
+		// conflict abort, statements after the database closed.
+		if s.sess.InTxn() && !db.closed {
+			s.holdsW = s.holdsW || acquiredW
+			return
+		}
+		if s.holdsW || acquiredW {
+			s.holdsW = false
+			db.wmu.Unlock()
+		}
+	}()
+	if db.closed {
 		return nil, errClosed("database")
 	}
 	rel, err := s.sess.ExecContext(ctx, st)
@@ -84,6 +150,38 @@ func (s *Session) runLocked(ctx context.Context, st fsql.Statement) (*frel.Relat
 		return nil, wrapErr(CodeExec, err)
 	}
 	return rel, nil
+}
+
+// Begin opens an explicit transaction on the session: until Commit or
+// Rollback, every read sees the consistent committed snapshot taken here
+// (plus the transaction's own writes), and the writes of other
+// transactions neither appear nor block it. A concurrent committed write
+// to a relation this transaction then writes aborts it with
+// CodeTxnConflict (first-writer-wins); retry from Begin.
+func (s *Session) Begin(ctx context.Context) error {
+	_, err := s.run(ctx, &fsql.Begin{})
+	return err
+}
+
+// Commit makes the open transaction's writes durable and visible to
+// statements and snapshots that follow.
+func (s *Session) Commit(ctx context.Context) error {
+	_, err := s.run(ctx, &fsql.Commit{})
+	return err
+}
+
+// Rollback discards the open transaction's writes; the database is left
+// as if the transaction never ran.
+func (s *Session) Rollback(ctx context.Context) error {
+	_, err := s.run(ctx, &fsql.Rollback{})
+	return err
+}
+
+// InTxn reports whether the session has an open explicit transaction.
+func (s *Session) InTxn() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sess.InTxn()
 }
 
 // ExecContext executes a Fuzzy SQL script (one or more ';'-separated
@@ -138,8 +236,10 @@ func (s *Session) QueryRows(ctx context.Context, sql string) (*Rows, error) {
 	return newRows(rel), nil
 }
 
-// Close releases the session's cached sort temporaries. The shared
-// database stays open; Close is idempotent.
+// Close releases the session's cached sort temporaries, rolling back an
+// open transaction first (a client that disconnects mid-transaction
+// leaves nothing behind). The shared database stays open; Close is
+// idempotent.
 func (s *Session) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -147,6 +247,12 @@ func (s *Session) Close() error {
 		return nil
 	}
 	s.closed = true
+	defer func() {
+		if s.holdsW {
+			s.holdsW = false
+			s.db.wmu.Unlock()
+		}
+	}()
 	s.db.mu.RLock()
 	defer s.db.mu.RUnlock()
 	if s.db.closed {
@@ -258,7 +364,7 @@ func (st *Stmt) query(ctx context.Context, args []any) (*frel.Relation, error) {
 		return nil, errClosed("database")
 	}
 	if st.cached != nil {
-		rel, err := s.sess.Env.EvalPlanContext(ctx, st.cached)
+		rel, err := s.sess.EvalPlan(ctx, st.cached)
 		if err != nil {
 			return nil, wrapErr(CodeExec, err)
 		}
@@ -268,7 +374,7 @@ func (st *Stmt) query(ctx context.Context, args []any) (*frel.Relation, error) {
 	if err != nil {
 		return nil, wrapErr(CodeExec, err)
 	}
-	rel, err := s.sess.Env.EvalUnnestedContext(ctx, q)
+	rel, err := s.sess.EvalSelect(ctx, q)
 	if err != nil {
 		return nil, wrapErr(CodeExec, err)
 	}

@@ -70,12 +70,15 @@ func (db *DB) ExplainAnalyzeContext(ctx context.Context, sql string) (*Result, *
 	if err != nil {
 		return nil, nil, err
 	}
+	s := db.base
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	if db.closed {
 		return nil, nil, errClosed("database")
 	}
-	rel, es, err := db.base.sess.Env.EvalUnnestedAnalyze(ctx, q)
+	rel, es, err := s.sess.EvalAnalyze(ctx, q)
 	if err != nil {
 		return nil, nil, wrapErr(CodeExec, err)
 	}

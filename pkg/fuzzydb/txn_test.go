@@ -1,0 +1,456 @@
+package fuzzydb
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// countRows queries the table through sess and returns the row count with
+// the summed degrees (so changed degrees are as visible as changed rows).
+func countRows(t *testing.T, s *Session, table string) (int, float64) {
+	t.Helper()
+	res, err := s.Query(fmt.Sprintf("SELECT %s.ID FROM %s", table, table))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var deg float64
+	for i := 0; i < res.Len(); i++ {
+		deg += res.Degree(i)
+	}
+	return res.Len(), deg
+}
+
+func openTxnDB(t *testing.T, opts ...Option) (*DB, *Session) {
+	t.Helper()
+	db := openTemp(t, opts...)
+	if err := db.Exec(`CREATE TABLE T (ID NUMBER, V NUMBER)`); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := db.Session()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sess.Close() })
+	return db, sess
+}
+
+func TestTxnCommitMakesWritesVisible(t *testing.T) {
+	db, sess := openTxnDB(t)
+	ctx := context.Background()
+	if err := sess.Begin(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Exec(`INSERT INTO T VALUES (1, 10); INSERT INTO T VALUES (2, 20)`); err != nil {
+		t.Fatal(err)
+	}
+	// The transaction reads its own writes...
+	if n, _ := countRows(t, sess, "T"); n != 2 {
+		t.Errorf("transaction sees %d own rows, want 2", n)
+	}
+	// ...which stay invisible to the rest of the database until COMMIT.
+	other, err := db.Session()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer other.Close()
+	if n, _ := countRows(t, other, "T"); n != 0 {
+		t.Errorf("uncommitted rows visible to another session: %d", n)
+	}
+	if err := sess.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := countRows(t, other, "T"); n != 2 {
+		t.Errorf("committed rows: other session sees %d, want 2", n)
+	}
+}
+
+func TestTxnRollbackDiscardsWrites(t *testing.T) {
+	db, sess := openTxnDB(t)
+	ctx := context.Background()
+	if err := db.Exec(`INSERT INTO T VALUES (1, 10)`); err != nil {
+		t.Fatal(err)
+	}
+	preN, preDeg := countRows(t, sess, "T")
+	if err := sess.Begin(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Exec(`INSERT INTO T VALUES (2, 20); INSERT INTO T VALUES (3, 30)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Rollback(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if n, deg := countRows(t, sess, "T"); n != preN || deg != preDeg {
+		t.Errorf("after rollback: %d rows / %g degree, want %d / %g", n, deg, preN, preDeg)
+	}
+	// The session keeps working, including a fresh transaction.
+	if err := sess.Begin(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Exec(`INSERT INTO T VALUES (4, 40)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := countRows(t, sess, "T"); n != preN+1 {
+		t.Errorf("after rollback+commit: %d rows, want %d", countFirst(t, sess), preN+1)
+	}
+}
+
+func countFirst(t *testing.T, s *Session) int {
+	n, _ := countRows(t, s, "T")
+	return n
+}
+
+// TestTxnSnapshotIsolation: a transaction's reads are frozen at BEGIN —
+// a concurrent committed insert neither appears mid-transaction nor
+// changes answers between the transaction's statements.
+func TestTxnSnapshotIsolation(t *testing.T) {
+	db, sess := openTxnDB(t)
+	ctx := context.Background()
+	if err := db.Exec(`INSERT INTO T VALUES (1, 10)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Begin(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := countRows(t, sess, "T"); n != 1 {
+		t.Fatalf("transaction opens seeing %d rows, want 1", n)
+	}
+	// Auto-commit write from outside the transaction.
+	if err := db.Exec(`INSERT INTO T VALUES (2, 20)`); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := countRows(t, sess, "T"); n != 1 {
+		t.Errorf("mid-transaction read sees %d rows, want the BEGIN-time 1", n)
+	}
+	if err := sess.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := countRows(t, sess, "T"); n != 2 {
+		t.Errorf("after commit the session sees %d rows, want 2", n)
+	}
+}
+
+// TestTxnWriteConflict: first-writer-wins. A transaction that writes a
+// relation another transaction committed to after its BEGIN aborts with
+// CodeTxnConflict and is rolled back; the session survives and a retry
+// succeeds.
+func TestTxnWriteConflict(t *testing.T) {
+	db, sess := openTxnDB(t)
+	ctx := context.Background()
+	if err := sess.Begin(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := countRows(t, sess, "T"); n != 0 { // pin the snapshot
+		t.Fatal("dirty table")
+	}
+	if err := db.Exec(`INSERT INTO T VALUES (1, 10)`); err != nil {
+		t.Fatal(err)
+	}
+	err := sess.Exec(`INSERT INTO T VALUES (2, 20)`)
+	if err == nil {
+		t.Fatal("conflicting write succeeded, want CodeTxnConflict")
+	}
+	fe, ok := AsError(err)
+	if !ok || fe.Code != CodeTxnConflict {
+		t.Fatalf("conflict error = %v (code %v), want CodeTxnConflict", err, fe.Code)
+	}
+	if sess.InTxn() {
+		t.Errorf("session still in a transaction after a conflict abort")
+	}
+	// The aborted transaction left nothing behind and the session works.
+	if n, _ := countRows(t, sess, "T"); n != 1 {
+		t.Errorf("after abort: %d rows, want the 1 committed outside", n)
+	}
+	if err := sess.Begin(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Exec(`INSERT INTO T VALUES (2, 20)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := countRows(t, sess, "T"); n != 2 {
+		t.Errorf("after retry: %d rows, want 2", n)
+	}
+}
+
+// TestTxnBarrierStatementsRejected: DDL, DELETE, CHECKPOINT and shared
+// DEFINE TERM cannot run inside a transaction, and the rejection leaves
+// the transaction open and intact.
+func TestTxnBarrierStatementsRejected(t *testing.T) {
+	db, sess := openTxnDB(t)
+	ctx := context.Background()
+	if err := sess.Begin(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Exec(`INSERT INTO T VALUES (1, 10)`); err != nil {
+		t.Fatal(err)
+	}
+	for _, sql := range []string{
+		`CREATE TABLE U (ID NUMBER)`,
+		`DROP TABLE T`,
+		`DELETE FROM T WHERE T.ID = 1`,
+		`CHECKPOINT`,
+	} {
+		if err := sess.Exec(sql); err == nil || !strings.Contains(err.Error(), "inside a transaction") {
+			t.Errorf("%s inside txn: err = %v, want inside-a-transaction error", sql, err)
+		}
+	}
+	if !sess.InTxn() {
+		t.Fatal("rejected barrier statement closed the transaction")
+	}
+	if err := sess.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := countRows(t, sess, "T"); n != 1 {
+		t.Errorf("transaction did not survive the rejections")
+	}
+	_ = db
+}
+
+func TestTxnControlErrors(t *testing.T) {
+	_, sess := openTxnDB(t)
+	ctx := context.Background()
+	if err := sess.Commit(ctx); err == nil {
+		t.Errorf("COMMIT outside a transaction: want error")
+	}
+	if err := sess.Rollback(ctx); err == nil {
+		t.Errorf("ROLLBACK outside a transaction: want error")
+	}
+	if err := sess.Begin(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Begin(ctx); err == nil {
+		t.Errorf("nested BEGIN: want error")
+	}
+	if !sess.InTxn() {
+		t.Errorf("failed nested BEGIN closed the transaction")
+	}
+	if err := sess.Rollback(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTxnRequiresWAL(t *testing.T) {
+	_, sess := openTxnDB(t, WithNoWAL())
+	if err := sess.Begin(context.Background()); err == nil || !strings.Contains(err.Error(), "write-ahead log") {
+		t.Errorf("BEGIN without WAL: err = %v, want write-ahead-log error", err)
+	}
+}
+
+// TestTxnReadOnlyTransaction: BEGIN / reads / COMMIT with no writes never
+// takes the writer mutex and commits trivially.
+func TestTxnReadOnlyTransaction(t *testing.T) {
+	db, sess := openTxnDB(t)
+	ctx := context.Background()
+	if err := db.Exec(`INSERT INTO T VALUES (1, 10)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Begin(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if n, _ := countRows(t, sess, "T"); n != 1 {
+			t.Errorf("read-only txn read %d: %d rows, want 1", i, n)
+		}
+	}
+	if err := sess.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTxnSessionCloseRollsBack: closing a session with an open
+// transaction discards its writes (the disconnect path).
+func TestTxnSessionCloseRollsBack(t *testing.T) {
+	db, _ := openTxnDB(t)
+	ctx := context.Background()
+	sess, err := db.Session()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Begin(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Exec(`INSERT INTO T VALUES (1, 10)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	other, err := db.Session()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer other.Close()
+	if n, _ := countRows(t, other, "T"); n != 0 {
+		t.Errorf("closed session's open transaction left %d rows", n)
+	}
+	// The writer mutex was released: a fresh write proceeds.
+	if err := db.Exec(`INSERT INTO T VALUES (2, 20)`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTxnReaderNotBlockedByOpenWriter is the liveness demonstration the
+// issue demands: while a writer's transaction is open (writer mutex
+// held, uncommitted rows in the heap), a snapshot reader in another
+// session completes immediately.
+func TestTxnReaderNotBlockedByOpenWriter(t *testing.T) {
+	db, writer := openTxnDB(t)
+	ctx := context.Background()
+	if err := db.Exec(`INSERT INTO T VALUES (1, 10)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := writer.Begin(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := writer.Exec(`INSERT INTO T VALUES (2, 20)`); err != nil {
+		t.Fatal(err)
+	}
+	// The writer now holds the writer mutex and keeps its transaction
+	// open while the reader runs.
+	reader, err := db.Session()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reader.Close()
+	done := make(chan int, 1)
+	go func() {
+		n, _ := countRows(t, reader, "T")
+		done <- n
+	}()
+	select {
+	case n := <-done:
+		if n != 1 {
+			t.Errorf("reader saw %d rows beside an open writer, want the committed 1", n)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("snapshot reader blocked behind an open write transaction")
+	}
+	if err := writer.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTxnConcurrentReadersRace sweeps concurrent snapshot readers
+// against 1, 2, 4 and 8 committing writer goroutines; run with -race it
+// doubles as the data-race check on the latch/snapshot machinery. Every
+// reader must observe a consistent committed prefix: the tuple IDs it
+// sees are exactly 1..n for some n (writers insert sequential IDs inside
+// transactions, so a torn read would surface as a gap).
+func TestTxnConcurrentReadersRace(t *testing.T) {
+	for _, writers := range []int{1, 2, 4, 8} {
+		writers := writers
+		t.Run(fmt.Sprintf("writers=%d", writers), func(t *testing.T) {
+			db := openTemp(t)
+			if err := db.Exec(`CREATE TABLE T (ID NUMBER, V NUMBER)`); err != nil {
+				t.Fatal(err)
+			}
+			perWriter := 20
+			if testing.Short() {
+				perWriter = 5
+			}
+			// Writers append disjoint ID ranges, two rows per transaction;
+			// both rows of a transaction carry the same batch tag so a
+			// reader can detect a half-visible transaction.
+			var wg sync.WaitGroup
+			stop := make(chan struct{})
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					sess, err := db.Session()
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					defer sess.Close()
+					ctx := context.Background()
+					for i := 0; i < perWriter; i++ {
+						batch := w*perWriter + i
+						for {
+							if err := sess.Begin(ctx); err != nil {
+								t.Error(err)
+								return
+							}
+							err := sess.Exec(fmt.Sprintf(
+								`INSERT INTO T VALUES (%d, %d); INSERT INTO T VALUES (%d, %d)`,
+								2*batch, batch, 2*batch+1, batch))
+							if err == nil {
+								err = sess.Commit(ctx)
+							}
+							if err == nil {
+								break
+							}
+							if fe, ok := AsError(err); ok && fe.Code == CodeTxnConflict {
+								continue // retry from BEGIN
+							}
+							t.Error(err)
+							return
+						}
+					}
+				}(w)
+			}
+			var rg sync.WaitGroup
+			for r := 0; r < 4; r++ {
+				rg.Add(1)
+				go func() {
+					defer rg.Done()
+					sess, err := db.Session()
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					defer sess.Close()
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						res, err := sess.Query(`SELECT T.ID, T.V FROM T`)
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						// Count rows per transaction batch: snapshot
+						// atomicity means every visible batch is complete.
+						seen := make(map[string]int)
+						for i := 0; i < res.Len(); i++ {
+							seen[res.Row(i)[1]]++
+						}
+						for batch, n := range seen {
+							if n != 2 {
+								t.Errorf("transaction batch %s half-visible: %d of 2 rows", batch, n)
+								return
+							}
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			close(stop)
+			rg.Wait()
+			sess, err := db.Session()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sess.Close()
+			res, err := sess.Query(`SELECT T.ID FROM T`)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := writers * perWriter * 2; res.Len() != want {
+				t.Errorf("final row count %d, want %d", res.Len(), want)
+			}
+		})
+	}
+}
