@@ -8,7 +8,7 @@
 //
 //	fuzzybench [-experiment table1|table2|table3|table4|fig3|all]
 //	           [-scalediv 32] [-iolatency 10ms] [-dir DIR] [-verify]
-//	           [-json] [-compare] [-tupleatatime]
+//	           [-json] [-compare] [-tupleatatime] [-indexes]
 //
 // With -json, instead of the experiment tables, both methods run once on
 // the standard workload pair with EXPLAIN ANALYZE collection and the
@@ -23,6 +23,11 @@
 //
 // -tupleatatime disables batched execution for the experiment tables,
 // reproducing the pre-batching engine.
+//
+// -indexes pre-builds persistent order indexes on the join attributes of
+// the generated relations; combined with -compare the grid gains the
+// indexed-vs-sort cold-start ablation runs and each experiment records
+// its cold-wall speedup.
 //
 // Absolute times are not comparable across three decades of hardware; the
 // point of the reproduction is the shape: who wins, by how much, and how
@@ -52,6 +57,7 @@ func main() {
 		jsonStats    = flag.Bool("json", false, "run both methods once with EXPLAIN ANALYZE collection and print the per-operator statistics as JSON")
 		compare      = flag.Bool("compare", false, "run the batch vs tuple-at-a-time engine comparison on each paper experiment's representative workload and print it as JSON")
 		tupleAtATime = flag.Bool("tupleatatime", false, "disable batched execution (run the tuple-at-a-time engine)")
+		indexes      = flag.Bool("indexes", false, "pre-build persistent order indexes on the join attributes; with -compare, adds the indexed-vs-sort cold-start ablation runs to the grid")
 	)
 	flag.Parse()
 
@@ -62,6 +68,7 @@ func main() {
 		CPUFactor:    *cpuFactor,
 		Parallelism:  *parallel,
 		DisableBatch: *tupleAtATime,
+		Indexes:      *indexes,
 		Verify:       *verify,
 		Seed:         *seed,
 	}

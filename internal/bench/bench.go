@@ -64,6 +64,11 @@ type Config struct {
 	// DisableBatch runs the engine tuple-at-a-time instead of the default
 	// batched execution (the before/after switch of the batch comparison).
 	DisableBatch bool
+	// Indexes builds persistent order indexes on the join attributes of
+	// both relations after loading them, so the merge-join method's cold
+	// run is served from the indexes instead of external-sorting (the
+	// indexed-vs-sort cold-start ablation).
+	Indexes bool
 	// Verify cross-checks that both methods return identical answers.
 	Verify bool
 	// Seed randomizes the workload.
@@ -240,6 +245,17 @@ func (c Config) setupWorkload(nOuter, nInner int) (env *core.Env, mgr *storage.M
 	}); err != nil {
 		cleanup()
 		return nil, nil, nil, nil, err
+	}
+	if c.Indexes {
+		for _, ix := range []struct{ name, rel, attr string }{
+			{"r_a", "R", "A"}, {"r_b", "R", "B"},
+			{"s_a", "S", "A"}, {"s_b", "S", "B"},
+		} {
+			if _, err := cat.CreateIndex(ix.name, ix.rel, ix.attr); err != nil {
+				cleanup()
+				return nil, nil, nil, nil, err
+			}
+		}
 	}
 
 	q, err = fsql.ParseQuery(TypeJQuery)

@@ -12,6 +12,7 @@ type Regression struct {
 	Experiment string
 	Engine     string
 	Workers    int
+	Indexed    bool
 	Baseline   int64 // baseline cold wall, nanoseconds
 	Current    int64 // current cold wall, nanoseconds
 	Ratio      float64
@@ -19,8 +20,12 @@ type Regression struct {
 
 // String renders the regression for CI logs.
 func (r Regression) String() string {
-	return fmt.Sprintf("%s %s workers=%d: cold wall %.2fms -> %.2fms (%.2fx)",
-		r.Experiment, r.Engine, r.Workers,
+	idx := ""
+	if r.Indexed {
+		idx = " indexed"
+	}
+	return fmt.Sprintf("%s %s workers=%d%s: cold wall %.2fms -> %.2fms (%.2fx)",
+		r.Experiment, r.Engine, r.Workers, idx,
 		float64(r.Baseline)/1e6, float64(r.Current)/1e6, r.Ratio)
 }
 
@@ -54,23 +59,24 @@ func FindRegressions(baseline, current *BenchReport, maxRatio float64) ([]Regres
 	type key struct {
 		exp, engine string
 		workers     int
+		indexed     bool
 	}
 	base := make(map[key]EngineRun)
 	for _, ex := range baseline.Experiments {
 		for _, run := range ex.Runs {
-			base[key{ex.Name, run.Engine, run.Workers}] = run
+			base[key{ex.Name, run.Engine, run.Workers, run.Indexed}] = run
 		}
 	}
 	var regs []Regression
 	for _, ex := range current.Experiments {
 		for _, run := range ex.Runs {
-			b, ok := base[key{ex.Name, run.Engine, run.Workers}]
+			b, ok := base[key{ex.Name, run.Engine, run.Workers, run.Indexed}]
 			if !ok {
 				continue
 			}
 			if b.Answer != run.Answer {
-				return nil, fmt.Errorf("bench: %s %s workers=%d: answer changed from %d to %d rows",
-					ex.Name, run.Engine, run.Workers, b.Answer, run.Answer)
+				return nil, fmt.Errorf("bench: %s %s workers=%d indexed=%v: answer changed from %d to %d rows",
+					ex.Name, run.Engine, run.Workers, run.Indexed, b.Answer, run.Answer)
 			}
 			if b.ColdWallNanos <= 0 {
 				continue
@@ -81,6 +87,7 @@ func FindRegressions(baseline, current *BenchReport, maxRatio float64) ([]Regres
 					Experiment: ex.Name,
 					Engine:     run.Engine,
 					Workers:    run.Workers,
+					Indexed:    run.Indexed,
 					Baseline:   b.ColdWallNanos,
 					Current:    run.ColdWallNanos,
 					Ratio:      ratio,

@@ -85,7 +85,7 @@ func TestLoadBaseline(t *testing.T) {
 		t.Errorf("bad json: want error")
 	}
 	// The committed baseline at the repository root stays loadable.
-	rep, err = LoadBaseline("../../BENCH_7.json")
+	rep, err = LoadBaseline("../../BENCH_8.json")
 	if err != nil {
 		t.Fatal(err)
 	}

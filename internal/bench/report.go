@@ -10,8 +10,9 @@ import (
 // worker count, running the type J query twice in the same environment so
 // the warm run exercises the sort-order cache.
 type EngineRun struct {
-	Engine  string `json:"engine"`  // "batch" or "tuple"
-	Workers int    `json:"workers"` // merge-join worker count
+	Engine  string `json:"engine"`            // "batch" or "tuple"
+	Workers int    `json:"workers"`           // merge-join worker count
+	Indexed bool   `json:"indexed,omitempty"` // persistent order indexes pre-built
 
 	ColdWallNanos int64 `json:"cold_wall_ns"` // first run: cache empty
 	WarmWallNanos int64 `json:"warm_wall_ns"` // best of three cache-hit runs
@@ -23,6 +24,7 @@ type EngineRun struct {
 
 	SortCacheHits   int64 `json:"sort_cache_hits"`
 	SortCacheMisses int64 `json:"sort_cache_misses"`
+	IndexHits       int64 `json:"index_hits,omitempty"`
 }
 
 // ExperimentRuns is the comparison grid of one experiment's
@@ -34,6 +36,11 @@ type ExperimentRuns struct {
 	Fanout     int         `json:"fanout"`
 	TupleBytes int         `json:"tuple_bytes"`
 	Runs       []EngineRun `json:"runs"`
+
+	// ColdIndexedSpeedup is the serial batched cold wall time without
+	// indexes divided by the same run with pre-built indexes — how much
+	// the persistent order indexes shorten a cold start.
+	ColdIndexedSpeedup float64 `json:"cold_indexed_speedup,omitempty"`
 }
 
 // BenchReport is the machine-readable batch-vs-tuple comparison
@@ -101,11 +108,36 @@ func (c Config) ReportFor(names ...string) (*BenchReport, error) {
 		}
 		for _, engine := range []bool{false, true} { // disableBatch
 			for _, workers := range []int{1, 4} {
-				run, err := cfg.runEngine(w.name, ex.Outer, ex.Inner, w.fanout, w.tupleBytes, engine, workers)
+				run, err := cfg.runEngine(w.name, ex.Outer, ex.Inner, w.fanout, w.tupleBytes, engine, workers, false)
 				if err != nil {
 					return nil, err
 				}
 				ex.Runs = append(ex.Runs, run)
+			}
+		}
+		if cfg.Indexes {
+			// The ablation leg: the batched engine again, with the order
+			// indexes pre-built, so the cold run reads them instead of
+			// sorting.
+			for _, workers := range []int{1, 4} {
+				run, err := cfg.runEngine(w.name, ex.Outer, ex.Inner, w.fanout, w.tupleBytes, false, workers, true)
+				if err != nil {
+					return nil, err
+				}
+				ex.Runs = append(ex.Runs, run)
+			}
+			var plain, indexed int64
+			for _, run := range ex.Runs {
+				if run.Engine == "batch" && run.Workers == 1 {
+					if run.Indexed {
+						indexed = run.ColdWallNanos
+					} else {
+						plain = run.ColdWallNanos
+					}
+				}
+			}
+			if plain > 0 && indexed > 0 {
+				ex.ColdIndexedSpeedup = float64(plain) / float64(indexed)
 			}
 		}
 		rep.Experiments = append(rep.Experiments, ex)
@@ -115,12 +147,13 @@ func (c Config) ReportFor(names ...string) (*BenchReport, error) {
 
 // runEngine runs the merge-join method twice in one environment (cold
 // then warm sort cache) and records wall times and counters.
-func (c Config) runEngine(name string, nOuter, nInner, fanout, tupleBytes int, disableBatch bool, workers int) (EngineRun, error) {
+func (c Config) runEngine(name string, nOuter, nInner, fanout, tupleBytes int, disableBatch bool, workers int, indexed bool) (EngineRun, error) {
 	cfg := c
 	cfg.Fanout = fanout
 	cfg.TupleBytes = tupleBytes
 	cfg.Parallelism = workers
 	cfg.DisableBatch = disableBatch
+	cfg.Indexes = indexed
 
 	env, mgr, q, cleanup, err := cfg.setupWorkload(nOuter, nInner)
 	if err != nil {
@@ -161,6 +194,7 @@ func (c Config) runEngine(name string, nOuter, nInner, fanout, tupleBytes int, d
 	return EngineRun{
 		Engine:          engine,
 		Workers:         workers,
+		Indexed:         indexed,
 		ColdWallNanos:   coldWall.Nanoseconds(),
 		WarmWallNanos:   warmWall.Nanoseconds(),
 		Answer:          cold.Len(),
@@ -169,5 +203,6 @@ func (c Config) runEngine(name string, nOuter, nInner, fanout, tupleBytes int, d
 		DegreeEvals:     env.Counters.DegreeEvals.Load(),
 		SortCacheHits:   env.Counters.SortCacheHits.Load(),
 		SortCacheMisses: env.Counters.SortCacheMisses.Load(),
+		IndexHits:       env.Counters.IndexHits.Load(),
 	}, nil
 }

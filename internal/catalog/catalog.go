@@ -24,8 +24,9 @@ import (
 type Catalog struct {
 	mgr *storage.Manager
 
-	mu        sync.RWMutex // guards the two maps
+	mu        sync.RWMutex // guards the three maps
 	relations map[string]*storage.HeapFile
+	indexes   map[string]*Index
 	terms     map[string]fuzzy.Trapezoid
 }
 
@@ -34,6 +35,7 @@ func New(mgr *storage.Manager) *Catalog {
 	return &Catalog{
 		mgr:       mgr,
 		relations: make(map[string]*storage.HeapFile),
+		indexes:   make(map[string]*Index),
 		terms:     make(map[string]fuzzy.Trapezoid),
 	}
 }
@@ -109,7 +111,7 @@ func (c *Catalog) ReplaceRelationContents(name string, tuples []frel.Tuple) erro
 		c.mu.Lock()
 		c.relations[key] = nh
 		c.mu.Unlock()
-		return nil
+		return c.rebuildIndexesOf(key)
 	}
 	// Checkpoint first: afterwards the log holds no append records for the
 	// relation, so recovery will take whichever file the rename left behind
@@ -162,6 +164,11 @@ func (c *Catalog) ReplaceRelationContents(name string, tuples []frel.Tuple) erro
 	c.mu.Lock()
 	c.relations[key] = nh
 	c.mu.Unlock()
+	// The swap invalidated any order indexes on the relation (their tids
+	// point into the old file); rebuild them from the new contents.
+	if err := c.rebuildIndexesOf(key); err != nil {
+		return err
+	}
 	// Record the new geometry as the checkpoint base.
 	return c.mgr.Checkpoint()
 }
@@ -180,6 +187,9 @@ func (c *Catalog) DropRelation(name string) error {
 	c.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("catalog: unknown relation %q", name)
+	}
+	if err := c.dropIndexesOf(key); err != nil {
+		return err
 	}
 	if c.mgr.WALEnabled() {
 		if err := c.Save(); err != nil {

@@ -1,0 +1,254 @@
+package catalog
+
+import (
+	"testing"
+
+	"repro/internal/frel"
+	"repro/internal/fuzzy"
+	"repro/internal/storage"
+)
+
+func indexTestRelation(t *testing.T, c *Catalog, name string, n int) *storage.HeapFile {
+	t.Helper()
+	schema := frel.NewSchema(name,
+		frel.Attribute{Name: "X", Kind: frel.KindNumber},
+		frel.Attribute{Name: "NAME", Kind: frel.KindString},
+	)
+	h, err := c.CreateRelation(name, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		// Descending values so the build actually has to sort.
+		v := float64(n - i)
+		tup := frel.Tuple{Values: []frel.Value{frel.Num(fuzzy.Tri(v-1, v, v+1)), frel.Str("t")}, D: 1}
+		if err := h.Append(tup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return h
+}
+
+func TestCreateIndexBuildsSortedEntries(t *testing.T) {
+	c := newCatalog(t)
+	h := indexTestRelation(t, c, "R", 50)
+	ix, err := c.CreateIndex("r_x", "R", "X")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Pos() != 0 || ix.Rel != "R" {
+		t.Errorf("index = %+v", ix)
+	}
+	entries, err := storage.ReadIndexEntries(ix.Heap(), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(entries)) != h.NumTuples() {
+		t.Fatalf("index has %d entries, relation %d tuples", len(entries), h.NumTuples())
+	}
+	for i := 1; i < len(entries); i++ {
+		if storage.CompareEntries(entries[i-1], entries[i]) > 0 {
+			t.Fatalf("entries %d and %d out of order", i-1, i)
+		}
+	}
+	if got := c.IndexForHeap(h, 0); got != ix {
+		t.Errorf("IndexForHeap = %v", got)
+	}
+	if got := c.IndexForHeap(h, 1); got != nil {
+		t.Errorf("IndexForHeap on unindexed attribute = %v", got)
+	}
+}
+
+func TestCreateIndexValidation(t *testing.T) {
+	c := newCatalog(t)
+	indexTestRelation(t, c, "R", 5)
+	if _, err := c.CreateIndex("i1", "NOPE", "X"); err == nil {
+		t.Errorf("unknown relation: want error")
+	}
+	if _, err := c.CreateIndex("i1", "R", "NOPE"); err == nil {
+		t.Errorf("unknown attribute: want error")
+	}
+	if _, err := c.CreateIndex("i1", "R", "NAME"); err == nil {
+		t.Errorf("string attribute: want error")
+	}
+	if _, err := c.CreateIndex("i1", "R", "X"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateIndex("I1", "R", "X"); err == nil {
+		t.Errorf("duplicate name (case-insensitive): want error")
+	}
+	if _, err := c.CreateIndex("i2", "r", "x"); err == nil {
+		t.Errorf("second index on same attribute: want error")
+	}
+}
+
+func TestDropIndex(t *testing.T) {
+	c := newCatalog(t)
+	h := indexTestRelation(t, c, "R", 5)
+	if _, err := c.CreateIndex("i1", "R", "X"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropIndex("I1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropIndex("i1"); err == nil {
+		t.Errorf("double drop: want error")
+	}
+	if got := c.IndexForHeap(h, 0); got != nil {
+		t.Errorf("IndexForHeap after drop = %v", got)
+	}
+}
+
+func TestDropRelationCascadesIndexes(t *testing.T) {
+	c := newCatalog(t)
+	indexTestRelation(t, c, "R", 5)
+	if _, err := c.CreateIndex("i1", "R", "X"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropRelation("R"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.LookupIndex("i1"); ok {
+		t.Errorf("index survived its relation")
+	}
+	// The name is free again for a fresh relation + index.
+	indexTestRelation(t, c, "R", 3)
+	if _, err := c.CreateIndex("i1", "R", "X"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplaceRelationContentsRebuildsIndex(t *testing.T) {
+	c := newCatalog(t)
+	h := indexTestRelation(t, c, "R", 10)
+	ix, err := c.CreateIndex("i1", "R", "X")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := h.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ReplaceRelationContents("R", rel.Tuples[:4]); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := storage.ReadIndexEntries(ix.Heap(), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 {
+		t.Fatalf("rebuilt index has %d entries, want 4", len(entries))
+	}
+	nh, err := c.Relation("R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.IndexForHeap(nh, 0); got != ix {
+		t.Errorf("IndexForHeap after replace = %v", got)
+	}
+}
+
+func TestIndexPersistence(t *testing.T) {
+	fs := storage.NewMemFS()
+	mgr, err := storage.NewManagerOptions("db", storage.ManagerOptions{PoolPages: 32, FS: fs, WAL: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(mgr)
+	indexTestRelation(t, c, "R", 20)
+	if _, err := c.CreateIndex("r_x", "R", "X"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Save(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	mgr2, err := storage.NewManagerOptions("db", storage.ManagerOptions{PoolPages: 32, FS: fs, WAL: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, fresh, err := Open(mgr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh {
+		t.Fatal("want existing catalog")
+	}
+	ix, ok := c2.LookupIndex("r_x")
+	if !ok {
+		t.Fatal("index not restored")
+	}
+	entries, err := storage.ReadIndexEntries(ix.Heap(), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 20 {
+		t.Fatalf("restored index has %d entries, want 20", len(entries))
+	}
+}
+
+func TestOpenRebuildsStaleIndexAndRemovesOrphans(t *testing.T) {
+	fs := storage.NewMemFS()
+	mgr, err := storage.NewManagerOptions("db", storage.ManagerOptions{PoolPages: 32, FS: fs, WAL: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(mgr)
+	h := indexTestRelation(t, c, "R", 10)
+	if _, err := c.CreateIndex("r_x", "R", "X"); err != nil {
+		t.Fatal(err)
+	}
+	// Bulk-append behind the index's back: the counts now disagree.
+	if err := h.Append(frel.Tuple{Values: []frel.Value{frel.Crisp(0), frel.Str("t")}, D: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Save(); err != nil {
+		t.Fatal(err)
+	}
+	// An orphaned index file from a crashed build.
+	orphan, err := mgr.CreateHeap("idx-r-orphan", storage.IndexSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := orphan.AppendIndexEntry(storage.IndexEntry{Tid: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := orphan.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	mgr2, err := storage.NewManagerOptions("db", storage.ManagerOptions{PoolPages: 32, FS: fs, WAL: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, _, err := Open(mgr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, ok := c2.LookupIndex("r_x")
+	if !ok {
+		t.Fatal("index not restored")
+	}
+	entries, err := storage.ReadIndexEntries(ix.Heap(), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 11 {
+		t.Fatalf("rebuilt index has %d entries, want 11", len(entries))
+	}
+	names, err := fs.ReadDir("db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range names {
+		if n == "idx-r-orphan.heap" {
+			t.Errorf("orphan index file survived Open")
+		}
+	}
+}

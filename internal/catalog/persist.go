@@ -21,7 +21,14 @@ import (
 // catalogFile is the JSON layout of catalog.json.
 type catalogFile struct {
 	Relations []relationMeta        `json:"relations"`
+	Indexes   []indexMeta           `json:"indexes,omitempty"`
 	Terms     map[string][4]float64 `json:"terms"`
+}
+
+type indexMeta struct {
+	Name string `json:"name"`
+	Rel  string `json:"rel"`
+	Attr string `json:"attr"`
 }
 
 type relationMeta struct {
@@ -67,6 +74,24 @@ func (c *Catalog) Save() error {
 			meta.Attrs = append(meta.Attrs, attrMeta{Name: a.Name, Kind: a.Kind.String()})
 		}
 		cf.Relations = append(cf.Relations, meta)
+	}
+	c.mu.RLock()
+	ixNames := make([]string, 0, len(c.indexes))
+	for n := range c.indexes {
+		ixNames = append(ixNames, n)
+	}
+	ixs := make(map[string]*Index, len(c.indexes))
+	for n, ix := range c.indexes {
+		ixs[n] = ix
+	}
+	c.mu.RUnlock()
+	sort.Strings(ixNames)
+	for _, n := range ixNames {
+		ix := ixs[n]
+		if err := ix.heap.Flush(); err != nil {
+			return err
+		}
+		cf.Indexes = append(cf.Indexes, indexMeta{Name: ix.Name, Rel: ix.Rel, Attr: ix.Attr})
 	}
 	data, err := json.MarshalIndent(&cf, "", "  ")
 	if err != nil {
@@ -144,7 +169,71 @@ func Open(mgr *storage.Manager) (c *Catalog, fresh bool, err error) {
 		}
 		c.relations[relKey(meta.Name)] = h
 	}
+	if err := c.openIndexes(cf.Indexes); err != nil {
+		return nil, false, err
+	}
 	return c, false, nil
+}
+
+// openIndexes restores the saved order indexes. Each entry file is
+// reopened and validated against its base relation: the entry count must
+// match the base tuple count (bulk loaders that bypass maintenance leave
+// them unequal), otherwise — or when the file is missing — the index is
+// rebuilt from scratch. idx-*.heap files not referenced by the catalog
+// (orphans of a crash between index build and catalog save) are deleted.
+// Any disk mutation is sealed with a checkpoint so the write-ahead log
+// never references a removed or superseded file.
+func (c *Catalog) openIndexes(metas []indexMeta) error {
+	referenced := make(map[string]bool, len(metas))
+	mutated := false
+	for _, m := range metas {
+		key := relKey(m.Name)
+		c.mu.RLock()
+		h := c.relations[relKey(m.Rel)]
+		c.mu.RUnlock()
+		if h == nil {
+			return fmt.Errorf("catalog: index %q references unknown relation %q", m.Name, m.Rel)
+		}
+		pos, err := h.Schema.Resolve(m.Attr)
+		if err != nil {
+			return fmt.Errorf("catalog: index %q: %w", m.Name, err)
+		}
+		ix := &Index{Name: m.Name, Rel: relKey(m.Rel), Attr: h.Schema.Attrs[pos].Name, pos: pos}
+		referenced[indexHeapName(ix.Rel, ix.Attr)+".heap"] = true
+		ih, err := c.mgr.OpenHeap(indexHeapName(ix.Rel, ix.Attr), storage.IndexSchema())
+		if err == nil && ih.NumTuples() == h.NumTuples() {
+			ix.heap = ih
+		} else {
+			if err == nil {
+				if derr := ih.Drop(); derr != nil {
+					return derr
+				}
+			}
+			if err := c.buildIndex(ix, h); err != nil {
+				return err
+			}
+			mutated = true
+		}
+		c.mu.Lock()
+		c.indexes[key] = ix
+		c.mu.Unlock()
+	}
+	names, err := c.mgr.FS().ReadDir(c.mgr.Dir())
+	if err != nil {
+		return err
+	}
+	for _, n := range names {
+		if strings.HasPrefix(n, "idx-") && strings.HasSuffix(n, ".heap") && !referenced[n] {
+			if err := c.mgr.FS().Remove(filepath.Join(c.mgr.Dir(), n)); err != nil {
+				return err
+			}
+			mutated = true
+		}
+	}
+	if mutated && c.mgr.WALEnabled() {
+		return c.mgr.Checkpoint()
+	}
+	return nil
 }
 
 // readFileFS reads the whole file at path through fs.

@@ -433,7 +433,10 @@ func (e *Env) external() bool { return e.cat != nil }
 // otherwise. total selects the CompareTotal tie-broken order needed by the
 // group-aggregate join. Plain scans of base relations go through the
 // sort-order cache (see sortcache.go): a repeat sort of an unmodified
-// relation is served from the cached permutation without re-sorting.
+// relation is served from the cached permutation without re-sorting, and a
+// cold sort of a relation carrying a persistent order index on the
+// attribute is served from the index (see indexscan.go) without sorting at
+// all.
 func (e *Env) sortSource(src exec.Source, attr string, total bool) (exec.Source, error) {
 	var less extsort.Less
 	var err error
@@ -456,6 +459,19 @@ func (e *Env) sortSource(src exec.Source, attr string, total bool) (exec.Source,
 	if e.external() {
 		if heapBase != nil {
 			key := sortKey{heap: heapBase, attr: attrIdx, total: total}
+			// An order loaded from a persistent index lives in the memory
+			// side of the cache; repeat sorts of the unmodified heap replay
+			// it without touching the index again.
+			if ent, ok := e.sortMem[key]; ok && ent.version == e.heapVersion(heapBase) {
+				e.Counters.SortCacheHits.Add(1)
+				rel := &frel.Relation{Schema: src.Schema(), Tuples: ent.tuples}
+				out := exec.WithContext(e.ctx, exec.NewKeyedMemSource(rel, ent.keys))
+				if node := e.newNode("sort", attr); node != nil {
+					node.CacheHits.Store(1)
+					out = e.attach(node, out, src)
+				}
+				return out, nil
+			}
 			if ent, ok := e.sortHeap[key]; ok && ent.version == e.heapVersion(heapBase) {
 				e.Counters.SortCacheHits.Add(1)
 				var out exec.Source = &renameSource{Source: exec.NewHeapSource(ent.sorted), schema: src.Schema()}
@@ -464,6 +480,11 @@ func (e *Env) sortSource(src exec.Source, attr string, total bool) (exec.Source,
 					node.CacheHits.Store(1)
 					out = e.attach(node, out, src)
 				}
+				return out, nil
+			}
+			if out, ok, err := e.indexSorted(src, heapBase, attr, attrIdx, total); err != nil {
+				return nil, err
+			} else if ok {
 				return out, nil
 			}
 		}

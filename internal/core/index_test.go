@@ -1,0 +1,314 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/frel"
+	"repro/internal/fsql"
+	"repro/internal/storage"
+)
+
+// openIndexSession opens a session over a shared in-memory file system and
+// loads the two-relation workload used by the index tests: R(K, A, B) and
+// S(A, B) with a mix of crisp and trapezoidal values on the join
+// attribute B.
+func openIndexSession(t *testing.T, fs storage.FS) *Session {
+	t.Helper()
+	s, err := OpenSessionOptions("db", SessionOptions{BufferPages: 32, FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func loadIndexWorkload(t *testing.T, sess *Session) {
+	t.Helper()
+	stmts := []string{
+		`CREATE TABLE R (K NUMBER, A NUMBER, B NUMBER)`,
+		`CREATE TABLE S (A NUMBER, B NUMBER)`,
+	}
+	for i := 0; i < 25; i++ {
+		stmts = append(stmts,
+			fmt.Sprintf(`INSERT INTO R VALUES (%d, %d, TRAP(%d, %d, %d, %d))`,
+				i, i%5, i%7, i%7+1, i%7+2, i%7+3))
+		stmts = append(stmts,
+			fmt.Sprintf(`INSERT INTO S VALUES (%d, %d)`, i%5, i%7+1))
+	}
+	if _, err := sess.ExecScript(strings.Join(stmts, ";\n")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustSelect(t *testing.T, src string) *fsql.Select {
+	t.Helper()
+	st, err := fsql.ParseStatement(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st.(*fsql.Select)
+}
+
+// TestIndexServesColdQuery is the tentpole acceptance check: with indexes
+// on the join attribute, a cold Open + nested query executes with zero
+// external-sort work — no sort operator in EXPLAIN ANALYZE, no sort-cache
+// misses, the inputs served from the persistent indexes — and the answer
+// is bit-identical to the naive evaluation.
+func TestIndexServesColdQuery(t *testing.T) {
+	fs := storage.NewMemFS()
+	sess := openIndexSession(t, fs)
+	loadIndexWorkload(t, sess)
+	if _, err := sess.ExecScript(`
+		CREATE INDEX r_b ON R (B);
+		CREATE INDEX s_b ON S (B);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cold: a fresh process image — new buffer pool, empty sort caches.
+	sess = openIndexSession(t, fs)
+	defer sess.Close()
+	q := mustSelect(t, `SELECT R.K FROM R WHERE R.B IN (SELECT S.B FROM S)`)
+	sess.Env.ResetStats()
+	got, stats, err := sess.EvalAnalyze(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := stats.Plan()
+	if plan == nil {
+		t.Fatal("no stats tree")
+	}
+	if n := plan.Find("sort"); n != nil {
+		t.Fatalf("cold indexed query ran a sort:\n%s", plan.Render())
+	}
+	if n := plan.Find("index"); n == nil || n.IndexHits == 0 {
+		t.Fatalf("no index operator in the plan:\n%s", plan.Render())
+	}
+	if misses := sess.Env.Counters.SortCacheMisses.Load(); misses != 0 {
+		t.Fatalf("sort_cache_misses = %d, want 0", misses)
+	}
+	if hits := sess.Env.Counters.IndexHits.Load(); hits < 2 {
+		t.Fatalf("index hits = %d, want both merge inputs served", hits)
+	}
+
+	naive, err := sess.EvalNaive(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !naive.Equal(got, 0) {
+		t.Fatalf("indexed answer differs from naive:\nindexed: %v\nnaive:   %v", got.Tuples, naive.Tuples)
+	}
+
+	// Warm repeat: the loaded order replays from the sort cache.
+	sess.Env.ResetStats()
+	if _, _, err := sess.EvalAnalyze(context.Background(), q); err != nil {
+		t.Fatal(err)
+	}
+	if hits := sess.Env.Counters.SortCacheHits.Load(); hits < 2 {
+		t.Fatalf("warm repeat cache hits = %d, want >= 2", hits)
+	}
+}
+
+// TestIndexMaintainedByInserts: entries appended by autocommit inserts and
+// by explicit transactions keep the index serving, with answers identical
+// to the naive evaluation.
+func TestIndexMaintainedByInserts(t *testing.T) {
+	fs := storage.NewMemFS()
+	sess := openIndexSession(t, fs)
+	defer sess.Close()
+	loadIndexWorkload(t, sess)
+	if _, err := sess.ExecScript(`CREATE INDEX r_b ON R (B)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.ExecScript(`
+		INSERT INTO R VALUES (100, 1, TRAP(0, 1, 2, 3));
+		BEGIN;
+		INSERT INTO R VALUES (101, 2, 5);
+		INSERT INTO R VALUES (102, 3, TRAP(2, 3, 4, 5)) DEGREE 0.5;
+		COMMIT;
+	`); err != nil {
+		t.Fatal(err)
+	}
+
+	h, err := sess.Catalog().Relation("R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, ok := sess.Catalog().LookupIndex("r_b")
+	if !ok {
+		t.Fatal("index lost")
+	}
+	if ih, hh := ix.Heap().NumTuples(), h.NumTuples(); ih != hh {
+		t.Fatalf("index has %d entries, heap %d tuples", ih, hh)
+	}
+
+	q := mustSelect(t, `SELECT R.K FROM R WHERE R.B IN (SELECT S.B FROM S)`)
+	sess.Env.ResetStats()
+	got, err := sess.EvalSelect(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits := sess.Env.Counters.IndexHits.Load(); hits < 1 {
+		t.Fatalf("index hits = %d after maintained inserts, want >= 1", hits)
+	}
+	naive, err := sess.EvalNaive(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !naive.Equal(got, 0) {
+		t.Fatalf("answers differ after maintained inserts")
+	}
+}
+
+// TestIndexDDLBarrier: CREATE INDEX and DROP INDEX are transaction
+// barriers; inside an open transaction they fail and leave the
+// transaction intact.
+func TestIndexDDLBarrier(t *testing.T) {
+	fs := storage.NewMemFS()
+	sess := openIndexSession(t, fs)
+	defer sess.Close()
+	loadIndexWorkload(t, sess)
+	if _, err := sess.ExecScript(`CREATE INDEX s_b ON S (B)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.ExecScript(`BEGIN`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.ExecScript(`CREATE INDEX r_b ON R (B)`); err == nil ||
+		!strings.Contains(err.Error(), "cannot run inside a transaction") {
+		t.Fatalf("CREATE INDEX inside txn: err = %v", err)
+	}
+	if _, err := sess.ExecScript(`DROP INDEX s_b`); err == nil ||
+		!strings.Contains(err.Error(), "cannot run inside a transaction") {
+		t.Fatalf("DROP INDEX inside txn: err = %v", err)
+	}
+	if !sess.InTxn() {
+		t.Fatal("rejected index DDL aborted the transaction")
+	}
+	if _, err := sess.ExecScript(`INSERT INTO R VALUES (200, 0, 1); COMMIT`); err != nil {
+		t.Fatalf("transaction unusable after rejected DDL: %v", err)
+	}
+	if _, err := sess.ExecScript(`DROP INDEX s_b`); err != nil {
+		t.Fatalf("DROP INDEX at barrier: %v", err)
+	}
+}
+
+// TestIndexStaleFallsBack: a bulk append behind the index's back leaves
+// the counts unequal; queries fall back to sorting (still correct), and a
+// reopen rebuilds the index so it serves again.
+func TestIndexStaleFallsBack(t *testing.T) {
+	fs := storage.NewMemFS()
+	sess := openIndexSession(t, fs)
+	loadIndexWorkload(t, sess)
+	if _, err := sess.ExecScript(`CREATE INDEX r_b ON R (B)`); err != nil {
+		t.Fatal(err)
+	}
+	h, err := sess.Catalog().Relation("R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bulk load bypassing index maintenance.
+	extra := frel.NewRelation(h.Schema)
+	extra.Append(frel.NewTuple(1, frel.Crisp(300), frel.Crisp(1), frel.Crisp(2)))
+	extra.Append(frel.NewTuple(1, frel.Crisp(301), frel.Crisp(2), frel.Crisp(3)))
+	if err := h.AppendAll(extra); err != nil {
+		t.Fatal(err)
+	}
+
+	q := mustSelect(t, `SELECT R.K FROM R WHERE R.B IN (SELECT S.B FROM S)`)
+	sess.Env.ResetStats()
+	got, err := sess.EvalSelect(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits := sess.Env.Counters.IndexHits.Load(); hits != 0 {
+		t.Fatalf("stale index served a query (hits = %d)", hits)
+	}
+	if misses := sess.Env.Counters.SortCacheMisses.Load(); misses == 0 {
+		t.Fatal("stale index should fall back to sorting")
+	}
+	naive, err := sess.EvalNaive(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !naive.Equal(got, 0) {
+		t.Fatal("fallback answer differs from naive")
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen rebuilds the stale index from scratch; it serves again.
+	sess = openIndexSession(t, fs)
+	defer sess.Close()
+	sess.Env.ResetStats()
+	got2, err := sess.EvalSelect(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits := sess.Env.Counters.IndexHits.Load(); hits < 1 {
+		t.Fatal("rebuilt index does not serve after reopen")
+	}
+	if !got.Equal(got2, 0) {
+		t.Fatal("answers differ across reopen")
+	}
+}
+
+// TestIndexDeleteRebuild: DELETE's contents swap rebuilds the indexes, so
+// they keep serving with correct answers.
+func TestIndexDeleteRebuild(t *testing.T) {
+	fs := storage.NewMemFS()
+	sess := openIndexSession(t, fs)
+	defer sess.Close()
+	loadIndexWorkload(t, sess)
+	if _, err := sess.ExecScript(`
+		CREATE INDEX r_b ON R (B);
+		DELETE FROM R WHERE R.K >= 20;
+	`); err != nil {
+		t.Fatal(err)
+	}
+	q := mustSelect(t, `SELECT R.K FROM R WHERE R.B IN (SELECT S.B FROM S)`)
+	sess.Env.ResetStats()
+	got, err := sess.EvalSelect(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits := sess.Env.Counters.IndexHits.Load(); hits < 1 {
+		t.Fatal("rebuilt index does not serve after DELETE")
+	}
+	naive, err := sess.EvalNaive(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !naive.Equal(got, 0) {
+		t.Fatal("answer differs from naive after DELETE rebuild")
+	}
+}
+
+// TestExplainShowsIndexedMerge: the planner annotates merge steps whose
+// inputs it expects to be index-served.
+func TestExplainShowsIndexedMerge(t *testing.T) {
+	fs := storage.NewMemFS()
+	sess := openIndexSession(t, fs)
+	defer sess.Close()
+	loadIndexWorkload(t, sess)
+	if _, err := sess.ExecScript(`
+		CREATE INDEX r_b ON R (B);
+		CREATE INDEX s_b ON S (B);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	p, err := sess.Env.PlanQuery(mustSelect(t, `SELECT R.K FROM R WHERE R.B IN (SELECT S.B FROM S)`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := strings.Join(p.Lines(), "\n")
+	if !strings.Contains(text, "index(both)") {
+		t.Fatalf("EXPLAIN does not mark the indexed merge:\n%s", text)
+	}
+}

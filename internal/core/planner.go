@@ -57,6 +57,35 @@ func (e *Env) RelStats(tr fsql.TableRef) (*frel.TableStats, error) {
 	return nil, fmt.Errorf("core: unknown relation %q", tr.Name)
 }
 
+// HasOrderIndex implements plan.OrderIndexes: it reports whether the
+// referenced relation carries a fresh persistent order index on attr, so
+// the cost model can drop the sort term of a merge-join input the
+// execution path will serve from the index. Freshness uses live counts —
+// an index bypassed by a bulk load does not count.
+func (e *Env) HasOrderIndex(tr fsql.TableRef, attr string) bool {
+	if e.cat == nil {
+		return false
+	}
+	if _, ok := e.mem[relKey(tr.Name)]; ok {
+		// A registered in-memory relation shadows the catalog one.
+		return false
+	}
+	sch, err := e.BoundSchema(tr)
+	if err != nil {
+		return false
+	}
+	pos, err := sch.Resolve(attr)
+	if err != nil {
+		return false
+	}
+	h, err := e.cat.Relation(tr.Name)
+	if err != nil {
+		return false
+	}
+	ix := e.cat.IndexForHeap(h, pos)
+	return ix != nil && ix.Heap().NumTuples() == h.NumTuples()
+}
+
 // PlanQuery runs the three-stage planner over q: Build the logical IR
 // from the AST, Rewrite it with the unnesting rules (Sections 4-8), and
 // Estimate it with the statistics-fed cost model.

@@ -128,6 +128,24 @@ func (s *Session) ExecContext(ctx context.Context, stmt fsql.Statement) (*frel.R
 		}
 		return nil, s.cat.Save()
 
+	case *fsql.CreateIndex:
+		if err := s.barrier("CREATE INDEX"); err != nil {
+			return nil, err
+		}
+		if _, err := s.cat.CreateIndex(st.Name, st.Table, st.Attr); err != nil {
+			return nil, err
+		}
+		return nil, s.cat.Save()
+
+	case *fsql.DropIndex:
+		if err := s.barrier("DROP INDEX"); err != nil {
+			return nil, err
+		}
+		if err := s.cat.DropIndex(st.Name); err != nil {
+			return nil, err
+		}
+		return nil, s.cat.Save()
+
 	case *fsql.Insert:
 		return nil, s.insert(st)
 
@@ -345,18 +363,65 @@ func (s *Session) insert(st *fsql.Insert) error {
 		}
 	}
 	tuple := frel.NewTuple(st.Degree, vals...)
+	idxs := s.cat.IndexesForHeap(h)
 	if s.txn != nil {
-		return s.txnWrite(st.Table, h, tuple)
+		return s.txnWrite(st.Table, h, tuple, idxs)
 	}
+	mgr := s.cat.Manager()
+	if mgr.WALEnabled() {
+		if len(idxs) == 0 {
+			// The append is already durable through the log; pages reach
+			// the heap file on eviction or at the next checkpoint.
+			return h.Append(tuple)
+		}
+		// Base tuple and index entries commit as one transaction, so the
+		// committed counts of the base heap and every index move together
+		// (the consistency indexSorted relies on) and recovery never
+		// replays one without the others.
+		tx, err := mgr.BeginTxn()
+		if err != nil {
+			return err
+		}
+		if err := appendWithIndexes(h, tuple, idxs); err != nil {
+			if rbErr := tx.Rollback(); rbErr != nil {
+				return fmt.Errorf("%w (rollback also failed: %v)", err, rbErr)
+			}
+			return err
+		}
+		return tx.Commit()
+	}
+	if err := appendWithIndexes(h, tuple, idxs); err != nil {
+		return err
+	}
+	if err := h.Flush(); err != nil {
+		return err
+	}
+	for _, ix := range idxs {
+		if err := ix.Heap().Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// appendWithIndexes appends a tuple to its relation heap and one entry per
+// persistent order index of the relation. Entries record the tuple's
+// base-heap position, captured before the append.
+func appendWithIndexes(h *storage.HeapFile, tuple frel.Tuple, idxs []*catalog.Index) error {
+	tid := uint64(h.NumTuples())
 	if err := h.Append(tuple); err != nil {
 		return err
 	}
-	if s.cat.Manager().WALEnabled() {
-		// The append is already durable through the log; pages reach the
-		// heap file on eviction or at the next checkpoint.
-		return nil
+	for _, ix := range idxs {
+		entry, ok := storage.IndexEntryFor(tuple, ix.Pos(), tid)
+		if !ok {
+			return fmt.Errorf("core: INSERT: no numeric value for indexed attribute %s", ix.Attr)
+		}
+		if err := ix.Heap().AppendIndexEntry(entry); err != nil {
+			return err
+		}
 	}
-	return h.Flush()
+	return nil
 }
 
 // txnWrite appends a tuple on behalf of the open transaction. The first
@@ -366,7 +431,7 @@ func (s *Session) insert(st *fsql.Insert) error {
 // transaction's BEGIN aborts it) and upgrades the relation to live
 // visibility, so later statements of the transaction read their own
 // writes.
-func (s *Session) txnWrite(name string, h *storage.HeapFile, tuple frel.Tuple) error {
+func (s *Session) txnWrite(name string, h *storage.HeapFile, tuple frel.Tuple, idxs []*catalog.Index) error {
 	t := s.txn
 	if !t.snap.Live(h) {
 		sn, ok := t.snap.Lookup(h)
@@ -382,11 +447,17 @@ func (s *Session) txnWrite(name string, h *storage.HeapFile, tuple frel.Tuple) e
 		}
 		t.stx = stx
 	}
-	// Append rides the manager's open transaction (t.stx).
-	if err := h.Append(tuple); err != nil {
+	// Appends ride the manager's open transaction (t.stx). Index entries
+	// go in the same transaction, and the index heaps are upgraded to live
+	// visibility alongside the base so the transaction's own sorted reads
+	// see a consistent pair.
+	if err := appendWithIndexes(h, tuple, idxs); err != nil {
 		return s.abortTxn(err)
 	}
 	t.snap.SetLive(h)
+	for _, ix := range idxs {
+		t.snap.SetLive(ix.Heap())
+	}
 	return nil
 }
 

@@ -549,11 +549,7 @@ type groupAggBatchIterator struct {
 // groupAggIterator.computeGroup with batch-local counters.
 func (it *groupAggBatchIterator) computeGroup(u frel.Value) {
 	j := it.j
-	type memberEntry struct {
-		val frel.Value
-		mu  float64
-	}
-	byKey := make(map[string]*memberEntry)
+	set := newMemberSet()
 	var rng int64
 	acc := func(s frel.Tuple) {
 		rng++
@@ -568,15 +564,7 @@ func (it *groupAggBatchIterator) computeGroup(u frel.Value) {
 		if d <= 0 {
 			return
 		}
-		z := s.Values[j.zi]
-		k := z.Key()
-		if e, ok := byKey[k]; ok {
-			if d > e.mu {
-				e.mu = d
-			}
-		} else {
-			byKey[k] = &memberEntry{val: z, mu: d}
-		}
+		set.add(s.Values[j.zi], d)
 	}
 	if it.win != nil {
 		uLo, uHi := u.Num.Support()
@@ -603,14 +591,10 @@ func (it *groupAggBatchIterator) computeGroup(u frel.Value) {
 	}
 	it.loc.observeRng(rng)
 	if j.Agg == fuzzy.AggCount {
-		it.aggVal, it.aggOK = fuzzy.Crisp(float64(len(byKey))), true
+		it.aggVal, it.aggOK = fuzzy.Crisp(float64(set.len())), true
 		return
 	}
-	members := make([]fuzzy.Member, 0, len(byKey))
-	for _, e := range byKey {
-		members = append(members, fuzzy.Member{Value: e.val.Num, Mu: e.mu})
-	}
-	it.aggVal, it.aggOK = fuzzy.Aggregate(j.Agg, members)
+	it.aggVal, it.aggOK = fuzzy.Aggregate(j.Agg, set.members)
 }
 
 func (it *groupAggBatchIterator) NextBatch() ([]frel.Tuple, bool) {

@@ -130,6 +130,33 @@ type groupAggIterator struct {
 	err       error
 }
 
+// memberSet accumulates a fuzzy value set deduplicated by value identity,
+// keeping the maximum degree per value (Section 4's temporary-relation
+// rule), in first-seen order. Insertion order matters: fuzzy aggregates
+// sum floating-point values in set order, so building the set by map
+// iteration would make repeated evaluations of the same query differ in
+// the last bits of the result.
+type memberSet struct {
+	idx     map[string]int
+	members []fuzzy.Member
+}
+
+func newMemberSet() *memberSet { return &memberSet{idx: make(map[string]int)} }
+
+func (ms *memberSet) add(v frel.Value, mu float64) {
+	k := v.Key()
+	if i, ok := ms.idx[k]; ok {
+		if mu > ms.members[i].Mu {
+			ms.members[i].Mu = mu
+		}
+		return
+	}
+	ms.idx[k] = len(ms.members)
+	ms.members = append(ms.members, fuzzy.Member{Value: v.Num, Mu: mu})
+}
+
+func (ms *memberSet) len() int { return len(ms.members) }
+
 // computeGroup builds T′(u) and its aggregate for the given outer value.
 func (it *groupAggIterator) computeGroup(u frel.Value) {
 	j := it.j
@@ -146,13 +173,7 @@ func (it *groupAggIterator) computeGroup(u frel.Value) {
 	} else {
 		candidates = it.innerAll
 	}
-	// Dedup values by identity, keeping the maximum degree (Section 4's
-	// temporary-relation rule).
-	type memberEntry struct {
-		val frel.Value
-		mu  float64
-	}
-	byKey := make(map[string]*memberEntry)
+	set := newMemberSet()
 	var rng int64
 	for _, s := range candidates {
 		j.Counters.Comparisons.Add(1)
@@ -173,15 +194,7 @@ func (it *groupAggIterator) computeGroup(u frel.Value) {
 		if d <= 0 {
 			continue
 		}
-		z := s.Values[j.zi]
-		k := z.Key()
-		if e, ok := byKey[k]; ok {
-			if d > e.mu {
-				e.mu = d
-			}
-		} else {
-			byKey[k] = &memberEntry{val: z, mu: d}
-		}
+		set.add(s.Values[j.zi], d)
 	}
 	if j.Stats != nil {
 		j.Stats.ObserveRng(rng)
@@ -189,14 +202,10 @@ func (it *groupAggIterator) computeGroup(u frel.Value) {
 	if j.Agg == fuzzy.AggCount {
 		// COUNT of an empty T′(u) is 0: comparing r.Y against Crisp(0) is
 		// exactly the ELSE arm of Query COUNT′'s IF-THEN-ELSE.
-		it.aggVal, it.aggOK = fuzzy.Crisp(float64(len(byKey))), true
+		it.aggVal, it.aggOK = fuzzy.Crisp(float64(set.len())), true
 		return
 	}
-	members := make([]fuzzy.Member, 0, len(byKey))
-	for _, e := range byKey {
-		members = append(members, fuzzy.Member{Value: e.val.Num, Mu: e.mu})
-	}
-	it.aggVal, it.aggOK = fuzzy.Aggregate(j.Agg, members)
+	it.aggVal, it.aggOK = fuzzy.Aggregate(j.Agg, set.members)
 }
 
 func (it *groupAggIterator) Next() (frel.Tuple, bool) {
@@ -323,7 +332,7 @@ func (g *GroupAgg) Open() (Iterator, error) {
 	type group struct {
 		key     frel.Tuple
 		degree  float64
-		members []map[string]*fuzzy.Member // one value set per agg item
+		members []*memberSet // one value set per agg item
 	}
 	groups := make(map[string]*group)
 	var order []string
@@ -336,9 +345,9 @@ func (g *GroupAgg) Open() (Iterator, error) {
 		k := kt.Key()
 		grp, ok := groups[k]
 		if !ok {
-			grp = &group{key: kt, members: make([]map[string]*fuzzy.Member, len(g.Items))}
+			grp = &group{key: kt, members: make([]*memberSet, len(g.Items))}
 			for i := range grp.members {
-				grp.members[i] = make(map[string]*fuzzy.Member)
+				grp.members[i] = newMemberSet()
 			}
 			groups[k] = grp
 			order = append(order, k)
@@ -347,15 +356,7 @@ func (g *GroupAgg) Open() (Iterator, error) {
 			grp.degree = t.D
 		}
 		for i, zi := range g.itemIdx {
-			v := t.Values[zi]
-			vk := v.Key()
-			if m, ok := grp.members[i][vk]; ok {
-				if t.D > m.Mu {
-					m.Mu = t.D
-				}
-			} else {
-				grp.members[i][vk] = &fuzzy.Member{Value: v.Num, Mu: t.D}
-			}
+			grp.members[i].add(t.Values[zi], t.D)
 		}
 	}
 	if err := it.Err(); err != nil {
@@ -368,11 +369,7 @@ func (g *GroupAgg) Open() (Iterator, error) {
 		vals := append([]frel.Value(nil), grp.key.Values...)
 		skip := false
 		for i, item := range g.Items {
-			set := make([]fuzzy.Member, 0, len(grp.members[i]))
-			for _, m := range grp.members[i] {
-				set = append(set, *m)
-			}
-			a, ok := fuzzy.Aggregate(item.Agg, set)
+			a, ok := fuzzy.Aggregate(item.Agg, grp.members[i].members)
 			if !ok {
 				skip = true
 				break

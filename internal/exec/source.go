@@ -51,6 +51,10 @@ type Counters struct {
 	// built and stored.
 	SortCacheHits   atomic.Int64
 	SortCacheMisses atomic.Int64
+
+	// IndexHits counts sorted inputs served from a persistent order index
+	// (no sort at all, neither cached nor fresh).
+	IndexHits atomic.Int64
 }
 
 // Add accumulates other into c.
@@ -60,6 +64,7 @@ func (c *Counters) Add(other *Counters) {
 	c.TuplesOut.Add(other.TuplesOut.Load())
 	c.SortCacheHits.Add(other.SortCacheHits.Load())
 	c.SortCacheMisses.Add(other.SortCacheMisses.Load())
+	c.IndexHits.Add(other.IndexHits.Load())
 }
 
 // Reset zeroes all counters.
@@ -69,6 +74,7 @@ func (c *Counters) Reset() {
 	c.TuplesOut.Store(0)
 	c.SortCacheHits.Store(0)
 	c.SortCacheMisses.Store(0)
+	c.IndexHits.Store(0)
 }
 
 // MemSource serves tuples from an in-memory relation.

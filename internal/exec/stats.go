@@ -55,6 +55,7 @@ type OpStats struct {
 
 	CacheHits   atomic.Int64 // sort-order cache hits (sort skipped entirely)
 	CacheMisses atomic.Int64 // sort-order cache misses (order built and stored)
+	IndexHits   atomic.Int64 // sorted inputs served from a persistent order index
 
 	PoolHits   atomic.Int64 // buffer-pool page hits
 	PoolMisses atomic.Int64 // buffer-pool page misses (physical reads)
@@ -141,6 +142,7 @@ type StatsSnapshot struct {
 	SpillBytes  int64            `json:"spill_bytes,omitempty"`
 	CacheHits   int64            `json:"cache_hits,omitempty"`
 	CacheMisses int64            `json:"cache_misses,omitempty"`
+	IndexHits   int64            `json:"index_hits,omitempty"`
 	PoolHits    int64            `json:"pool_hits,omitempty"`
 	PoolMisses  int64            `json:"pool_misses,omitempty"`
 	WallNanos   int64            `json:"wall_ns"`
@@ -161,6 +163,7 @@ func (s *OpStats) Snapshot() *StatsSnapshot {
 		SpillBytes:  s.SpillBytes.Load(),
 		CacheHits:   s.CacheHits.Load(),
 		CacheMisses: s.CacheMisses.Load(),
+		IndexHits:   s.IndexHits.Load(),
 		PoolHits:    s.PoolHits.Load(),
 		PoolMisses:  s.PoolMisses.Load(),
 		WallNanos:   s.WallNanos.Load(),
@@ -241,6 +244,9 @@ func (s *StatsSnapshot) render(b *strings.Builder, depth int) {
 	}
 	if s.CacheHits > 0 || s.CacheMisses > 0 {
 		fmt.Fprintf(b, " cache(hit=%d miss=%d)", s.CacheHits, s.CacheMisses)
+	}
+	if s.IndexHits > 0 {
+		fmt.Fprintf(b, " index(hit=%d)", s.IndexHits)
 	}
 	if s.PoolHits > 0 || s.PoolMisses > 0 {
 		fmt.Fprintf(b, " pool(hit=%d miss=%d)", s.PoolHits, s.PoolMisses)

@@ -16,7 +16,8 @@
 // INTERVAL(lo,hi), or quoted strings; a quoted string compared against a
 // numeric attribute is resolved through the linguistic-term dictionary.
 //
-// DDL: CREATE TABLE, DROP TABLE, INSERT INTO ... VALUES (...) [DEGREE d],
+// DDL: CREATE TABLE, DROP TABLE, CREATE INDEX ... ON rel (attr),
+// DROP INDEX, INSERT INTO ... VALUES (...) [DEGREE d],
 // DEFINE TERM 'name' AS <fuzzy literal>.
 package fsql
 
@@ -305,6 +306,56 @@ func (*DropTable) stmt() {}
 
 // String renders the statement.
 func (d *DropTable) String() string { return "DROP TABLE " + d.Name }
+
+// CreateIndex is a CREATE INDEX statement: it builds a persistent
+// secondary index on the Definition 3.1 order of one numeric attribute, so
+// merge joins and range scans over the attribute read the sort order from
+// disk instead of sorting.
+type CreateIndex struct {
+	Name  string // index name (bare identifier or quoted)
+	Table string
+	Attr  string
+}
+
+func (*CreateIndex) stmt() {}
+
+// String renders the statement.
+func (c *CreateIndex) String() string {
+	return fmt.Sprintf("CREATE INDEX %s ON %s (%s)", renderName(c.Name), c.Table, c.Attr)
+}
+
+// DropIndex is a DROP INDEX statement.
+type DropIndex struct {
+	Name string
+}
+
+func (*DropIndex) stmt() {}
+
+// String renders the statement.
+func (d *DropIndex) String() string { return "DROP INDEX " + renderName(d.Name) }
+
+// renderName renders an object name: bare when it lexes as a single
+// identifier, quoted otherwise, so the rendering re-parses to the same
+// name.
+func renderName(s string) string {
+	if identLike(s) {
+		return s
+	}
+	return quoteStr(s)
+}
+
+// identLike reports whether s is shaped like a bare identifier.
+func identLike(s string) bool {
+	if s == "" || !isIdentStart(s[0]) {
+		return false
+	}
+	for i := 1; i < len(s); i++ {
+		if !isIdentPart(s[i]) {
+			return false
+		}
+	}
+	return true
+}
 
 // Checkpoint is a CHECKPOINT statement: flush all relations to their heap
 // files and truncate the write-ahead log.

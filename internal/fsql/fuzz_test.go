@@ -44,6 +44,11 @@ var fuzzSeeds = []string{
 	`DELETE FROM W`,
 	`DEFINE TERM 'medium young' AS TRAP(20, 25, 30, 35)`,
 	`DEFINE TERM 'young' AS ABOUT(25, 10)`,
+	`CREATE INDEX r_b ON R (B)`,
+	`CREATE INDEX 'my index' ON S (A)`,
+	`CREATE INDEX "quoted" ON S (B)`,
+	`DROP INDEX r_b`,
+	`DROP INDEX 'my index'`,
 	// Known-invalid inputs: the fuzzer mutates these toward boundary
 	// cases of the error paths.
 	`SELECT R.X FROM R WHERE R.Y = 'unterminated`,

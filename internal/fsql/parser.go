@@ -198,9 +198,9 @@ func (p *parser) parseStatement() (Statement, error) {
 	case p.kw("EXPLAIN"):
 		return p.parseExplain()
 	case p.kw("CREATE"):
-		return p.parseCreateTable()
+		return p.parseCreate()
 	case p.kw("DROP"):
-		return p.parseDropTable()
+		return p.parseDrop()
 	case p.kw("INSERT"):
 		return p.parseInsert()
 	case p.kw("DELETE"):
@@ -777,10 +777,93 @@ func defaultAboutSpread(x float64) float64 {
 	return s
 }
 
-func (p *parser) parseCreateTable() (Statement, error) {
+// parseCreate dispatches CREATE TABLE vs CREATE INDEX.
+func (p *parser) parseCreate() (Statement, error) {
 	if err := p.expectKw("CREATE"); err != nil {
 		return nil, err
 	}
+	switch {
+	case p.kw("TABLE"):
+		return p.parseCreateTable()
+	case p.kw("INDEX"):
+		return p.parseCreateIndex()
+	default:
+		return nil, fmt.Errorf("fsql: expected TABLE or INDEX after CREATE, got %s", p.tok)
+	}
+}
+
+// parseDrop dispatches DROP TABLE vs DROP INDEX.
+func (p *parser) parseDrop() (Statement, error) {
+	if err := p.expectKw("DROP"); err != nil {
+		return nil, err
+	}
+	switch {
+	case p.kw("TABLE"):
+		return p.parseDropTable()
+	case p.kw("INDEX"):
+		return p.parseDropIndex()
+	default:
+		return nil, fmt.Errorf("fsql: expected TABLE or INDEX after DROP, got %s", p.tok)
+	}
+}
+
+// name consumes an object name: a bare identifier or a quoted string.
+func (p *parser) name() (string, error) {
+	if p.tok.kind == tokString {
+		text := p.tok.text
+		if text == "" {
+			return "", fmt.Errorf("fsql: empty quoted name")
+		}
+		return text, p.advance()
+	}
+	return p.ident()
+}
+
+// parseCreateIndex parses INDEX name ON table (attr); CREATE has been
+// consumed.
+func (p *parser) parseCreateIndex() (Statement, error) {
+	if err := p.expectKw("INDEX"); err != nil {
+		return nil, err
+	}
+	name, err := p.name()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("ON"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSym("("); err != nil {
+		return nil, err
+	}
+	attr, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSym(")"); err != nil {
+		return nil, err
+	}
+	return &CreateIndex{Name: name, Table: table, Attr: attr}, nil
+}
+
+// parseDropIndex parses INDEX name; DROP has been consumed.
+func (p *parser) parseDropIndex() (Statement, error) {
+	if err := p.expectKw("INDEX"); err != nil {
+		return nil, err
+	}
+	name, err := p.name()
+	if err != nil {
+		return nil, err
+	}
+	return &DropIndex{Name: name}, nil
+}
+
+// parseCreateTable parses TABLE name (col type, ...); CREATE has been
+// consumed.
+func (p *parser) parseCreateTable() (Statement, error) {
 	if err := p.expectKw("TABLE"); err != nil {
 		return nil, err
 	}
@@ -825,10 +908,8 @@ func (p *parser) parseCreateTable() (Statement, error) {
 	return ct, nil
 }
 
+// parseDropTable parses TABLE name; DROP has been consumed.
 func (p *parser) parseDropTable() (Statement, error) {
-	if err := p.expectKw("DROP"); err != nil {
-		return nil, err
-	}
 	if err := p.expectKw("TABLE"); err != nil {
 		return nil, err
 	}

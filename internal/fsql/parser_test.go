@@ -440,6 +440,63 @@ func TestStatementStrings(t *testing.T) {
 	}
 }
 
+func TestParseCreateDropIndex(t *testing.T) {
+	st, err := ParseStatement(`CREATE INDEX r_b ON R (B)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci := st.(*CreateIndex)
+	if ci.Name != "r_b" || ci.Table != "R" || ci.Attr != "B" {
+		t.Errorf("create index = %+v", ci)
+	}
+	if got := ci.String(); got != `CREATE INDEX r_b ON R (B)` {
+		t.Errorf("String = %q", got)
+	}
+
+	// Quoted names survive (and stay quoted when not identifier-shaped).
+	st, err = ParseStatement(`CREATE INDEX 'my index' ON S (A)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci = st.(*CreateIndex)
+	if ci.Name != "my index" {
+		t.Errorf("quoted name = %q", ci.Name)
+	}
+	if got := ci.String(); got != `CREATE INDEX 'my index' ON S (A)` {
+		t.Errorf("String = %q", got)
+	}
+	// A quoted identifier-shaped name renders bare; the rendering is a
+	// fixed point after one normalization.
+	st, err = ParseStatement(`DROP INDEX "r_b"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	di := st.(*DropIndex)
+	if di.Name != "r_b" {
+		t.Errorf("name = %q", di.Name)
+	}
+	if got := di.String(); got != `DROP INDEX r_b` {
+		t.Errorf("String = %q", got)
+	}
+
+	for _, bad := range []string{
+		`CREATE INDEX`,
+		`CREATE INDEX i1`,
+		`CREATE INDEX i1 ON`,
+		`CREATE INDEX i1 ON R`,
+		`CREATE INDEX i1 ON R ()`,
+		`CREATE INDEX i1 ON R (B`,
+		`CREATE INDEX '' ON R (B)`,
+		`CREATE VIEW v AS SELECT R.X FROM R`,
+		`DROP INDEX`,
+		`DROP SEQUENCE s`,
+	} {
+		if _, err := ParseStatement(bad); err == nil {
+			t.Errorf("ParseStatement(%q): want error", bad)
+		}
+	}
+}
+
 func TestLexerComments(t *testing.T) {
 	q := mustQuery(t, "SELECT R.X -- comment here\nFROM R")
 	if len(q.Items) != 1 {

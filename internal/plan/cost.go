@@ -72,6 +72,23 @@ func (p *Plan) Estimate(opts Options) {
 	p.Root.est = Est{Rows: proj.est.Rows, Cost: proj.est.Cost + proj.est.Rows}
 }
 
+// hasOrderIndex reports whether nd is a plain base-relation scan whose
+// catalog maintains a fresh persistent order index on attr. Filtered
+// inputs never qualify — a filtered stream's sorted order cannot be read
+// off the base relation's index — matching the execution path, which only
+// serves unfiltered scans from indexes.
+func (p *Plan) hasOrderIndex(nd Node, attr string) bool {
+	sc, ok := nd.(*Scan)
+	if !ok {
+		return false
+	}
+	oi, ok := p.cat.(OrderIndexes)
+	if !ok {
+		return false
+	}
+	return oi.HasOrderIndex(sc.Table, attr)
+}
+
 // relRows returns the statistics and cardinality of a base relation
 // (defaultRows when statistics are unavailable).
 func (p *Plan) relRows(tr fsql.TableRef) (*frel.TableStats, float64) {
@@ -305,6 +322,10 @@ func (p *Plan) estimateJoin(j *Join, opts Options) {
 	}
 	curSchema := schemas[order[0]]
 	curRows := inRows[order[0]]
+	// curLeaf is the accumulated left side while it is still a single plan
+	// leaf (before the first join step) — the only state in which an order
+	// index can serve it directly.
+	curLeaf := j.Inputs[order[0]]
 	joined := map[int]bool{order[0]: true}
 	used := make([]bool, len(j.JoinPreds))
 	j.Steps = nil
@@ -394,11 +415,21 @@ func (p *Plan) estimateJoin(j *Join, opts Options) {
 		}
 
 		// Merge-join pays amortized sorts plus a linear merge; block
-		// nested-loop pays a degree evaluation per tuple pair.
+		// nested-loop pays a degree evaluation per tuple pair. A merge
+		// input served from a persistent order index pays no sort at all.
 		nlCost := curRows*inRows[next]*cDeg + outRows
 		if step.MergePred >= 0 {
-			mergeCost := cSortAmort*(curRows*log2n(curRows)+inRows[next]*log2n(inRows[next])) +
-				curRows + inRows[next] + outRows
+			lSort := cSortAmort * curRows * log2n(curRows)
+			if curLeaf != nil && p.hasOrderIndex(curLeaf, step.LeftAttr) {
+				step.LeftIndexed = true
+				lSort = 0
+			}
+			rSort := cSortAmort * inRows[next] * log2n(inRows[next])
+			if p.hasOrderIndex(j.Inputs[next], step.RightAttr) {
+				step.RightIndexed = true
+				rSort = 0
+			}
+			mergeCost := lSort + rSort + curRows + inRows[next] + outRows
 			if mergeCost <= nlCost {
 				step.Merge = true
 				used[step.MergePred] = true
@@ -406,6 +437,7 @@ func (p *Plan) estimateJoin(j *Join, opts Options) {
 			} else {
 				step.MergePred = -1
 				step.LeftAttr, step.RightAttr, step.Tol = "", "", fuzzy.Trapezoid{}
+				step.LeftIndexed, step.RightIndexed = false, false
 				cost += nlCost
 			}
 		} else {
@@ -421,6 +453,7 @@ func (p *Plan) estimateJoin(j *Join, opts Options) {
 
 		curSchema = curSchema.Join(nextSchema)
 		curRows = outRows
+		curLeaf = nil
 		joined[next] = true
 		j.Steps = append(j.Steps, step)
 	}
@@ -582,7 +615,15 @@ func (p *Plan) estimateAnti(a *AntiJoin) {
 	r := p.leafEst(a.Inner)
 	cost := a.Outer.Est().Cost + a.Inner.Est().Cost
 	if a.RangeFound {
-		cost += cSortAmort*(l*log2n(l)+r*log2n(r)) + l + r
+		lSort := cSortAmort * l * log2n(l)
+		if p.hasOrderIndex(a.Outer, a.RangeOuter) {
+			lSort = 0
+		}
+		rSort := cSortAmort * r * log2n(r)
+		if p.hasOrderIndex(a.Inner, a.RangeInner) {
+			rSort = 0
+		}
+		cost += lSort + rSort + l + r
 	} else {
 		cost += l * r * cDeg
 	}
@@ -595,9 +636,19 @@ func (p *Plan) estimateAnti(a *AntiJoin) {
 func (p *Plan) estimateGroupAgg(g *GroupAgg) {
 	l := p.leafEst(g.Outer)
 	r := p.leafEst(g.Inner)
-	cost := g.Outer.Est().Cost + g.Inner.Est().Cost + cSortAmort*l*log2n(l) + l + r
+	lSort := cSortAmort * l * log2n(l)
+	if p.hasOrderIndex(g.Outer, g.URef) {
+		lSort = 0
+	}
+	cost := g.Outer.Est().Cost + g.Inner.Est().Cost + lSort + l + r
 	if g.Op2 == fuzzy.OpEq {
-		cost += cSortAmort * r * log2n(r)
+		rSort := cSortAmort * r * log2n(r)
+		// A NEAR correlation shifts the inner stream before sorting, so the
+		// base relation's index order does not apply there.
+		if !g.IsNear && p.hasOrderIndex(g.Inner, g.VRef) {
+			rSort = 0
+		}
+		cost += rSort
 	}
 	g.est = Est{Rows: l, Cost: cost}
 }

@@ -35,6 +35,16 @@ type Catalog interface {
 	RelStats(tr fsql.TableRef) (*frel.TableStats, error)
 }
 
+// OrderIndexes is optionally implemented by a Catalog whose storage
+// maintains persistent sort-order indexes (see internal/catalog). The cost
+// model uses it to drop the sort term of a merge-join input that execution
+// will serve from an index instead of sorting.
+type OrderIndexes interface {
+	// HasOrderIndex reports whether the referenced relation carries a
+	// fresh order index on the (possibly qualified) attribute.
+	HasOrderIndex(tr fsql.TableRef, attr string) bool
+}
+
 // Options tunes planning.
 type Options struct {
 	// DisableJoinReorder keeps the syntactic relation order instead of the
@@ -175,6 +185,11 @@ type JoinStep struct {
 	Extras []int
 	// Fanout is the estimated per-tuple match count of this step.
 	Fanout float64
+	// LeftIndexed/RightIndexed record that the cost model expects the
+	// corresponding merge input to be served from a persistent order index
+	// (its sort term was elided). Informational for EXPLAIN; execution
+	// re-checks index freshness itself.
+	LeftIndexed, RightIndexed bool
 }
 
 // HomedPred is a join predicate with the inputs it references.

@@ -33,6 +33,14 @@ func (p *Plan) Lines() []string {
 				algo := "nl-join"
 				if step.Merge {
 					algo = "merge-join " + step.LeftAttr + " = " + step.RightAttr
+					switch {
+					case step.LeftIndexed && step.RightIndexed:
+						algo += " index(both)"
+					case step.LeftIndexed:
+						algo += " index(left)"
+					case step.RightIndexed:
+						algo += " index(right)"
+					}
 				}
 				if step.Fanout > 0 {
 					algo += " (fanout " + g3(step.Fanout) + ")"

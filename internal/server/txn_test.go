@@ -80,6 +80,49 @@ func TestLoopbackTxnConflictKeepsConnectionAlive(t *testing.T) {
 	}
 }
 
+// TestLoopbackIndexDDLBarrier drives the index DDL barrier over the wire:
+// CREATE INDEX and DROP INDEX inside an open transaction fail without
+// killing the transaction or the connection, and both run fine between
+// transactions on the same connection afterwards.
+func TestLoopbackIndexDDLBarrier(t *testing.T) {
+	addr, _ := startServer(t, server.Config{})
+	conn := dial(t, addr)
+	ctx := context.Background()
+
+	if err := conn.Exec(ctx, `
+		CREATE TABLE R (K NUMBER, B NUMBER);
+		INSERT INTO R VALUES (1, 10);
+		CREATE INDEX r_b ON R (B);
+	`); err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+
+	if err := conn.Begin(ctx); err != nil {
+		t.Fatalf("Begin: %v", err)
+	}
+	if err := conn.Exec(ctx, `CREATE INDEX r_k ON R (K)`); err == nil {
+		t.Fatal("CREATE INDEX inside txn succeeded, want barrier rejection")
+	}
+	if err := conn.Exec(ctx, `DROP INDEX r_b`); err == nil {
+		t.Fatal("DROP INDEX inside txn succeeded, want barrier rejection")
+	}
+	// The rejections left the transaction intact: its write commits.
+	if err := conn.Exec(ctx, `INSERT INTO R VALUES (2, 20)`); err != nil {
+		t.Fatalf("insert after rejected DDL: %v", err)
+	}
+	if err := conn.Commit(ctx); err != nil {
+		t.Fatalf("Commit after rejected DDL: %v", err)
+	}
+
+	// At the barrier both statements work, and queries still answer.
+	if err := conn.Exec(ctx, `DROP INDEX r_b; CREATE INDEX r_k ON R (K)`); err != nil {
+		t.Fatalf("index DDL at barrier: %v", err)
+	}
+	if got := columnValues(t, conn, `SELECT R.K FROM R`); len(got) != 2 {
+		t.Fatalf("table after barrier DDL = %v, want two rows", got)
+	}
+}
+
 // TestLoopbackDisconnectRollsBackTxn kills a client mid-transaction and
 // checks the server rolls the transaction back: its writes vanish and
 // the writer mutex is released, so other sessions can write again.

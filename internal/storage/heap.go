@@ -202,12 +202,27 @@ func (h *HeapFile) Append(t frel.Tuple) error {
 	if err != nil {
 		return err
 	}
-	rec := h.buf
+	return h.appendRecord(h.buf, &t)
+}
+
+// AppendRaw appends an already-serialized record. It is the append entry
+// point for files whose records are not tuples (order-index entries): the
+// bytes go through the same write-ahead-log, page-write, and commit path
+// as Append, but no tuple-level bookkeeping (planner statistics) runs.
+func (h *HeapFile) AppendRaw(rec []byte) error {
+	return h.appendRecord(rec, nil)
+}
+
+// appendRecord appends one serialized record. t, when non-nil, is the
+// decoded tuple the record encodes, used to maintain incremental planner
+// statistics; raw (non-tuple) appends pass nil.
+func (h *HeapFile) appendRecord(rec []byte, t *frel.Tuple) error {
 	if len(rec) > MaxRecordSize {
-		return fmt.Errorf("storage: tuple of %d bytes exceeds max record size %d", len(rec), MaxRecordSize)
+		return fmt.Errorf("storage: record of %d bytes exceeds max record size %d", len(rec), MaxRecordSize)
 	}
 	logged := h.logName != ""
 	var auto *Tx
+	var err error
 	if logged {
 		tx := h.mgr.tx
 		if tx == nil {
@@ -259,13 +274,15 @@ func (h *HeapFile) Append(t frel.Tuple) error {
 	f.Latch.Unlock()
 	h.lastUsed += need
 	h.numTuples.Add(1)
-	h.statsMu.Lock()
-	v := h.version.Load()
-	if h.stats != nil && h.statsVersion == v {
-		h.stats.Observe(t)
-		h.statsVersion = v + 1
+	if t != nil {
+		h.statsMu.Lock()
+		v := h.version.Load()
+		if h.stats != nil && h.statsVersion == v {
+			h.stats.Observe(*t)
+			h.statsVersion = v + 1
+		}
+		h.statsMu.Unlock()
 	}
-	h.statsMu.Unlock()
 	h.version.Add(1)
 	if logged {
 		h.pool.MarkNoSteal(f)
@@ -414,6 +431,55 @@ func (s *Scanner) Next() (t frel.Tuple, ok bool) {
 			s.limit--
 		}
 		return tup, true
+	}
+}
+
+// NextRaw returns the next record's raw bytes without decoding them as a
+// tuple — the scan entry point for non-tuple files (order indexes). The
+// returned slice aliases the scanner's private page copy and is valid only
+// until the next NextRaw/Next call.
+func (s *Scanner) NextRaw() ([]byte, bool) {
+	for {
+		if s.err != nil || s.limit == 0 {
+			return nil, false
+		}
+		if !s.inPage {
+			if s.pageIdx >= s.pages {
+				return nil, false
+			}
+			f, err := s.h.pool.Get(s.h.pager, PageID(s.pageIdx))
+			if err != nil {
+				s.err = err
+				return nil, false
+			}
+			if s.page == nil {
+				s.page = make([]byte, PageSize)
+			}
+			f.Latch.RLock()
+			copy(s.page, f.Data)
+			f.Latch.RUnlock()
+			s.h.pool.Unpin(f, false)
+			s.inPage = true
+			s.remain = int(binary.LittleEndian.Uint16(s.page[0:2]))
+			s.off = pageHeader
+		}
+		if s.remain == 0 {
+			s.inPage = false
+			s.pageIdx++
+			continue
+		}
+		recLen := int(binary.LittleEndian.Uint16(s.page[s.off:]))
+		if s.off+recHeader+recLen > PageSize {
+			s.err = fmt.Errorf("storage: corrupt heap page %d: record overruns the page", s.pageIdx)
+			return nil, false
+		}
+		rec := s.page[s.off+recHeader : s.off+recHeader+recLen]
+		s.off += recHeader + recLen
+		s.remain--
+		if s.limit > 0 {
+			s.limit--
+		}
+		return rec, true
 	}
 }
 

@@ -1,0 +1,145 @@
+package storage
+
+import (
+	"testing"
+
+	"repro/internal/frel"
+	"repro/internal/fuzzy"
+)
+
+func TestIndexEntryRoundTrip(t *testing.T) {
+	e := IndexEntry{A: -3.5, B: -1, C: 2, D: 7.25, Tid: 42}
+	rec := AppendIndexEntry(nil, e)
+	if len(rec) != IndexEntrySize {
+		t.Fatalf("encoded %d bytes, want %d", len(rec), IndexEntrySize)
+	}
+	got, err := DecodeIndexEntry(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != e {
+		t.Errorf("round trip: got %+v want %+v", got, e)
+	}
+	if _, err := DecodeIndexEntry(rec[:10]); err == nil {
+		t.Errorf("short record: want error")
+	}
+}
+
+func TestIndexEntryFor(t *testing.T) {
+	tup := frel.Tuple{
+		Values: []frel.Value{frel.Num(fuzzy.Trap(1, 2, 3, 4)), frel.Str("x")},
+		D:      1,
+	}
+	e, ok := IndexEntryFor(tup, 0, 7)
+	if !ok {
+		t.Fatal("numeric attribute: want ok")
+	}
+	if e != (IndexEntry{A: 1, B: 2, C: 3, D: 4, Tid: 7}) {
+		t.Errorf("entry = %+v", e)
+	}
+	if _, ok := IndexEntryFor(tup, 1, 0); ok {
+		t.Errorf("string attribute: want !ok")
+	}
+	if _, ok := IndexEntryFor(tup, 5, 0); ok {
+		t.Errorf("out of range attribute: want !ok")
+	}
+}
+
+func TestCompareEntries(t *testing.T) {
+	a := IndexEntry{A: 1, B: 1, C: 2, D: 4}
+	b := IndexEntry{A: 1, B: 2, C: 2, D: 4}
+	c := IndexEntry{A: 1, B: 1, C: 1, D: 5}
+	if CompareEntries(a, b) != 0 {
+		t.Errorf("Definition 3.1 order must ignore B and C")
+	}
+	if CompareEntriesTotal(a, b) >= 0 {
+		t.Errorf("total order must break ties by B")
+	}
+	if CompareEntries(a, c) >= 0 || CompareEntries(c, a) <= 0 {
+		t.Errorf("support end must order entries with equal begin")
+	}
+}
+
+func TestIndexHeapAppendAndScan(t *testing.T) {
+	m := newManager(t, 8)
+	h, err := m.CreateHeap("idx-r-x", IndexSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enough entries to span multiple pages (40-byte records, 4 KiB pages).
+	const n = 500
+	for i := 0; i < n; i++ {
+		e := IndexEntry{A: float64(i), B: float64(i), C: float64(i), D: float64(i + 1), Tid: uint64(i)}
+		if err := h.AppendIndexEntry(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.NumPages() < 2 {
+		t.Fatalf("want multiple pages, got %d", h.NumPages())
+	}
+	all, err := ReadIndexEntries(h, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != n {
+		t.Fatalf("read %d entries, want %d", len(all), n)
+	}
+	for i, e := range all {
+		if e.Tid != uint64(i) || e.A != float64(i) {
+			t.Fatalf("entry %d = %+v", i, e)
+		}
+	}
+	some, err := ReadIndexEntries(h, 123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(some) != 123 {
+		t.Errorf("bounded read returned %d entries, want 123", len(some))
+	}
+}
+
+func TestIndexHeapSurvivesRecovery(t *testing.T) {
+	fs := NewMemFS()
+	dir := "db"
+	m, err := NewManagerOptions(dir, ManagerOptions{PoolPages: 8, FS: fs, WAL: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := m.CreateHeap("idx-r-x", IndexSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := m.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := h.AppendIndexEntry(IndexEntry{A: float64(i), D: float64(i), Tid: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash without checkpoint: reopen replays the log.
+	m2, err := NewManagerOptions(dir, ManagerOptions{PoolPages: 8, FS: fs, WAL: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := m2.OpenHeap("idx-r-x", IndexSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := ReadIndexEntries(h2, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 10 {
+		t.Fatalf("recovered %d entries, want 10", len(all))
+	}
+	for i, e := range all {
+		if e.Tid != uint64(i) {
+			t.Fatalf("entry %d = %+v", i, e)
+		}
+	}
+}

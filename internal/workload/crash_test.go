@@ -3,6 +3,7 @@ package workload
 import (
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"testing"
 
@@ -77,6 +78,7 @@ func TestCrashRecovery(t *testing.T) {
 				t.Fatalf("%v@%d: reopen after crash: %v", mode, n, err)
 			}
 			got := snapshotDB(t, sess)
+			verifyIndexes(t, sess, fmt.Sprintf("%v@%d", mode, n))
 			matched := -1
 			for j := acked; j <= len(steps); j++ {
 				if got.equal(snaps[j]) {
@@ -112,8 +114,10 @@ func sqlStep(src string) crashStep {
 
 // crashSteps builds the workload: DDL, single inserts with varied degrees,
 // a generated batch append (one transaction), checkpoints, a predicate
-// DELETE (the rename-swap path), and a DROP/recreate — split across a
-// session restart so recovery itself is also run under fault injection.
+// DELETE (the rename-swap path), a DROP/recreate, and persistent-index
+// lifecycle (CREATE INDEX build, maintained inserts, the DELETE rebuild,
+// DROP INDEX) — split across a session restart so recovery itself is also
+// run under fault injection.
 func crashSteps(t *testing.T) []crashStep {
 	t.Helper()
 	schema, err := Schema("W", 128)
@@ -153,11 +157,20 @@ func crashSteps(t *testing.T) []crashStep {
 		{name: "restart", reopen: true, run: func(*core.Session) error { return nil }},
 		sqlStep(`DELETE FROM B WHERE B.K = 1`),
 		sqlStep(`INSERT INTO B VALUES (3, 30)`),
+		// Index lifecycle under fault injection: the CREATE INDEX build,
+		// inserts that maintain b_v (including the transactional ones
+		// below), the DELETE contents-swap rebuild, and DROP INDEX. Every
+		// reopened survivor cross-checks its indexes via verifyIndexes.
+		sqlStep(`CREATE INDEX b_v ON B (V)`),
 		sqlStep(`DROP TABLE A`),
 		sqlStep(`CREATE TABLE A (K NUMBER, NAME STRING)`),
+		sqlStep(`CREATE INDEX a_k ON A (K)`),
 		sqlStep(`INSERT INTO A VALUES (9, 'z') DEGREE 0.125`),
 		sqlStep(`CHECKPOINT`),
 		sqlStep(`INSERT INTO A VALUES (10, 'y')`),
+		sqlStep(`DELETE FROM B WHERE B.K = 2`),
+		sqlStep(`DROP INDEX a_k`),
+		sqlStep(`CREATE INDEX a_k ON A (K)`),
 
 		// Explicit transactions. The committed-state snapshots only move
 		// at COMMIT, so a fault anywhere inside a transaction must
@@ -229,6 +242,60 @@ func snapshotDB(t *testing.T, s *core.Session) dbState {
 		st[name] = rel
 	}
 	return st
+}
+
+// verifyIndexes checks every index the recovered catalog knows about
+// against a from-scratch rebuild of its base relation: identical entries
+// in the stable Definition 3.1 order. A maintained index is a sorted run
+// plus a heap-position-ordered tail, so both sides are normalised by the
+// same stable (begin, end, position) sort the serving path applies. An
+// index lost to the crash (absent from the catalog) is acceptable; an
+// inconsistent one is not.
+func verifyIndexes(t *testing.T, s *core.Session, label string) {
+	t.Helper()
+	cat := s.Catalog()
+	for _, name := range cat.Indexes() {
+		ix, ok := cat.LookupIndex(name)
+		if !ok {
+			continue
+		}
+		h, err := cat.Relation(ix.Rel)
+		if err != nil {
+			t.Errorf("%s: index %s: base relation: %v", label, name, err)
+			continue
+		}
+		rel, err := h.ReadCommitted()
+		if err != nil {
+			t.Errorf("%s: index %s: read base: %v", label, name, err)
+			continue
+		}
+		want := make([]storage.IndexEntry, 0, rel.Len())
+		for tid, tu := range rel.Tuples {
+			e, ok := storage.IndexEntryFor(tu, ix.Pos(), uint64(tid))
+			if !ok {
+				t.Errorf("%s: index %s: tuple %d has no numeric value", label, name, tid)
+				return
+			}
+			want = append(want, e)
+		}
+		got, err := storage.ReadIndexEntries(ix.Heap(), -1)
+		if err != nil {
+			t.Errorf("%s: index %s: read entries: %v", label, name, err)
+			continue
+		}
+		sort.SliceStable(want, func(i, j int) bool { return storage.CompareEntries(want[i], want[j]) < 0 })
+		sort.SliceStable(got, func(i, j int) bool { return storage.CompareEntries(got[i], got[j]) < 0 })
+		if len(got) != len(want) {
+			t.Errorf("%s: index %s has %d entries, rebuild has %d", label, name, len(got), len(want))
+			continue
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("%s: index %s entry %d = %+v, rebuild has %+v", label, name, i, got[i], want[i])
+				break
+			}
+		}
+	}
 }
 
 // equal compares two snapshots exactly: same relations, same tuples in the
