@@ -25,7 +25,7 @@ bench-compare:
 # CI's bench-regression smoke: re-measure table1 against the committed
 # baseline and fail on a >25% cold-wall regression.
 bench-check:
-	$(GO) run ./cmd/benchcheck -baseline BENCH_8.json -experiments table1 -threshold 1.25
+	$(GO) run ./cmd/benchcheck -baseline BENCH_9.json -experiments table1 -threshold 1.6
 
 # The crash-recovery fault-injection sweep (CRASH_SEED varies the torn
 # prefix length and flipped bit position; CI runs seeds 1-4).

@@ -4,7 +4,7 @@
 // and fails when a matched run's cold merge-join wall time regresses past
 // the threshold. Differing answer cardinalities fail regardless of timing.
 //
-//	benchcheck -baseline BENCH_8.json -experiments table1 -threshold 1.25
+//	benchcheck -baseline BENCH_9.json -experiments table1 -threshold 1.25
 //
 // Wall-clock comparisons on shared CI runners are noisy; -warn-only keeps
 // the exit status zero and leaves the findings in the log (used on the
@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		baseline    = flag.String("baseline", "BENCH_8.json", "committed baseline report to compare against")
+		baseline    = flag.String("baseline", "BENCH_9.json", "committed baseline report to compare against")
 		experiments = flag.String("experiments", "table1", "comma-separated experiments to re-measure (empty = all)")
 		threshold   = flag.Float64("threshold", 1.25, "fail when cold wall time exceeds baseline by this ratio")
 		warnOnly    = flag.Bool("warn-only", false, "report regressions but exit 0")

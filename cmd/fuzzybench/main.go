@@ -16,10 +16,11 @@
 // (schema in DESIGN.md).
 //
 // With -compare, the merge-join method runs on a representative workload
-// of each paper experiment under both execution engines (batched and
-// tuple-at-a-time) at 1 and 4 workers, twice each so the warm run
-// exercises the sort-order cache, and the comparison is printed as JSON
-// (the committed BENCH_N.json baselines).
+// of each paper experiment under the three engine modes (batched with
+// fused kernels, batched interpreted, and tuple-at-a-time) at 1 and 4
+// workers, twice each so the warm run exercises the sort-order cache. The
+// comparison is printed as JSON on stdout (the committed BENCH_N.json
+// baselines) and as a human-readable grid on stderr.
 //
 // -tupleatatime disables batched execution for the experiment tables,
 // reproducing the pre-batching engine.
@@ -57,20 +58,22 @@ func main() {
 		jsonStats    = flag.Bool("json", false, "run both methods once with EXPLAIN ANALYZE collection and print the per-operator statistics as JSON")
 		compare      = flag.Bool("compare", false, "run the batch vs tuple-at-a-time engine comparison on each paper experiment's representative workload and print it as JSON")
 		tupleAtATime = flag.Bool("tupleatatime", false, "disable batched execution (run the tuple-at-a-time engine)")
+		kernels      = flag.Bool("kernels", true, "compile eligible predicates into fused degree kernels; -kernels=false is the interpreted-evaluator ablation")
 		indexes      = flag.Bool("indexes", false, "pre-build persistent order indexes on the join attributes; with -compare, adds the indexed-vs-sort cold-start ablation runs to the grid")
 	)
 	flag.Parse()
 
 	cfg := bench.Config{
-		Dir:          *dir,
-		ScaleDiv:     *scaleDiv,
-		IOLatency:    *ioLatency,
-		CPUFactor:    *cpuFactor,
-		Parallelism:  *parallel,
-		DisableBatch: *tupleAtATime,
-		Indexes:      *indexes,
-		Verify:       *verify,
-		Seed:         *seed,
+		Dir:            *dir,
+		ScaleDiv:       *scaleDiv,
+		IOLatency:      *ioLatency,
+		CPUFactor:      *cpuFactor,
+		Parallelism:    *parallel,
+		DisableBatch:   *tupleAtATime,
+		DisableKernels: !*kernels,
+		Indexes:        *indexes,
+		Verify:         *verify,
+		Seed:           *seed,
 	}
 
 	if *compare {
@@ -85,6 +88,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "fuzzybench: %v\n", err)
 			os.Exit(1)
 		}
+		// The human-readable grid goes to stderr so piping stdout still
+		// yields clean JSON; its legend prints once per experiment.
+		fmt.Fprint(os.Stderr, rep.RenderGrid())
 		return
 	}
 

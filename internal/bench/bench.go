@@ -64,6 +64,10 @@ type Config struct {
 	// DisableBatch runs the engine tuple-at-a-time instead of the default
 	// batched execution (the before/after switch of the batch comparison).
 	DisableBatch bool
+	// DisableKernels keeps the batch engine on its interpreted closure
+	// evaluators instead of the default fused degree kernels (the kernels
+	// ablation switch; implied by DisableBatch).
+	DisableKernels bool
 	// Indexes builds persistent order indexes on the join attributes of
 	// both relations after loading them, so the merge-join method's cold
 	// run is served from the indexes instead of external-sorting (the
@@ -231,6 +235,7 @@ func (c Config) setupWorkload(nOuter, nInner int) (env *core.Env, mgr *storage.M
 	env.NLBlockBytes = (c.bufferPages() - 1) * storage.PageSize
 	env.Parallelism = c.Parallelism
 	env.DisableBatch = c.DisableBatch
+	env.DisableKernels = c.DisableKernels
 
 	if _, err := workload.Load(cat, workload.Params{
 		Name: "R", Tuples: nOuter, TupleBytes: c.TupleBytes,

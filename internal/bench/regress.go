@@ -11,6 +11,7 @@ import (
 type Regression struct {
 	Experiment string
 	Engine     string
+	Kernels    bool
 	Workers    int
 	Indexed    bool
 	Baseline   int64 // baseline cold wall, nanoseconds
@@ -24,8 +25,12 @@ func (r Regression) String() string {
 	if r.Indexed {
 		idx = " indexed"
 	}
-	return fmt.Sprintf("%s %s workers=%d%s: cold wall %.2fms -> %.2fms (%.2fx)",
-		r.Experiment, r.Engine, r.Workers, idx,
+	k := ""
+	if r.Kernels {
+		k = " kernels"
+	}
+	return fmt.Sprintf("%s %s%s workers=%d%s: cold wall %.2fms -> %.2fms (%.2fx)",
+		r.Experiment, r.Engine, k, r.Workers, idx,
 		float64(r.Baseline)/1e6, float64(r.Current)/1e6, r.Ratio)
 }
 
@@ -43,7 +48,7 @@ func LoadBaseline(path string) (*BenchReport, error) {
 }
 
 // FindRegressions compares current against baseline run by run (matched on
-// experiment name, engine, and worker count) and returns every run whose
+// experiment name, engine, kernels flag, and worker count) and returns every run whose
 // cold wall time exceeds baseline*maxRatio. Runs present on only one side
 // are skipped — the grids may legitimately differ across revisions — but a
 // differing answer cardinality on a matched run is a hard error: that is a
@@ -58,25 +63,26 @@ func FindRegressions(baseline, current *BenchReport, maxRatio float64) ([]Regres
 	}
 	type key struct {
 		exp, engine string
+		kernels     bool
 		workers     int
 		indexed     bool
 	}
 	base := make(map[key]EngineRun)
 	for _, ex := range baseline.Experiments {
 		for _, run := range ex.Runs {
-			base[key{ex.Name, run.Engine, run.Workers, run.Indexed}] = run
+			base[key{ex.Name, run.Engine, run.Kernels, run.Workers, run.Indexed}] = run
 		}
 	}
 	var regs []Regression
 	for _, ex := range current.Experiments {
 		for _, run := range ex.Runs {
-			b, ok := base[key{ex.Name, run.Engine, run.Workers, run.Indexed}]
+			b, ok := base[key{ex.Name, run.Engine, run.Kernels, run.Workers, run.Indexed}]
 			if !ok {
 				continue
 			}
 			if b.Answer != run.Answer {
-				return nil, fmt.Errorf("bench: %s %s workers=%d indexed=%v: answer changed from %d to %d rows",
-					ex.Name, run.Engine, run.Workers, run.Indexed, b.Answer, run.Answer)
+				return nil, fmt.Errorf("bench: %s %s kernels=%v workers=%d indexed=%v: answer changed from %d to %d rows",
+					ex.Name, run.Engine, run.Kernels, run.Workers, run.Indexed, b.Answer, run.Answer)
 			}
 			if b.ColdWallNanos <= 0 {
 				continue
@@ -86,6 +92,7 @@ func FindRegressions(baseline, current *BenchReport, maxRatio float64) ([]Regres
 				regs = append(regs, Regression{
 					Experiment: ex.Name,
 					Engine:     run.Engine,
+					Kernels:    run.Kernels,
 					Workers:    run.Workers,
 					Indexed:    run.Indexed,
 					Baseline:   b.ColdWallNanos,

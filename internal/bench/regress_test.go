@@ -63,6 +63,34 @@ func TestFindRegressions(t *testing.T) {
 	}
 }
 
+// TestFindRegressionsKernelsKey checks runs are matched on the kernels
+// flag: a kernels-on run never gates against a kernels-off baseline.
+func TestFindRegressionsKernelsKey(t *testing.T) {
+	mk := func(kernels bool, cold int64) *BenchReport {
+		return &BenchReport{
+			ScaleDiv: 8, Seed: 1,
+			Experiments: []ExperimentRuns{{
+				Name: "table1",
+				Runs: []EngineRun{{Engine: "batch", Kernels: kernels, Workers: 1,
+					ColdWallNanos: cold, Answer: 10}},
+			}},
+		}
+	}
+	// Different kernels flags never match, so a huge slowdown is skipped.
+	regs, err := FindRegressions(mk(true, 1_000_000), mk(false, 9_000_000), 1.25)
+	if err != nil || len(regs) != 0 {
+		t.Errorf("kernels-flag mismatch: regs=%v err=%v", regs, err)
+	}
+	// Same flag matches and gates.
+	regs, err = FindRegressions(mk(true, 1_000_000), mk(true, 9_000_000), 1.25)
+	if err != nil || len(regs) != 1 {
+		t.Fatalf("kernels-flag match: regs=%v err=%v", regs, err)
+	}
+	if !strings.Contains(regs[0].String(), "batch kernels workers=1") {
+		t.Errorf("String = %q", regs[0].String())
+	}
+}
+
 func TestLoadBaseline(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "bench.json")
@@ -85,7 +113,7 @@ func TestLoadBaseline(t *testing.T) {
 		t.Errorf("bad json: want error")
 	}
 	// The committed baseline at the repository root stays loadable.
-	rep, err = LoadBaseline("../../BENCH_8.json")
+	rep, err = LoadBaseline("../../BENCH_9.json")
 	if err != nil {
 		t.Fatal(err)
 	}

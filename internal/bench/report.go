@@ -2,7 +2,10 @@ package bench
 
 import (
 	"fmt"
+	"strings"
 	"time"
+
+	"repro/internal/frel"
 )
 
 // EngineRun is one merge-join measurement of the batch-vs-tuple
@@ -11,6 +14,7 @@ import (
 // the warm run exercises the sort-order cache.
 type EngineRun struct {
 	Engine  string `json:"engine"`            // "batch" or "tuple"
+	Kernels bool   `json:"kernels,omitempty"` // fused degree kernels enabled (batch only)
 	Workers int    `json:"workers"`           // merge-join worker count
 	Indexed bool   `json:"indexed,omitempty"` // persistent order indexes pre-built
 
@@ -25,6 +29,7 @@ type EngineRun struct {
 	SortCacheHits   int64 `json:"sort_cache_hits"`
 	SortCacheMisses int64 `json:"sort_cache_misses"`
 	IndexHits       int64 `json:"index_hits,omitempty"`
+	Morsels         int64 `json:"morsels,omitempty"` // kernel-join work units dispatched
 }
 
 // ExperimentRuns is the comparison grid of one experiment's
@@ -106,9 +111,22 @@ func (c Config) ReportFor(names ...string) (*BenchReport, error) {
 			Fanout:     w.fanout,
 			TupleBytes: w.tupleBytes,
 		}
-		for _, engine := range []bool{false, true} { // disableBatch
+		// One unmeasured throwaway cell before the grid: the first measured
+		// cell in a fresh experiment would otherwise absorb the remaining
+		// process warmup (Go heap growth to this workload's footprint, OS
+		// page-cache population) that the per-cell warmup eval inside
+		// runEngine is too short to complete on its own.
+		if _, err := cfg.runEngine(w.name, ex.Outer, ex.Inner, w.fanout, w.tupleBytes, false, false, 1, false); err != nil {
+			return nil, err
+		}
+		// The three engine modes: batch with fused kernels (the default
+		// engine), batch interpreted (kernels ablation), tuple-at-a-time.
+		modes := []struct {
+			disableBatch, disableKernels bool
+		}{{false, false}, {false, true}, {true, true}}
+		for _, m := range modes {
 			for _, workers := range []int{1, 4} {
-				run, err := cfg.runEngine(w.name, ex.Outer, ex.Inner, w.fanout, w.tupleBytes, engine, workers, false)
+				run, err := cfg.runEngine(w.name, ex.Outer, ex.Inner, w.fanout, w.tupleBytes, m.disableBatch, m.disableKernels, workers, false)
 				if err != nil {
 					return nil, err
 				}
@@ -116,11 +134,11 @@ func (c Config) ReportFor(names ...string) (*BenchReport, error) {
 			}
 		}
 		if cfg.Indexes {
-			// The ablation leg: the batched engine again, with the order
+			// The ablation leg: the default engine again, with the order
 			// indexes pre-built, so the cold run reads them instead of
 			// sorting.
 			for _, workers := range []int{1, 4} {
-				run, err := cfg.runEngine(w.name, ex.Outer, ex.Inner, w.fanout, w.tupleBytes, false, workers, true)
+				run, err := cfg.runEngine(w.name, ex.Outer, ex.Inner, w.fanout, w.tupleBytes, false, false, workers, true)
 				if err != nil {
 					return nil, err
 				}
@@ -128,7 +146,7 @@ func (c Config) ReportFor(names ...string) (*BenchReport, error) {
 			}
 			var plain, indexed int64
 			for _, run := range ex.Runs {
-				if run.Engine == "batch" && run.Workers == 1 {
+				if run.Engine == "batch" && run.Kernels && run.Workers == 1 {
 					if run.Indexed {
 						indexed = run.ColdWallNanos
 					} else {
@@ -147,12 +165,13 @@ func (c Config) ReportFor(names ...string) (*BenchReport, error) {
 
 // runEngine runs the merge-join method twice in one environment (cold
 // then warm sort cache) and records wall times and counters.
-func (c Config) runEngine(name string, nOuter, nInner, fanout, tupleBytes int, disableBatch bool, workers int, indexed bool) (EngineRun, error) {
+func (c Config) runEngine(name string, nOuter, nInner, fanout, tupleBytes int, disableBatch, disableKernels bool, workers int, indexed bool) (EngineRun, error) {
 	cfg := c
 	cfg.Fanout = fanout
 	cfg.TupleBytes = tupleBytes
 	cfg.Parallelism = workers
 	cfg.DisableBatch = disableBatch
+	cfg.DisableKernels = disableKernels
 	cfg.Indexes = indexed
 
 	env, mgr, q, cleanup, err := cfg.setupWorkload(nOuter, nInner)
@@ -161,19 +180,50 @@ func (c Config) runEngine(name string, nOuter, nInner, fanout, tupleBytes int, d
 	}
 	defer cleanup()
 
+	// One unmeasured eval before anything is timed: it pulls the freshly
+	// written heap files through the OS page cache and grows the Go heap
+	// to working size, so every grid cell starts its measured runs from
+	// the same process state. Without it, cells measured later in the grid
+	// inherit a warmer process than the first, which biases the comparison
+	// toward whichever engine happens to run last.
+	if _, err := env.EvalUnnested(q); err != nil {
+		return EngineRun{}, err
+	}
+	env.ReleaseSortCache()
+
 	env.ResetStats()
 	mgr.Stats().Reset()
-	start := time.Now()
-	cold, err := env.EvalUnnested(q)
-	coldWall := time.Since(start)
-	if err != nil {
-		return EngineRun{}, err
+	// Cold runs re-sort from scratch; dropping the sort cache between them
+	// makes each one cold again, and the best of five keeps one-shot GC
+	// pauses and scheduler hiccups from masquerading as engine cost (same
+	// rationale as the warm loop below). Cold evals are dominated by file
+	// I/O and syscalls, so their noise floor is wider than the warm
+	// loop's: five samples instead of three tightens the floor estimate.
+	var cold *frel.Relation
+	var coldWall time.Duration
+	for i := 0; i < 5; i++ {
+		if i > 0 {
+			env.ReleaseSortCache()
+		}
+		start := time.Now()
+		res, err := env.EvalUnnested(q)
+		d := time.Since(start)
+		if err != nil {
+			return EngineRun{}, err
+		}
+		if cold != nil && !cold.Equal(res, 1e-9) {
+			return EngineRun{}, fmt.Errorf("bench: %s: cold runs disagree (%d vs %d tuples)", name, cold.Len(), res.Len())
+		}
+		cold = res
+		if i == 0 || d < coldWall {
+			coldWall = d
+		}
 	}
 	// Warm runs hit the sort cache; take the best of three so one-shot GC
 	// pauses don't masquerade as engine cost.
 	var warmWall time.Duration
 	for i := 0; i < 3; i++ {
-		start = time.Now()
+		start := time.Now()
 		warm, err := env.EvalUnnested(q)
 		d := time.Since(start)
 		if err != nil {
@@ -193,6 +243,7 @@ func (c Config) runEngine(name string, nOuter, nInner, fanout, tupleBytes int, d
 	}
 	return EngineRun{
 		Engine:          engine,
+		Kernels:         !disableBatch && !disableKernels,
 		Workers:         workers,
 		Indexed:         indexed,
 		ColdWallNanos:   coldWall.Nanoseconds(),
@@ -204,5 +255,45 @@ func (c Config) runEngine(name string, nOuter, nInner, fanout, tupleBytes int, d
 		SortCacheHits:   env.Counters.SortCacheHits.Load(),
 		SortCacheMisses: env.Counters.SortCacheMisses.Load(),
 		IndexHits:       env.Counters.IndexHits.Load(),
+		Morsels:         env.Counters.Morsels.Load(),
 	}, nil
+}
+
+// RenderGrid renders the comparison as a human-readable table: one legend
+// line per experiment (not one per run) naming the engine/flag columns,
+// then one row per run with wall times and the morsel count of the
+// kernel-scheduled joins.
+func (r *BenchReport) RenderGrid() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "batch-vs-tuple comparison  query=%q scalediv=%d seed=%d\n",
+		r.Query, r.ScaleDiv, r.Seed)
+	for _, ex := range r.Experiments {
+		fmt.Fprintf(&b, "\n%s  (outer=%d inner=%d fanout=%d tuplebytes=%d)\n",
+			ex.Name, ex.Outer, ex.Inner, ex.Fanout, ex.TupleBytes)
+		// The legend appears once per experiment.
+		fmt.Fprintf(&b, "  %-18s %7s %12s %12s %10s %8s\n",
+			"engine", "workers", "cold", "warm", "answer", "morsels")
+		for _, run := range ex.Runs {
+			label := run.Engine
+			if run.Engine == "batch" {
+				if run.Kernels {
+					label += "+kernels"
+				} else {
+					label += "+interp"
+				}
+			}
+			if run.Indexed {
+				label += "+idx"
+			}
+			fmt.Fprintf(&b, "  %-18s %7d %12s %12s %10d %8d\n",
+				label, run.Workers,
+				time.Duration(run.ColdWallNanos).Round(time.Microsecond),
+				time.Duration(run.WarmWallNanos).Round(time.Microsecond),
+				run.Answer, run.Morsels)
+		}
+		if ex.ColdIndexedSpeedup > 0 {
+			fmt.Fprintf(&b, "  cold indexed speedup: %.2fx\n", ex.ColdIndexedSpeedup)
+		}
+	}
+	return b.String()
 }

@@ -1,6 +1,9 @@
 package bench
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 // TestReportComparesEngines runs the batch-vs-tuple comparison at a tiny
 // scale and checks its invariants: every experiment carries the full
@@ -16,12 +19,25 @@ func TestReportComparesEngines(t *testing.T) {
 		t.Fatalf("report has %d experiments, want 4", len(rep.Experiments))
 	}
 	for _, ex := range rep.Experiments {
-		if len(ex.Runs) != 4 {
-			t.Fatalf("%s: %d runs, want batch/tuple x 1/4 workers", ex.Name, len(ex.Runs))
+		if len(ex.Runs) != 6 {
+			t.Fatalf("%s: %d runs, want (batch+kernels / batch / tuple) x 1/4 workers", ex.Name, len(ex.Runs))
 		}
 		engines := map[string]int{}
+		kernelRuns := 0
 		for _, run := range ex.Runs {
 			engines[run.Engine]++
+			if run.Kernels {
+				kernelRuns++
+				if run.Engine != "batch" {
+					t.Errorf("%s: kernels flagged on %s run", ex.Name, run.Engine)
+				}
+				if run.Morsels == 0 {
+					t.Errorf("%s: kernels w=%d dispatched no morsels", ex.Name, run.Workers)
+				}
+			} else if run.Morsels != 0 {
+				t.Errorf("%s: %s w=%d reports %d morsels with kernels off",
+					ex.Name, run.Engine, run.Workers, run.Morsels)
+			}
 			if run.Answer != ex.Runs[0].Answer {
 				t.Errorf("%s: %s w=%d answer %d differs from %d",
 					ex.Name, run.Engine, run.Workers, run.Answer, ex.Runs[0].Answer)
@@ -34,8 +50,21 @@ func TestReportComparesEngines(t *testing.T) {
 				t.Errorf("%s: %s w=%d non-positive wall times", ex.Name, run.Engine, run.Workers)
 			}
 		}
-		if engines["batch"] != 2 || engines["tuple"] != 2 {
+		if engines["batch"] != 4 || engines["tuple"] != 2 {
 			t.Errorf("%s: engine mix %v", ex.Name, engines)
 		}
+		if kernelRuns != 2 {
+			t.Errorf("%s: %d kernel runs, want 2", ex.Name, kernelRuns)
+		}
+	}
+	grid := rep.RenderGrid()
+	for _, label := range []string{"batch+kernels", "batch+interp", "tuple", "morsels"} {
+		if !strings.Contains(grid, label) {
+			t.Errorf("grid is missing %q:\n%s", label, grid)
+		}
+	}
+	// The legend line appears once per experiment, not once per run.
+	if n := strings.Count(grid, "engine"); n != len(rep.Experiments) {
+		t.Errorf("grid prints %d legend lines, want %d (one per experiment)", n, len(rep.Experiments))
 	}
 }

@@ -159,15 +159,21 @@ func TestAnalyzeParallelInvariance(t *testing.T) {
 		rngN, rngMin, rngMax int64
 		rngSum               float64
 	}
-	// The stats contract holds across worker counts AND across the
-	// batched/tuple-at-a-time engines: all eight runs must agree on the
+	// The stats contract holds across worker counts AND across the three
+	// engine modes — batch with compiled kernels (morsel-scheduled), batch
+	// interpreted, and tuple-at-a-time: all twelve runs must agree on the
 	// answer and on every aggregated work counter.
 	var runs []run
-	for _, disableBatch := range []bool{false, true} {
+	modes := []struct {
+		disableBatch, disableKernels bool
+	}{{false, false}, {false, true}, {true, true}}
+	for _, mode := range modes {
 		for _, workers := range []int{1, 2, 4, 8} {
-			label := fmt.Sprintf("batch=%v workers=%d", !disableBatch, workers)
+			label := fmt.Sprintf("batch=%v kernels=%v workers=%d",
+				!mode.disableBatch, !mode.disableKernels && !mode.disableBatch, workers)
 			env := analyzeEnv(t, 600, workers)
-			env.DisableBatch = disableBatch
+			env.DisableBatch = mode.disableBatch
+			env.DisableKernels = mode.disableKernels
 			rel, es, err := env.EvalUnnestedAnalyze(context.Background(), q)
 			if err != nil {
 				t.Fatalf("%s: %v", label, err)
@@ -177,6 +183,14 @@ func TestAnalyzeParallelInvariance(t *testing.T) {
 			mj := snap.Find("merge-join")
 			if mj == nil {
 				t.Fatalf("%s: no merge-join node in:\n%s", label, snap.Render())
+			}
+			// Non-vacuity: the kernel legs must actually run compiled
+			// kernels, and the other legs must not.
+			kt := env.Counters.KernelTuples.Load()
+			if kernelsOn := !mode.disableBatch && !mode.disableKernels; kernelsOn && kt == 0 {
+				t.Fatalf("%s: compiled kernels did not fire", label)
+			} else if !kernelsOn && kt != 0 {
+				t.Fatalf("%s: compiled kernels fired (%d tuples) with kernels off", label, kt)
 			}
 			runs = append(runs, run{
 				label: label, rel: rel,

@@ -57,6 +57,18 @@ func (e *Env) compileLeaf(nd plan.Node) (exec.Source, error) {
 			return nil, err
 		}
 		base := e.stated("scan", sc.Table.Binding(), s)
+		if n.Fused && e.kernelsOn() {
+			// Specialize the whole chain into one fused kernel loop. A
+			// bridge error (an operand form the kernel cannot express)
+			// falls through to the interpreted chain, which re-raises any
+			// genuine resolution error itself.
+			if prog, kerr := e.compileKernelProgram(base.Schema(), n.Preds); kerr == nil {
+				ff := exec.NewFusedFilter(base, prog, 0, &e.Counters)
+				node := e.newNode("kernel(fused)", n.Label)
+				ff.Stats = node
+				return e.attach(node, ff, base), nil
+			}
+		}
 		src := base
 		for _, pr := range n.Preds {
 			pred, err := e.compilePred(src.Schema(), pr)
@@ -92,15 +104,21 @@ func (e *Env) execJoinPlan(p *plan.Plan, j *plan.Join) (*frel.Relation, error) {
 	cur := filtered[j.Order[0]]
 	for _, step := range j.Steps {
 		next := filtered[step.Next]
-		var extras []exec.JoinPred
+		extraPreds := make([]fsql.Predicate, 0, len(step.Extras))
 		for _, pi := range step.Extras {
-			jp, err := e.compileJoinPred(cur.Schema(), next.Schema(), j.JoinPreds[pi].Pred)
-			if err != nil {
-				return nil, err
-			}
-			extras = append(extras, jp)
+			extraPreds = append(extraPreds, j.JoinPreds[pi].Pred)
 		}
-		extra := andJoinPreds(extras)
+		compileExtras := func() (exec.JoinPred, error) {
+			var extras []exec.JoinPred
+			for _, pr := range extraPreds {
+				jp, err := e.compileJoinPred(cur.Schema(), next.Schema(), pr)
+				if err != nil {
+					return nil, err
+				}
+				extras = append(extras, jp)
+			}
+			return andJoinPreds(extras), nil
+		}
 
 		if step.Merge {
 			sortedCur, err := e.sortSource(cur, step.LeftAttr, false)
@@ -112,6 +130,25 @@ func (e *Env) execJoinPlan(p *plan.Plan, j *plan.Join) (*frel.Relation, error) {
 				return nil, err
 			}
 			node := e.newNode("merge-join", step.LeftAttr+" = "+step.RightAttr)
+			// Compiled path: residual conjuncts become a pair program and
+			// the join runs as the morsel-scheduled kernel merge-join (one
+			// morsel when serial). A bridge error falls back to the
+			// interpreted operators below.
+			if e.kernelsOn() && plan.KernelEligible(extraPreds) {
+				if pp, kerr := e.compilePairProgram(cur.Schema(), next.Schema(), extraPreds); kerr == nil {
+					kj, err := exec.NewKernelMergeJoin(sortedCur, sortedNext, step.LeftAttr, step.RightAttr, step.Tol, pp, &e.Counters, e.workers())
+					if err != nil {
+						return nil, err
+					}
+					kj.Stats = node
+					cur = e.attach(node, kj, sortedCur, sortedNext)
+					continue
+				}
+			}
+			extra, err := compileExtras()
+			if err != nil {
+				return nil, err
+			}
 			if w := e.workers(); w > 1 {
 				pj, err := exec.NewParallelMergeJoin(sortedCur, sortedNext, step.LeftAttr, step.RightAttr, step.Tol, extra, &e.Counters, w)
 				if err != nil {
@@ -128,6 +165,10 @@ func (e *Env) execJoinPlan(p *plan.Plan, j *plan.Join) (*frel.Relation, error) {
 				cur = e.attach(node, mj, sortedCur, sortedNext)
 			}
 		} else {
+			extra, err := compileExtras()
+			if err != nil {
+				return nil, err
+			}
 			on := extra
 			if on == nil {
 				on = func(l, r frel.Tuple) float64 { return 1 }

@@ -73,6 +73,12 @@ type Env struct {
 	// default (false) drives plans through the batched operators.
 	DisableBatch bool
 
+	// DisableKernels keeps compilation on the interpreted closure
+	// evaluators even where a fused degree kernel applies (ablation
+	// switch). Kernels require the batch engine, so DisableBatch
+	// implies them off.
+	DisableKernels bool
+
 	// Sort-order cache state; see sortcache.go for the keying and
 	// invalidation contract. All maps are lazily initialized.
 	sortMem   map[sortKey]*memSortEntry
@@ -196,6 +202,13 @@ func (e *Env) workers() int {
 		return 1
 	}
 	return e.Parallelism
+}
+
+// kernelsOn reports whether compilation may specialize eligible operators
+// into fused degree kernels. Kernels run inside the batch engine, so the
+// tuple-at-a-time ablation mode implies them off.
+func (e *Env) kernelsOn() bool {
+	return !e.DisableKernels && !e.DisableBatch
 }
 
 // term resolves a linguistic term: the session-local scope first, then
@@ -489,24 +502,42 @@ func (e *Env) sortSource(src exec.Source, attr string, total bool) (exec.Source,
 			}
 		}
 		mgr := e.cat.Manager()
-		tmp, err := e.spill(mgr, src)
-		if err != nil {
-			return nil, err
-		}
-		start := time.Now()
-		iosBefore := mgr.Stats().IO()
 		sorter := extsort.NewSorter(mgr, e.SortMemPages).WithParallelism(e.workers())
-		sorted, st, err := sorter.Sort(tmp, less)
-		if err != nil {
-			return nil, err
+		var sorted *storage.HeapFile
+		var st extsort.Stats
+		var elapsed time.Duration
+		if heapBase != nil {
+			// A plain base-heap scan needs no pre-sort spill — the spill
+			// would be a verbatim copy of the heap — so the sorter reads the
+			// base directly, bounded by the scan's snapshot limit. This
+			// halves the write traffic of a cold sort.
+			start := time.Now()
+			iosBefore := mgr.Stats().IO()
+			sorted, st, err = sorter.SortPrefix(heapBase, heapScanLimit(src), less)
+			if err != nil {
+				return nil, err
+			}
+			elapsed = time.Since(start)
+			e.Phases.SortIOs += mgr.Stats().IO() - iosBefore
+		} else {
+			tmp, err := e.spill(mgr, src)
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			iosBefore := mgr.Stats().IO()
+			sorted, st, err = sorter.Sort(tmp, less)
+			if err != nil {
+				return nil, err
+			}
+			elapsed = time.Since(start)
+			e.Phases.SortIOs += mgr.Stats().IO() - iosBefore
+			if derr := tmp.Drop(); derr != nil {
+				return nil, derr
+			}
 		}
-		elapsed := time.Since(start)
 		e.Phases.SortWall += elapsed
-		e.Phases.SortIOs += mgr.Stats().IO() - iosBefore
 		e.Counters.Comparisons.Add(st.Comparisons)
-		if derr := tmp.Drop(); derr != nil {
-			return nil, derr
-		}
 		miss := heapBase != nil
 		if miss {
 			key := sortKey{heap: heapBase, attr: attrIdx, total: total}
@@ -517,6 +548,11 @@ func (e *Env) sortSource(src exec.Source, attr string, total bool) (exec.Source,
 			e.Counters.SortCacheMisses.Add(1)
 		}
 		out := exec.Source(exec.NewHeapSource(sorted))
+		if heapBase != nil {
+			// The directly sorted heap carries the base schema; restore the
+			// source's (possibly aliased) schema, as the cache-hit path does.
+			out = &renameSource{Source: out, schema: src.Schema()}
+		}
 		if node := e.newNode("sort", attr); node != nil {
 			node.SortRuns.Store(int64(st.Runs))
 			node.MergePasses.Store(int64(st.MergePasses))

@@ -24,6 +24,12 @@ type operandInfo struct {
 	// resolution (their final kind depends on the opposite operand).
 	rawString string
 	isRawStr  bool
+	// col (for references) and constVal (for settled literals) carry the
+	// kernel-consumable flat form of the operand: a column index in its
+	// side's schema, or the resolved constant value.
+	col      int
+	constVal frel.Value
+	isConst  bool
 }
 
 // resolveOperand resolves opd against the given schemas in order. String
@@ -44,6 +50,7 @@ func resolveOperand(opd fsql.Operand, schemas ...*frel.Schema) (operandInfo, err
 					side:      side,
 					kind:      s.Attrs[i].Kind,
 					kindKnown: true,
+					col:       i,
 				}, nil
 			}
 		}
@@ -55,6 +62,8 @@ func resolveOperand(opd fsql.Operand, schemas ...*frel.Schema) (operandInfo, err
 			side:      -1,
 			kind:      frel.KindNumber,
 			kindKnown: true,
+			constVal:  v,
+			isConst:   true,
 		}, nil
 	case fsql.OpdString:
 		return operandInfo{side: -1, rawString: opd.Str, isRawStr: true}, nil
@@ -78,10 +87,10 @@ func (e *Env) finishOperand(info operandInfo, otherKind frel.Kind, otherKnown bo
 			return operandInfo{}, fmt.Errorf("core: %w %q (compared against a numeric attribute)", ErrUnknownTerm, info.rawString)
 		}
 		v := frel.Num(t)
-		return operandInfo{get: func(frel.Tuple) frel.Value { return v }, side: -1, kind: frel.KindNumber, kindKnown: true}, nil
+		return operandInfo{get: func(frel.Tuple) frel.Value { return v }, side: -1, kind: frel.KindNumber, kindKnown: true, constVal: v, isConst: true}, nil
 	}
 	v := frel.Str(info.rawString)
-	return operandInfo{get: func(frel.Tuple) frel.Value { return v }, side: -1, kind: frel.KindString, kindKnown: true}, nil
+	return operandInfo{get: func(frel.Tuple) frel.Value { return v }, side: -1, kind: frel.KindString, kindKnown: true, constVal: v, isConst: true}, nil
 }
 
 // resolvePair resolves both operands of a comparison, settling pending

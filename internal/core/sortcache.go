@@ -148,6 +148,22 @@ func (e *Env) cacheableBase(src exec.Source) (memSrc *exec.MemSource, memBase *f
 	return nil, nil, nil
 }
 
+// heapScanLimit returns the snapshot bound of the plain heap scan src
+// resolves to (-1 when the scan is unbounded), mirroring cacheableBase's
+// unwrapping. Callers pass it to SortPrefix so sorting a base heap
+// directly still sees only the snapshot's committed prefix.
+func heapScanLimit(src exec.Source) int64 {
+	switch s := exec.Unwrap(src).(type) {
+	case *exec.HeapSource:
+		return s.Limit
+	case *renameSource:
+		if hs, ok := exec.Unwrap(s.Source).(*exec.HeapSource); ok {
+			return hs.Limit
+		}
+	}
+	return -1
+}
+
 func (e *Env) storeMemSort(k sortKey, ent *memSortEntry) {
 	if e.sortMem == nil || len(e.sortMem) >= sortCacheMaxEntries {
 		e.sortMem = make(map[sortKey]*memSortEntry)

@@ -345,19 +345,36 @@ func (it *thresholdBatchIterator) Close()     { it.in.Close() }
 // per batch instead of one per tuple); the dedup form materializes like
 // the tuple path and replays the distinct tuples.
 func (p *Project) OpenBatch() (BatchIterator, error) {
-	// Projection pushdown: a plain projection directly over a merge join
+	// Projection pushdown: a projection directly over a merge join
 	// materializes only the projected values in the join's emit arena,
-	// skipping the full concatenated row. Wrapped joins (e.g. under an
-	// EXPLAIN ANALYZE stats shim) are left alone so per-node row counts
-	// stay observable.
-	if !p.Dedup {
-		if mj, ok := p.Src.(*MergeJoin); ok {
-			return mj.openBatchProjected(p.idx)
+	// skipping the full concatenated row. The dedup form additionally
+	// deduplicates the join's already-projected rows in place of the
+	// per-tuple Project allocation. Wrapped joins (e.g. under an EXPLAIN
+	// ANALYZE stats shim) are left alone so per-node row counts stay
+	// observable.
+	projected := false
+	var in BatchIterator
+	var err error
+	switch src := p.Src.(type) {
+	case *MergeJoin:
+		if !p.Dedup {
+			return src.openBatchProjected(p.idx)
 		}
+	case *KernelMergeJoin:
+		in, err = src.openBatchProjected(p.idx)
+		if err != nil {
+			return nil, err
+		}
+		if !p.Dedup {
+			return in, nil
+		}
+		projected = true
 	}
-	in, err := OpenBatches(p.Src)
-	if err != nil {
-		return nil, err
+	if in == nil {
+		in, err = OpenBatches(p.Src)
+		if err != nil {
+			return nil, err
+		}
 	}
 	if !p.Dedup {
 		return &projectBatchIterator{in: in, idx: p.idx}, nil
@@ -371,7 +388,10 @@ func (p *Project) OpenBatch() (BatchIterator, error) {
 			break
 		}
 		for _, t := range b {
-			pt := t.Project(p.idx)
+			pt := t
+			if !projected {
+				pt = t.Project(p.idx)
+			}
 			k := pt.Key()
 			if i, ok := seen[k]; ok {
 				if pt.D > rel.Tuples[i].D {

@@ -1,0 +1,139 @@
+package exec
+
+import (
+	"repro/internal/frel"
+	"repro/internal/kernel"
+)
+
+// FusedFilter is the compiled form of a filter chain (optionally ending in
+// a WITH D >= z threshold): the whole chain runs as one kernel.Program
+// loop over each batch, with no per-tuple closure dispatch and counters
+// flushed once per batch. Outputs and degree-evaluation counts are
+// identical to the equivalent chain of interpreted Filter operators
+// followed by a Threshold — the kernel calls the same closed-form degree
+// functions, and it evaluates later predicates only on tuples earlier ones
+// kept, exactly like the chain does.
+type FusedFilter struct {
+	Src      Source
+	Prog     *kernel.Program
+	Z        float64 // WITH D >= Z threshold; 0 keeps every positive degree
+	Counters *Counters
+
+	// Stats, when non-nil, receives the kernel observability counters
+	// (KernelTuples). The node's DegreeEvals stays untouched, matching the
+	// interpreted filter node, so analyzed totals are kernel-invariant.
+	Stats *OpStats
+}
+
+// NewFusedFilter builds a compiled filter chain over src.
+func NewFusedFilter(src Source, prog *kernel.Program, z float64, counters *Counters) *FusedFilter {
+	if counters == nil {
+		counters = &Counters{}
+	}
+	return &FusedFilter{Src: src, Prog: prog, Z: z, Counters: counters}
+}
+
+// Schema implements Source.
+func (f *FusedFilter) Schema() *frel.Schema { return f.Src.Schema() }
+
+// Open implements Source with the tuple-at-a-time fallback loop.
+func (f *FusedFilter) Open() (Iterator, error) {
+	it, err := f.Src.Open()
+	if err != nil {
+		return nil, err
+	}
+	return &fusedIterator{f: f, in: it}, nil
+}
+
+type fusedIterator struct {
+	f  *FusedFilter
+	in Iterator
+}
+
+func (it *fusedIterator) Next() (frel.Tuple, bool) {
+	for {
+		t, ok := it.in.Next()
+		if !ok {
+			return frel.Tuple{}, false
+		}
+		d, evals := it.f.Prog.EvalTuple(t)
+		it.f.Counters.DegreeEvals.Add(evals)
+		it.f.Counters.KernelTuples.Add(1)
+		if st := it.f.Stats; st != nil {
+			st.KernelTuples.Add(1)
+		}
+		if d <= 0 || d < it.f.Z {
+			continue
+		}
+		t.D = d
+		return t, true
+	}
+}
+
+func (it *fusedIterator) Err() error { return it.in.Err() }
+func (it *fusedIterator) Close()     { it.in.Close() }
+
+// OpenBatch implements BatchSource: the fused hot path.
+func (f *FusedFilter) OpenBatch() (BatchIterator, error) {
+	in, err := OpenBatches(f.Src)
+	if err != nil {
+		return nil, err
+	}
+	return &fusedBatchIterator{f: f, in: in}, nil
+}
+
+type fusedBatchIterator struct {
+	f    *FusedFilter
+	in   BatchIterator
+	degs []float64
+	out  []frel.Tuple
+}
+
+func (it *fusedBatchIterator) NextBatch() ([]frel.Tuple, bool) {
+	f := it.f
+	for {
+		b, ok := it.in.NextBatch()
+		if !ok {
+			return nil, false
+		}
+		if cap(it.degs) < len(b) {
+			it.degs = make([]float64, len(b))
+		}
+		degs := it.degs[:len(b)]
+		evals := f.Prog.RunBatch(b, degs)
+		if evals != 0 {
+			f.Counters.DegreeEvals.Add(evals)
+		}
+		f.Counters.KernelTuples.Add(int64(len(b)))
+		if st := f.Stats; st != nil {
+			st.KernelTuples.Add(int64(len(b)))
+		}
+		// Pass-through fast path: a batch the kernel neither drops from
+		// nor re-grades is served as-is (no copy).
+		copying := false
+		for i, t := range b {
+			d := degs[i]
+			if !copying {
+				if d == t.D && d > 0 && d >= f.Z {
+					continue
+				}
+				copying = true
+				it.out = append(it.out[:0], b[:i]...)
+			}
+			if d <= 0 || d < f.Z {
+				continue
+			}
+			t.D = d
+			it.out = append(it.out, t)
+		}
+		if !copying {
+			return b, true
+		}
+		if len(it.out) > 0 {
+			return it.out, true
+		}
+	}
+}
+
+func (it *fusedBatchIterator) Err() error { return it.in.Err() }
+func (it *fusedBatchIterator) Close()     { it.in.Close() }

@@ -1,0 +1,266 @@
+// The kernel merge-join: the compiled, morsel-scheduled form of the
+// extended merge-join. Both sorted inputs are materialized into flat tuple
+// and support-key columns, the atomic-cut partitioner splits them into
+// join-independent ranges exactly like ParallelMergeJoin, and the ranges
+// are coalesced into small morsels that a pool of workers pulls from a
+// shared queue. Each morsel runs a fused two-cursor loop directly over the
+// flat columns — no window staging, no per-pair virtual calls, counters in
+// locals — computing the identical degrees (same closed-form functions) in
+// the identical order, so concatenating the morsel outputs reproduces the
+// serial operator's answer tuple for tuple.
+//
+// Morsels vs static partitions: balanceParts makes Workers*4 partitions
+// up front, so one straggler partition (a skew range with a huge Rng) can
+// idle every other worker for its whole duration. Morsels are much
+// smaller, and a worker that finishes one immediately pulls the next, so
+// the tail of a skewed join shrinks from "largest partition" to "largest
+// single atomic range". Serial runs (Workers <= 1) use one morsel: the
+// scheduler adds nothing when there is nobody to share with.
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/frel"
+	"repro/internal/fuzzy"
+	"repro/internal/kernel"
+)
+
+// kernelArenaChunk caps the value-arena growth unit of morsel emitters.
+// Chunks start small and double up to this cap, so a low-fanout join
+// allocates near its actual output size while a high-fanout join still
+// amortizes to one allocation per 4*BatchSize values.
+const kernelArenaChunk = 4 * BatchSize
+
+// KernelMergeJoin is the compiled extended merge-join on the fuzzy band
+// condition outer.OuterAttr ≈ inner.InnerAttr, with residual conjuncts
+// compiled into a kernel.PairProgram instead of interpreted closures.
+// Inputs must be sorted by the Definition 3.1 order, like for MergeJoin.
+type KernelMergeJoin struct {
+	Outer, Inner         Source
+	OuterAttr, InnerAttr string
+	Extra                *kernel.PairProgram // nil or empty: no residual conjuncts
+	Counters             *Counters
+	Tol                  fuzzy.Trapezoid
+	Workers              int
+
+	// Stats, when non-nil, receives the EXPLAIN ANALYZE measures under the
+	// same conventions as MergeJoin.Stats: Comparisons and DegreeEvals
+	// count support-intersecting pairs (morsel-invariant), Rng(r) lengths
+	// are observed per outer tuple, and the kernel counters
+	// (KernelTuples, Morsels) are display-only.
+	Stats *OpStats
+
+	schema *frel.Schema
+	oi, ii int
+}
+
+// NewKernelMergeJoin builds a compiled band merge-join with the given
+// worker count (0 = GOMAXPROCS).
+func NewKernelMergeJoin(outer, inner Source, outerAttr, innerAttr string, tol fuzzy.Trapezoid, extra *kernel.PairProgram, counters *Counters, workers int) (*KernelMergeJoin, error) {
+	oi, ii, err := checkJoinAttrs(outer, inner, outerAttr, innerAttr)
+	if err != nil {
+		return nil, err
+	}
+	if !tol.Valid() {
+		return nil, fmt.Errorf("exec: invalid band tolerance %v", tol)
+	}
+	if counters == nil {
+		counters = &Counters{}
+	}
+	if workers <= 0 {
+		workers = DefaultParallelism()
+	}
+	return &KernelMergeJoin{
+		Outer: outer, Inner: inner,
+		OuterAttr: outerAttr, InnerAttr: innerAttr,
+		Extra: extra, Counters: counters, Tol: tol, Workers: workers,
+		schema: outer.Schema().Join(inner.Schema()),
+		oi:     oi, ii: ii,
+	}, nil
+}
+
+// Schema implements Source.
+func (j *KernelMergeJoin) Schema() *frel.Schema { return j.schema }
+
+// Open implements Source by draining the batched form.
+func (j *KernelMergeJoin) Open() (Iterator, error) {
+	bit, err := j.OpenBatch()
+	if err != nil {
+		return nil, err
+	}
+	return &batchTupleAdapter{it: bit}, nil
+}
+
+// batchTupleAdapter serves a BatchIterator one tuple at a time.
+type batchTupleAdapter struct {
+	it  BatchIterator
+	buf []frel.Tuple
+	pos int
+}
+
+func (a *batchTupleAdapter) Next() (frel.Tuple, bool) {
+	for a.pos >= len(a.buf) {
+		b, ok := a.it.NextBatch()
+		if !ok {
+			return frel.Tuple{}, false
+		}
+		a.buf, a.pos = b, 0
+	}
+	t := a.buf[a.pos]
+	a.pos++
+	return t, true
+}
+
+func (a *batchTupleAdapter) Err() error { return a.it.Err() }
+func (a *batchTupleAdapter) Close()     { a.it.Close() }
+
+// OpenBatch implements BatchSource.
+func (j *KernelMergeJoin) OpenBatch() (BatchIterator, error) {
+	return j.openBatchProjected(nil)
+}
+
+// morselGrain picks the morsel weight target: serial runs get one morsel
+// (no scheduling overhead), parallel runs get roughly 16 morsels per
+// worker with a floor that keeps per-morsel bookkeeping negligible.
+func morselGrain(total, workers int) int {
+	if workers <= 1 {
+		return total + 1
+	}
+	g := total / (workers * 16)
+	if g < 256 {
+		g = 256
+	}
+	return g
+}
+
+// openBatchProjected opens the join with an optional pushed-down emit mask
+// (indices into the concatenated outer ++ inner row); see
+// MergeJoin.openBatchProjected. The whole join runs eagerly: morsels are
+// pulled off the shared queue by the worker pool and their outputs are
+// replayed in morsel order, which is the serial emission order.
+func (j *KernelMergeJoin) openBatchProjected(emitIdx []int) (BatchIterator, error) {
+	outer, oKeys, err := collectSortedBatched(j.Outer, j.oi, "outer")
+	if err != nil {
+		return nil, err
+	}
+	inner, iKeys, err := collectSortedBatched(j.Inner, j.ii, "inner")
+	if err != nil {
+		return nil, err
+	}
+	ranges := atomicCutsKeyed(oKeys, iKeys, j.Tol)
+	grain := morselGrain(len(outer)+len(inner), j.Workers)
+	morsels := kernel.Coalesce(len(ranges), func(i int) int { return ranges[i].weight() }, grain)
+	j.Counters.Morsels.Add(int64(len(morsels)))
+	j.Counters.KernelTuples.Add(int64(len(outer)))
+	if st := j.Stats; st != nil {
+		st.Morsels.Add(int64(len(morsels)))
+		st.KernelTuples.Add(int64(len(outer)))
+	}
+	results := make([][]frel.Tuple, len(morsels))
+	tolZero := j.Tol == (fuzzy.Trapezoid{})
+	extra := j.Extra
+	if extra != nil && extra.Len() == 0 {
+		extra = nil
+	}
+	err = runParallel(j.Workers, len(morsels), func(m int) error {
+		// A morsel spans consecutive atomic ranges, so its outer and inner
+		// spans are contiguous and one two-cursor sweep covers them all:
+		// the window empties at every cut by construction.
+		oLo, oHi := ranges[morsels[m].Lo].oLo, ranges[morsels[m].Hi-1].oHi
+		iLo, iHi := ranges[morsels[m].Lo].iLo, ranges[morsels[m].Hi-1].iHi
+		loc := newBatchLocals()
+		var out []frel.Tuple
+		var arena []frel.Value
+		emitW := len(j.schema.Attrs)
+		if emitIdx != nil {
+			emitW = len(emitIdx)
+		}
+		nOuter := len(j.Outer.Schema().Attrs)
+		start, end := iLo, iLo
+		for o := oLo; o < oHi; o++ {
+			lo, hi := oKeys[o].Lo, oKeys[o].Hi
+			// Advance past buffered inner tuples whose widened supports end
+			// before this outer begins; admit those beginning at or before
+			// its end. Identical to batchWindow.advance/extend with the
+			// band shift applied on the outer side.
+			for start < end && iKeys[start].Hi+j.Tol.D < lo {
+				start++
+			}
+			for end < iHi && iKeys[end].Lo+j.Tol.A <= hi {
+				end++
+			}
+			lX := outer[o].Values[j.oi].Num
+			oD := oKeys[o].D
+			var rng int64
+			for k := start; k < end; k++ {
+				loc.cmp++
+				// Support pretest on the flat key column, bit-identical to
+				// lX.Intersects(Add(s, Tol)).
+				if !(lo <= iKeys[k].Hi+j.Tol.D && iKeys[k].Lo+j.Tol.A <= hi) {
+					continue // dangling tuple inside the range
+				}
+				rng++
+				loc.stCmp++
+				loc.stDeg++
+				loc.deg++
+				sX := inner[k].Values[j.ii].Num
+				if !tolZero {
+					sX = fuzzy.Add(sX, j.Tol)
+				}
+				d := fuzzy.Eq(lX, sX)
+				if oD < d {
+					d = oD
+				}
+				if iKeys[k].D < d {
+					d = iKeys[k].D
+				}
+				if d > 0 && extra != nil {
+					loc.deg++
+					loc.stDeg++
+					g, ev := extra.EvalAnd(outer[o].Values, inner[k].Values)
+					loc.deg += ev
+					if g < d {
+						d = g
+					}
+				}
+				if d <= 0 {
+					continue
+				}
+				loc.tout++
+				if len(arena)+emitW > cap(arena) {
+					n := 2 * cap(arena)
+					if n > kernelArenaChunk {
+						n = kernelArenaChunk
+					}
+					if n < 16*emitW {
+						n = 16 * emitW
+					}
+					arena = make([]frel.Value, 0, n)
+				}
+				off := len(arena)
+				if emitIdx != nil {
+					for _, i := range emitIdx {
+						if i < nOuter {
+							arena = append(arena, outer[o].Values[i])
+						} else {
+							arena = append(arena, inner[k].Values[i-nOuter])
+						}
+					}
+				} else {
+					arena = append(arena, outer[o].Values...)
+					arena = append(arena, inner[k].Values...)
+				}
+				out = append(out, frel.Tuple{Values: arena[off:len(arena):len(arena)], D: d})
+			}
+			loc.observeRng(rng)
+		}
+		loc.flush(j.Counters, j.Stats)
+		results[m] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &partsBatchIterator{parts: results}, nil
+}

@@ -1,0 +1,237 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/frel"
+	"repro/internal/fuzzy"
+	"repro/internal/kernel"
+)
+
+// pairExtras builds the residual-conjunct pair for the kernel-join parity
+// tests in both forms: a compiled PairProgram and the equivalent
+// interpreted JoinPred with the andJoinPreds evaluation order, charging
+// DegreeEvals per conjunct call exactly like the compiled join-predicate
+// closures do.
+func pairExtras(t testing.TB, c *Counters) (*kernel.PairProgram, JoinPred) {
+	t.Helper()
+	konst := frel.Num(fuzzy.Tri(10, 30, 50))
+	pp, err := kernel.CompilePair([]kernel.PairStep{
+		{Kind: kernel.StepCompare, Op: fuzzy.OpLe,
+			Left: kernel.LeftColumn(0), Right: kernel.RightColumn(0)},
+		{Kind: kernel.StepCompare, Op: fuzzy.OpGt,
+			Left: kernel.LeftColumn(1), Right: kernel.PairConstant(konst)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := []JoinPred{
+		func(l, r frel.Tuple) float64 {
+			c.DegreeEvals.Add(1)
+			return frel.Degree(fuzzy.OpLe, l.Values[0], r.Values[0])
+		},
+		func(l, r frel.Tuple) float64 {
+			c.DegreeEvals.Add(1)
+			return frel.Degree(fuzzy.OpGt, l.Values[1], konst)
+		},
+	}
+	interp := func(l, r frel.Tuple) float64 {
+		d := 1.0
+		for _, p := range preds {
+			if g := p(l, r); g < d {
+				d = g
+				if d == 0 {
+					return 0
+				}
+			}
+		}
+		return d
+	}
+	return pp, interp
+}
+
+// TestKernelMergeJoinMatchesInterpreted cross-checks the morsel-scheduled
+// kernel merge-join against the interpreted band merge-join on random
+// inputs: identical output sequences, work counters and EXPLAIN ANALYZE
+// stats at every worker count, with and without residual conjuncts.
+// Morsels subdivide only at atomic-cut boundaries where the inner window
+// is empty, so every counter — including Comparisons — is scheduling-
+// invariant here.
+func TestKernelMergeJoinMatchesInterpreted(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	tols := []fuzzy.Trapezoid{fuzzy.Crisp(0), fuzzy.Tri(-3, 0, 3), fuzzy.Trap(-5, -2, 2, 5)}
+	for _, workers := range []int{1, 2, 4} {
+		for _, withExtra := range []bool{false, true} {
+			for trial := 0; trial < 6; trial++ {
+				r := randomRel("R", 80+rng.Intn(120), 80, 6, rng)
+				s := randomRel("S", 80+rng.Intn(120), 80, 6, rng)
+				tol := tols[trial%len(tols)]
+
+				var ck Counters
+				sk := NewOpStats("merge-join", "")
+				var pp *kernel.PairProgram
+				if withExtra {
+					pp, _ = pairExtras(t, &ck)
+				}
+				kj, err := NewKernelMergeJoin(sortedSource(t, r, "X"), sortedSource(t, s, "X"),
+					"R.X", "S.X", tol, pp, &ck, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				kj.Stats = sk
+				got := batchDrain(t, kj)
+
+				var ci Counters
+				si := NewOpStats("merge-join", "")
+				var extra JoinPred
+				if withExtra {
+					_, extra = pairExtras(t, &ci)
+				}
+				mj, err := NewBandMergeJoin(sortedSource(t, r, "X"), sortedSource(t, s, "X"),
+					"R.X", "S.X", tol, extra, &ci)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mj.Stats = si
+				want := batchDrain(t, mj)
+
+				name := "kernel merge-join"
+				sameSequence(t, name, got, want)
+				sameCounters(t, name, &ck, &ci)
+				sameStats(t, name, sk, si)
+				if workers > 1 && ck.Morsels.Load() <= 1 && len(got) > 0 {
+					// Small inputs may coalesce into few morsels, but the
+					// count must at least be recorded.
+					if ck.Morsels.Load() == 0 {
+						t.Errorf("%s: no morsels recorded", name)
+					}
+				}
+				if ck.KernelTuples.Load() != int64(r.Len()) {
+					t.Errorf("%s: KernelTuples %d, want %d", name, ck.KernelTuples.Load(), r.Len())
+				}
+			}
+		}
+	}
+}
+
+// TestKernelMergeJoinTupleDrain checks the tuple-at-a-time adapter serves
+// the same sequence as the batched form.
+func TestKernelMergeJoinTupleDrain(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	r := randomRel("R", 150, 70, 5, rng)
+	s := randomRel("S", 150, 70, 5, rng)
+	build := func(c *Counters) *KernelMergeJoin {
+		kj, err := NewKernelMergeJoin(sortedSource(t, r, "X"), sortedSource(t, s, "X"),
+			"R.X", "S.X", fuzzy.Tri(-2, 0, 2), nil, c, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return kj
+	}
+	var cb, ct Counters
+	sameSequence(t, "kernel join tuple drain",
+		tupleDrain(t, build(&ct)), batchDrain(t, build(&cb)))
+	sameCounters(t, "kernel join tuple drain", &cb, &ct)
+}
+
+// TestKernelMergeJoinProjected checks the projection-pushdown emit of the
+// kernel join, with and without duplicate elimination, against the
+// interpreted join-then-project pipeline.
+func TestKernelMergeJoinProjected(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for _, dedup := range []bool{false, true} {
+		for trial := 0; trial < 6; trial++ {
+			r := randomRel("R", 100+rng.Intn(100), 60, 5, rng)
+			s := randomRel("S", 100+rng.Intn(100), 60, 5, rng)
+
+			var ck Counters
+			kj, err := NewKernelMergeJoin(sortedSource(t, r, "X"), sortedSource(t, s, "X"),
+				"R.X", "S.X", fuzzy.Crisp(0), nil, &ck, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			kproj, err := NewProject(kj, []string{"R.ID", "S.ID"}, dedup)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := batchDrain(t, kproj)
+
+			mj, err := NewMergeJoin(sortedSource(t, r, "X"), sortedSource(t, s, "X"),
+				"R.X", "S.X", nil, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			iproj, err := NewProject(mj, []string{"R.ID", "S.ID"}, dedup)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := tupleDrain(t, iproj)
+			sameSequence(t, "kernel projected join", got, want)
+		}
+	}
+}
+
+// TestKernelMergeJoinEmptySides covers empty inputs: the join must not
+// emit, and the per-outer empty Rng(r) observations must match the
+// interpreted operator's.
+func TestKernelMergeJoinEmptySides(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	r := randomRel("R", 40, 30, 3, rng)
+	empty := frel.NewRelation(xSchema("S"))
+	for _, flip := range []bool{false, true} {
+		outer, inner := r, empty
+		if flip {
+			outer, inner = empty, r
+		}
+		var ck, ci Counters
+		sk, si := NewOpStats("merge-join", ""), NewOpStats("merge-join", "")
+		kj, err := NewKernelMergeJoin(sortedSource(t, outer, "X"), sortedSource(t, inner, "X"),
+			"R.X", "S.X", fuzzy.Crisp(0), nil, &ck, 2)
+		if flip {
+			kj, err = NewKernelMergeJoin(sortedSource(t, outer, "X"), sortedSource(t, inner, "X"),
+				"S.X", "R.X", fuzzy.Crisp(0), nil, &ck, 2)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		kj.Stats = sk
+		got := batchDrain(t, kj)
+		if len(got) != 0 {
+			t.Fatalf("flip=%v: empty-side join emitted %d tuples", flip, len(got))
+		}
+
+		var mj *MergeJoin
+		if flip {
+			mj, err = NewBandMergeJoin(sortedSource(t, outer, "X"), sortedSource(t, inner, "X"),
+				"S.X", "R.X", fuzzy.Crisp(0), nil, &ci)
+		} else {
+			mj, err = NewBandMergeJoin(sortedSource(t, outer, "X"), sortedSource(t, inner, "X"),
+				"R.X", "S.X", fuzzy.Crisp(0), nil, &ci)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		mj.Stats = si
+		batchDrain(t, mj)
+		sameStats(t, "empty-side kernel join", sk, si)
+		sameCounters(t, "empty-side kernel join", &ck, &ci)
+	}
+}
+
+// TestMorselGrain pins the grain policy: serial runs get one morsel,
+// parallel runs a bounded number of small ones.
+func TestMorselGrain(t *testing.T) {
+	if g := morselGrain(10000, 1); g <= 10000 {
+		t.Errorf("serial grain %d must exceed the total weight", g)
+	}
+	if g := morselGrain(10000, 0); g <= 10000 {
+		t.Errorf("grain for workers=0 is %d, want one morsel", g)
+	}
+	if g := morselGrain(100000, 4); g != 100000/(4*16) {
+		t.Errorf("parallel grain = %d, want %d", g, 100000/(4*16))
+	}
+	if g := morselGrain(100, 4); g != 256 {
+		t.Errorf("small-input grain = %d, want the 256 floor", g)
+	}
+}

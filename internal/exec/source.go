@@ -55,6 +55,14 @@ type Counters struct {
 	// IndexHits counts sorted inputs served from a persistent order index
 	// (no sort at all, neither cached nor fresh).
 	IndexHits atomic.Int64
+
+	// KernelTuples counts tuples whose degrees were computed by compiled
+	// kernels (the fused filter and kernel merge-join hot loops) instead of
+	// the interpreted evaluator; Morsels counts the work units the morsel
+	// scheduler dispatched. Both are observability-only ablation measures:
+	// they do not participate in any invariance oracle.
+	KernelTuples atomic.Int64
+	Morsels      atomic.Int64
 }
 
 // Add accumulates other into c.
@@ -65,6 +73,8 @@ func (c *Counters) Add(other *Counters) {
 	c.SortCacheHits.Add(other.SortCacheHits.Load())
 	c.SortCacheMisses.Add(other.SortCacheMisses.Load())
 	c.IndexHits.Add(other.IndexHits.Load())
+	c.KernelTuples.Add(other.KernelTuples.Load())
+	c.Morsels.Add(other.Morsels.Load())
 }
 
 // Reset zeroes all counters.
@@ -75,6 +85,8 @@ func (c *Counters) Reset() {
 	c.SortCacheHits.Store(0)
 	c.SortCacheMisses.Store(0)
 	c.IndexHits.Store(0)
+	c.KernelTuples.Store(0)
+	c.Morsels.Store(0)
 }
 
 // MemSource serves tuples from an in-memory relation.

@@ -60,6 +60,12 @@ type OpStats struct {
 	PoolHits   atomic.Int64 // buffer-pool page hits
 	PoolMisses atomic.Int64 // buffer-pool page misses (physical reads)
 
+	// Compiled-kernel observability (display-only, never part of the
+	// Totals() invariance oracle): tuples evaluated by fused kernels and
+	// morsels dispatched by the pull-queue join scheduler.
+	KernelTuples atomic.Int64
+	Morsels      atomic.Int64
+
 	WallNanos atomic.Int64 // inclusive wall time spent inside the operator
 
 	mu       sync.Mutex
@@ -127,46 +133,50 @@ func (s *OpStats) ObserveRngBulk(count, sum, min, max int64) {
 
 // StatsSnapshot is a plain, JSON-serializable copy of a statistics tree.
 type StatsSnapshot struct {
-	Op          string           `json:"op"`
-	Label       string           `json:"label,omitempty"`
-	RowsOut     int64            `json:"rows_out"`
-	Comparisons int64            `json:"comparisons,omitempty"`
-	DegreeEvals int64            `json:"degree_evals,omitempty"`
-	Pruned      int64            `json:"pruned,omitempty"`
-	RngCount    int64            `json:"rng_count,omitempty"`
-	RngMin      int64            `json:"rng_min,omitempty"`
-	RngAvg      float64          `json:"rng_avg,omitempty"`
-	RngMax      int64            `json:"rng_max,omitempty"`
-	SortRuns    int64            `json:"sort_runs,omitempty"`
-	MergePasses int64            `json:"merge_passes,omitempty"`
-	SpillBytes  int64            `json:"spill_bytes,omitempty"`
-	CacheHits   int64            `json:"cache_hits,omitempty"`
-	CacheMisses int64            `json:"cache_misses,omitempty"`
-	IndexHits   int64            `json:"index_hits,omitempty"`
-	PoolHits    int64            `json:"pool_hits,omitempty"`
-	PoolMisses  int64            `json:"pool_misses,omitempty"`
-	WallNanos   int64            `json:"wall_ns"`
-	Children    []*StatsSnapshot `json:"children,omitempty"`
+	Op           string           `json:"op"`
+	Label        string           `json:"label,omitempty"`
+	RowsOut      int64            `json:"rows_out"`
+	Comparisons  int64            `json:"comparisons,omitempty"`
+	DegreeEvals  int64            `json:"degree_evals,omitempty"`
+	Pruned       int64            `json:"pruned,omitempty"`
+	RngCount     int64            `json:"rng_count,omitempty"`
+	RngMin       int64            `json:"rng_min,omitempty"`
+	RngAvg       float64          `json:"rng_avg,omitempty"`
+	RngMax       int64            `json:"rng_max,omitempty"`
+	SortRuns     int64            `json:"sort_runs,omitempty"`
+	MergePasses  int64            `json:"merge_passes,omitempty"`
+	SpillBytes   int64            `json:"spill_bytes,omitempty"`
+	CacheHits    int64            `json:"cache_hits,omitempty"`
+	CacheMisses  int64            `json:"cache_misses,omitempty"`
+	IndexHits    int64            `json:"index_hits,omitempty"`
+	PoolHits     int64            `json:"pool_hits,omitempty"`
+	PoolMisses   int64            `json:"pool_misses,omitempty"`
+	KernelTuples int64            `json:"kernel_tuples,omitempty"`
+	Morsels      int64            `json:"morsels,omitempty"`
+	WallNanos    int64            `json:"wall_ns"`
+	Children     []*StatsSnapshot `json:"children,omitempty"`
 }
 
 // Snapshot copies the tree rooted at s into plain values.
 func (s *OpStats) Snapshot() *StatsSnapshot {
 	snap := &StatsSnapshot{
-		Op:          s.Op,
-		Label:       s.Label,
-		RowsOut:     s.RowsOut.Load(),
-		Comparisons: s.Comparisons.Load(),
-		DegreeEvals: s.DegreeEvals.Load(),
-		Pruned:      s.Pruned.Load(),
-		SortRuns:    s.SortRuns.Load(),
-		MergePasses: s.MergePasses.Load(),
-		SpillBytes:  s.SpillBytes.Load(),
-		CacheHits:   s.CacheHits.Load(),
-		CacheMisses: s.CacheMisses.Load(),
-		IndexHits:   s.IndexHits.Load(),
-		PoolHits:    s.PoolHits.Load(),
-		PoolMisses:  s.PoolMisses.Load(),
-		WallNanos:   s.WallNanos.Load(),
+		Op:           s.Op,
+		Label:        s.Label,
+		RowsOut:      s.RowsOut.Load(),
+		Comparisons:  s.Comparisons.Load(),
+		DegreeEvals:  s.DegreeEvals.Load(),
+		Pruned:       s.Pruned.Load(),
+		SortRuns:     s.SortRuns.Load(),
+		MergePasses:  s.MergePasses.Load(),
+		SpillBytes:   s.SpillBytes.Load(),
+		CacheHits:    s.CacheHits.Load(),
+		CacheMisses:  s.CacheMisses.Load(),
+		IndexHits:    s.IndexHits.Load(),
+		PoolHits:     s.PoolHits.Load(),
+		PoolMisses:   s.PoolMisses.Load(),
+		KernelTuples: s.KernelTuples.Load(),
+		Morsels:      s.Morsels.Load(),
+		WallNanos:    s.WallNanos.Load(),
 	}
 	if n := s.RngCount.Load(); n > 0 {
 		snap.RngCount = n
@@ -250,6 +260,12 @@ func (s *StatsSnapshot) render(b *strings.Builder, depth int) {
 	}
 	if s.PoolHits > 0 || s.PoolMisses > 0 {
 		fmt.Fprintf(b, " pool(hit=%d miss=%d)", s.PoolHits, s.PoolMisses)
+	}
+	if s.KernelTuples > 0 {
+		fmt.Fprintf(b, " kernel(tuples=%d)", s.KernelTuples)
+	}
+	if s.Morsels > 0 {
+		fmt.Fprintf(b, " morsels=%d", s.Morsels)
 	}
 	fmt.Fprintf(b, " time=%s", time.Duration(s.WallNanos).Round(time.Microsecond))
 	b.WriteByte('\n')

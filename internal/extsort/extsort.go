@@ -102,13 +102,21 @@ func (s *Sorter) WithParallelism(workers int) *Sorter {
 // Sort sorts src by less into a fresh temporary heap file. src is not
 // modified. The returned file is owned by the caller (Drop when done).
 func (s *Sorter) Sort(src *storage.HeapFile, less Less) (*storage.HeapFile, Stats, error) {
+	return s.SortPrefix(src, -1, less)
+}
+
+// SortPrefix is Sort restricted to the first limit tuples of src
+// (limit < 0 sorts everything). It lets callers sort a base heap in
+// place of a spilled copy — the snapshot bound keeps a reader that
+// captured a committed tuple count from sorting rows appended since.
+func (s *Sorter) SortPrefix(src *storage.HeapFile, limit int64, less Less) (*storage.HeapFile, Stats, error) {
 	var st Stats
 	counting := func(a, b frel.Tuple) bool {
 		st.Comparisons++
 		return less(a, b)
 	}
 
-	runs, err := s.makeRuns(src, less, &st)
+	runs, err := s.makeRuns(src, limit, less, &st)
 	if err != nil {
 		return nil, st, err
 	}
@@ -150,7 +158,7 @@ func (s *Sorter) Sort(src *storage.HeapFile, less Less) (*storage.HeapFile, Stat
 // each other) on a bounded worker pool; run order, contents, and the
 // comparison count stay identical to the serial execution because batches
 // are cut at the same points and sorted with the same stable sort.
-func (s *Sorter) makeRuns(src *storage.HeapFile, less Less, st *Stats) ([]*storage.HeapFile, error) {
+func (s *Sorter) makeRuns(src *storage.HeapFile, limit int64, less Less, st *Stats) ([]*storage.HeapFile, error) {
 	budget := s.memPages * storage.PageSize
 	var (
 		runs        []*storage.HeapFile
@@ -200,7 +208,7 @@ func (s *Sorter) makeRuns(src *storage.HeapFile, less Less, st *Stats) ([]*stora
 		return nil
 	}
 
-	sc := src.Scan()
+	sc := src.ScanAt(limit)
 	defer sc.Close()
 	var scanErr error
 	// Consume the scan a page-sized batch at a time; the per-tuple budget

@@ -124,6 +124,13 @@ func (t Trapezoid) Support() (lo, hi float64) {
 	return t.A, t.D
 }
 
+// Params returns the four corner abscissae (a, b, c, d) of the membership
+// function as plain float64s, the kernel-consumable flat form compiled
+// degree kernels load into column slices.
+func (t Trapezoid) Params() (a, b, c, d float64) {
+	return t.A, t.B, t.C, t.D
+}
+
 // Core returns the endpoints of the 1-cut, the interval of fully possible
 // values.
 func (t Trapezoid) Core() (lo, hi float64) {

@@ -1,0 +1,41 @@
+package kernel
+
+// Morsel is one unit of the pull-queue join scheduler: the half-open range
+// [Lo, Hi) of consecutive atomic work items (join-independent ranges) a
+// worker claims in one pull. Morsels are small — many more than there are
+// workers — so a straggler morsel delays only itself, not a quarter of the
+// input like a static range partition would.
+type Morsel struct {
+	Lo, Hi int
+}
+
+// Coalesce packs n consecutive work items into morsels of at least grain
+// total weight (the last morsel may be lighter). Item boundaries are never
+// split, so any invariant that holds per item (join independence of atomic
+// ranges) holds per morsel. A non-positive grain yields one item per
+// morsel; n <= 0 yields no morsels.
+func Coalesce(n int, weight func(i int) int, grain int) []Morsel {
+	if n <= 0 {
+		return nil
+	}
+	if grain <= 0 {
+		grain = 1
+	}
+	var out []Morsel
+	lo, acc := 0, 0
+	for i := 0; i < n; i++ {
+		w := weight(i)
+		if w < 1 {
+			w = 1
+		}
+		acc += w
+		if acc >= grain {
+			out = append(out, Morsel{Lo: lo, Hi: i + 1})
+			lo, acc = i+1, 0
+		}
+	}
+	if lo < n {
+		out = append(out, Morsel{Lo: lo, Hi: n})
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/frel"
+	"repro/internal/fuzzy"
+)
+
+// TestPairBitIdentical asserts compiled join conjuncts match the
+// interpreted value-level degrees for every operator and side shape.
+func TestPairBitIdentical(t *testing.T) {
+	l := []frel.Value{frel.Num(fuzzy.Tri(0, 5, 10)), frel.Str("ann")}
+	r := []frel.Value{frel.Crisp(4), frel.Str("bob")}
+	for _, op := range allOps {
+		prog, err := CompilePair([]PairStep{{Kind: StepCompare, Op: op, Left: LeftColumn(0), Right: RightColumn(0)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, evals := prog.EvalAnd(l, r)
+		want := frel.Degree(op, l[0], r[0])
+		if got != want || evals != 1 {
+			t.Errorf("%v: compiled (%v, %d evals), interpreted %v", op, got, evals, want)
+		}
+	}
+	// String columns ride the fallback path.
+	sp, err := CompilePair([]PairStep{{Kind: StepCompare, Op: fuzzy.OpNe, Left: LeftColumn(1), Right: RightColumn(1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := sp.EvalAnd(l, r); got != 1 {
+		t.Errorf("ann <> bob: %v, want 1", got)
+	}
+	// Constants and the right-side NEAR form.
+	np, err := CompilePair([]PairStep{{Kind: StepNear, Tol: fuzzy.Tolerance(1, 2), Left: RightColumn(0), Right: PairConstant(frel.Crisp(4))}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := np.EvalAnd(l, r)
+	if want := fuzzy.ApproxEq(fuzzy.Crisp(4), fuzzy.Crisp(4), fuzzy.Tolerance(1, 2)); got != want {
+		t.Errorf("NEAR const: %v, want %v", got, want)
+	}
+}
+
+// TestPairNeg covers the complemented (1-d) form the > ALL anti-join
+// uses.
+func TestPairNeg(t *testing.T) {
+	prog, err := CompilePair([]PairStep{{Kind: StepCompare, Op: fuzzy.OpGt, Neg: true, Left: LeftColumn(0), Right: RightColumn(0)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := []frel.Value{frel.Crisp(7)}
+	r := []frel.Value{frel.Crisp(3)}
+	if got, _ := prog.EvalAnd(l, r); got != 1-fuzzy.Gt(fuzzy.Crisp(7), fuzzy.Crisp(3)) {
+		t.Errorf("Neg: %v", got)
+	}
+	// NEAR with Neg, string guard included.
+	np, err := CompilePair([]PairStep{{Kind: StepNear, Tol: fuzzy.Tolerance(0, 1), Neg: true, Left: LeftColumn(0), Right: RightColumn(0)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := np.EvalAnd([]frel.Value{frel.Str("x")}, r); got != 1 {
+		t.Errorf("Neg NEAR on string: %v, want 1", got)
+	}
+}
+
+// TestEvalAndShortCircuit asserts the conjunction evaluates each conjunct
+// once, min-combines, and stops after — not before — the conjunct that
+// reaches zero, matching the interpreted conjunction's DegreeEvals.
+func TestEvalAndShortCircuit(t *testing.T) {
+	steps := []PairStep{
+		{Kind: StepCompare, Op: fuzzy.OpEq, Left: LeftColumn(0), Right: RightColumn(0)}, // 0 for disjoint
+		{Kind: StepCompare, Op: fuzzy.OpEq, Left: LeftColumn(0), Right: LeftColumn(0)},  // would be 1
+		{Kind: StepCompare, Op: fuzzy.OpEq, Left: LeftColumn(0), Right: LeftColumn(0)},
+	}
+	prog, err := CompilePair(steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Len() != 3 {
+		t.Fatalf("Len = %d", prog.Len())
+	}
+	l := []frel.Value{frel.Crisp(0)}
+	r := []frel.Value{frel.Crisp(100)}
+	d, evals := prog.EvalAnd(l, r)
+	if d != 0 || evals != 1 {
+		t.Fatalf("short-circuit: d=%v evals=%d, want 0 after 1", d, evals)
+	}
+	// All conjuncts positive: every one evaluated, min combined.
+	d, evals = prog.EvalAnd(l, []frel.Value{frel.Crisp(0)})
+	if d != 1 || evals != 3 {
+		t.Fatalf("full conjunction: d=%v evals=%d, want 1 after 3", d, evals)
+	}
+}
+
+// TestCompilePairErrors exercises the compile-time rejections.
+func TestCompilePairErrors(t *testing.T) {
+	if _, err := CompilePair([]PairStep{{Kind: StepCompare, Op: fuzzy.Op(99), Left: LeftColumn(0), Right: RightColumn(0)}}); err == nil {
+		t.Error("unknown operator accepted")
+	}
+	if _, err := CompilePair([]PairStep{{Kind: StepKind(99), Left: LeftColumn(0), Right: RightColumn(0)}}); err == nil {
+		t.Error("unknown step kind accepted")
+	}
+	if _, err := CompilePair([]PairStep{{Kind: StepCompare, Op: fuzzy.OpEq, Left: PairOperand{Side: 7}, Right: RightColumn(0)}}); err == nil {
+		t.Error("unknown left side accepted")
+	}
+	if _, err := CompilePair([]PairStep{{Kind: StepCompare, Op: fuzzy.OpEq, Left: LeftColumn(0), Right: PairOperand{Side: 7}}}); err == nil {
+		t.Error("unknown right side accepted")
+	}
+	bad := fuzzy.Trapezoid{A: 3, B: 2, C: 1, D: 0}
+	if _, err := CompilePair([]PairStep{{Kind: StepNear, Tol: bad, Left: LeftColumn(0), Right: RightColumn(0)}}); err == nil {
+		t.Error("invalid NEAR tolerance accepted")
+	}
+}
+
+// TestCoalesce covers the morsel packer: grain respected, boundaries
+// preserved, degenerate inputs.
+func TestCoalesce(t *testing.T) {
+	if m := Coalesce(0, func(int) int { return 1 }, 4); m != nil {
+		t.Fatalf("n=0: %v", m)
+	}
+	// Ten unit-weight items at grain 4: morsels of 4, 4, 2.
+	ms := Coalesce(10, func(int) int { return 1 }, 4)
+	want := []Morsel{{0, 4}, {4, 8}, {8, 10}}
+	if len(ms) != len(want) {
+		t.Fatalf("morsels = %v, want %v", ms, want)
+	}
+	for i := range ms {
+		if ms[i] != want[i] {
+			t.Fatalf("morsels = %v, want %v", ms, want)
+		}
+	}
+	// Morsels tile [0, n) exactly.
+	prev := 0
+	for _, m := range ms {
+		if m.Lo != prev || m.Hi <= m.Lo {
+			t.Fatalf("bad tiling: %v", ms)
+		}
+		prev = m.Hi
+	}
+	// A heavy item closes its morsel immediately; zero/negative weights
+	// count as 1 so progress is guaranteed.
+	ms = Coalesce(3, func(i int) int { return []int{100, 0, -5}[i] }, 4)
+	if len(ms) != 2 || ms[0] != (Morsel{0, 1}) || ms[1] != (Morsel{1, 3}) {
+		t.Fatalf("heavy item: %v", ms)
+	}
+	// Non-positive grain: one item per morsel.
+	if ms := Coalesce(3, func(int) int { return 1 }, 0); len(ms) != 3 {
+		t.Fatalf("grain 0: %v", ms)
+	}
+}

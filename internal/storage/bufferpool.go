@@ -58,6 +58,12 @@ type BufferPool struct {
 	// which makeRoom clears the no-steal marks and retries. It must not
 	// touch the pool.
 	release func() error
+
+	// free holds page buffers recycled from evicted frames, capped at
+	// capacity. Under pool pressure every admission evicts, so without
+	// recycling a scan-heavy query allocates one garbage page buffer per
+	// page fetch — the dominant allocation of cold sorts on small pools.
+	free [][]byte
 }
 
 // NewBufferPool creates a pool with the given page capacity (minimum 1).
@@ -156,9 +162,21 @@ func (bp *BufferPool) admit(p *Pager, id PageID) (*Frame, error) {
 	if err := bp.makeRoom(); err != nil {
 		return nil, err
 	}
-	f := &Frame{pager: p, ID: id, Data: make([]byte, PageSize), pins: 1}
+	f := &Frame{pager: p, ID: id, Data: bp.pageBuf(), pins: 1}
 	bp.frames[frameKey{p, id}] = f
 	return f, nil
+}
+
+// pageBuf returns a page buffer, recycling one from an evicted frame when
+// available. Callers fully initialize the contents (ReadPage on a miss,
+// explicit zeroing in NewPage), so stale bytes never leak.
+func (bp *BufferPool) pageBuf() []byte {
+	if n := len(bp.free); n > 0 {
+		b := bp.free[n-1]
+		bp.free = bp.free[:n-1]
+		return b
+	}
+	return make([]byte, PageSize)
 }
 
 func (bp *BufferPool) makeRoom() error {
@@ -241,6 +259,13 @@ func (bp *BufferPool) discard(f *Frame) {
 		f.elem = nil
 	}
 	delete(bp.frames, frameKey{f.pager, f.ID})
+	// Frames are only discarded unpinned (or by the admitting caller on a
+	// read error), and the pin contract forbids touching Data afterwards,
+	// so the buffer can be recycled for the next admission.
+	if f.Data != nil && len(bp.free) < bp.capacity {
+		bp.free = append(bp.free, f.Data)
+	}
+	f.Data = nil
 }
 
 func (bp *BufferPool) pin(f *Frame) {
@@ -299,6 +324,25 @@ func (bp *BufferPool) DiscardPagesFrom(p *Pager, from PageID) error {
 		}
 		if f.pins > 0 {
 			return fmt.Errorf("storage: DiscardPagesFrom: page %d still pinned", f.ID)
+		}
+		bp.discard(f)
+	}
+	return nil
+}
+
+// DiscardPager forgets every frame belonging to p without writing dirty
+// frames back, for files about to be removed or recycled: flushing a
+// dropped temp's dirty pages would be pure wasted I/O. Frames of p must
+// be unpinned.
+func (bp *BufferPool) DiscardPager(p *Pager) error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for key, f := range bp.frames {
+		if key.pager != p {
+			continue
+		}
+		if f.pins > 0 {
+			return fmt.Errorf("storage: DiscardPager: page %d still pinned", f.ID)
 		}
 		bp.discard(f)
 	}

@@ -42,6 +42,11 @@ type HeapFile struct {
 	mgr     *Manager
 	logName string
 
+	// tempMgr is set on manager-created temporary heaps: Drop offers the
+	// file back to that manager's recycle pool instead of unlinking it,
+	// so the next CreateTemp skips the create-file syscall.
+	tempMgr *Manager
+
 	// Geometry counters are atomic: the single writer mutates them while
 	// snapshot readers load them to bound scans and validate caches.
 	numPages  atomic.Int64
@@ -334,9 +339,12 @@ func (h *HeapFile) Flush() error {
 // Sync flushes the backing file to stable storage.
 func (h *HeapFile) Sync() error { return h.pager.Sync() }
 
-// Drop flushes the pool's view of the file and deletes it. A logged heap
-// is first unregistered and checkpointed away, so that after the file is
-// gone no log record or checkpoint base references it.
+// Drop deletes the file. A logged heap is first unregistered and
+// checkpointed away, so that after the file is gone no log record or
+// checkpoint base references it. A manager-created temp is offered back
+// to the manager's recycle pool instead of unlinked; either way its
+// dirty frames are discarded without write-back — flushing pages of a
+// dead file would be wasted I/O.
 func (h *HeapFile) Drop() error {
 	if h.logName != "" {
 		h.mgr.unregister(h.logName)
@@ -345,10 +353,38 @@ func (h *HeapFile) Drop() error {
 			return err
 		}
 	}
+	if h.tempMgr != nil {
+		if err := h.pool.DiscardPager(h.pager); err != nil {
+			return err
+		}
+		if h.tempMgr.recycleTemp(h) {
+			return nil
+		}
+		return h.pager.Remove()
+	}
 	if err := h.pool.DropPager(h.pager); err != nil {
 		return err
 	}
 	return h.pager.Remove()
+}
+
+// resetTemp readies a recycled temp heap for reuse under a new schema:
+// geometry and append cursor reset, stale pool frames already discarded
+// by Drop. The backing file keeps its length — reused pages are always
+// rewritten through the pool before any read can reach them.
+func (h *HeapFile) resetTemp(schema *frel.Schema) {
+	h.Schema = schema
+	h.numPages.Store(0)
+	h.numTuples.Store(0)
+	h.committed.Store(0)
+	h.committedVer.Store(0)
+	h.lastPage = -1
+	h.lastUsed = 0
+	h.version.Add(1)
+	h.statsMu.Lock()
+	h.stats = nil
+	h.statsMu.Unlock()
+	h.pager.Reset()
 }
 
 // Scanner iterates the tuples of a heap file in storage order through the
@@ -548,9 +584,16 @@ type Manager struct {
 	stats *Stats
 	wal   *WAL
 
-	mu    sync.Mutex // guards seq and heaps
+	mu    sync.Mutex // guards seq, heaps, and tempFree
 	seq   int
 	heaps map[string]*HeapFile // logged heaps by log name
+
+	// tempFree holds dropped temporary heaps ready for reuse. Their
+	// backing files stay on disk with stale contents and reset geometry,
+	// so a recycling CreateTemp skips the create-file syscall and the Drop
+	// that fed the pool skipped the unlink — per cold external sort that
+	// removes dozens of file-system operations for the run files alone.
+	tempFree []*HeapFile
 
 	tx *Tx // the open transaction, if any (writers are serialized above)
 
@@ -980,7 +1023,16 @@ func (m *Manager) Close() error {
 	for _, h := range m.heaps {
 		heaps = append(heaps, h)
 	}
+	temps := m.tempFree
+	m.tempFree = nil
 	m.mu.Unlock()
+	// Pooled temps hold open file handles; remove them for real now. Their
+	// pool frames were discarded when they entered the pool.
+	for _, h := range temps {
+		if err := h.pager.Remove(); err != nil && first == nil {
+			first = err
+		}
+	}
 	for _, h := range heaps {
 		if err := h.pager.Close(); err != nil && first == nil {
 			first = err
@@ -994,12 +1046,40 @@ func (m *Manager) Close() error {
 	return first
 }
 
-// CreateTemp creates a uniquely named temporary heap file (for sort runs
-// and materialized intermediates). Callers should Drop it when done.
+// tempFreeMax bounds the temp recycle pool; excess drops unlink normally.
+const tempFreeMax = 32
+
+// CreateTemp returns a temporary heap file (for sort runs and
+// materialized intermediates), recycling a previously dropped one when
+// available. Callers should Drop it when done.
 func (m *Manager) CreateTemp(schema *frel.Schema) (*HeapFile, error) {
 	m.mu.Lock()
+	if n := len(m.tempFree); n > 0 {
+		h := m.tempFree[n-1]
+		m.tempFree = m.tempFree[:n-1]
+		m.mu.Unlock()
+		h.resetTemp(schema)
+		return h, nil
+	}
 	m.seq++
 	seq := m.seq
 	m.mu.Unlock()
-	return m.CreateHeap(fmt.Sprintf("tmp-%06d", seq), schema)
+	h, err := m.CreateHeap(fmt.Sprintf("tmp-%06d", seq), schema)
+	if err != nil {
+		return nil, err
+	}
+	h.tempMgr = m
+	return h, nil
+}
+
+// recycleTemp offers a dropped temp back to the pool; false means the
+// pool is full and the caller should remove the file.
+func (m *Manager) recycleTemp(h *HeapFile) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.tempFree) >= tempFreeMax {
+		return false
+	}
+	m.tempFree = append(m.tempFree, h)
+	return true
 }

@@ -127,6 +127,12 @@ func (p *Pager) Allocate() PageID {
 	return PageID(p.pages.Add(1) - 1)
 }
 
+// Reset forgets every allocated page without touching the file, for
+// temp-file recycling: the next writer overwrites from page 0, and the
+// stale bytes beyond the new high-water mark are unreachable because
+// every read is bounded by the page count.
+func (p *Pager) Reset() { p.pages.Store(0) }
+
 // Truncate cuts the file back to numPages pages, discarding everything
 // beyond. Used by transaction rollback to drop pages appended by the
 // aborted transaction; the buffer pool's frames for the cut region must be

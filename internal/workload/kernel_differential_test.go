@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/frel"
+	"repro/internal/fsql"
+)
+
+// kernelQueries mirrors classQueries with a kernel-eligible local
+// predicate added to the outer block (and, for the uncorrelated class N,
+// to the inner block too). The stock class templates carry no local
+// predicates at all, so against them the fused filter kernels would never
+// fire and a kernels-vs-interpreted differential would be vacuous.
+// R.A = R.B compares two jittered triangular values generated around the
+// same centre, so the predicate yields genuinely partial degrees rather
+// than a crisp 0/1 cut.
+var kernelQueries = map[string]string{
+	"N":        `SELECT R.K FROM R WHERE R.A = R.B AND R.B IN (SELECT S.B FROM S WHERE S.A = S.B)%s`,
+	"J":        `SELECT R.K FROM R WHERE R.A = R.B AND R.B IN (SELECT S.B FROM S WHERE S.A = R.A)%s`,
+	"JX":       `SELECT R.K FROM R WHERE R.A = R.B AND R.B NOT IN (SELECT S.B FROM S WHERE S.A = R.A)%s`,
+	"JA":       `SELECT R.K FROM R WHERE R.A = R.B AND R.B >= (SELECT AVG(S.B) FROM S WHERE S.A = R.A)%s`,
+	"JA-COUNT": `SELECT R.K FROM R WHERE R.A = R.B AND R.K >= (SELECT COUNT(S.B) FROM S WHERE S.A = R.A)%s`,
+	"JALL":     `SELECT R.K FROM R WHERE R.A = R.B AND R.B > ALL (SELECT S.B FROM S WHERE S.A = R.A)%s`,
+}
+
+// kernelDiffSeeds is the number of random cases per class and matrix
+// stratum. KERNEL_SEED selects the stratum: stratum s covers seeds
+// [s*kernelDiffSeeds, (s+1)*kernelDiffSeeds), so the CI matrix legs sweep
+// disjoint seed ranges on top of the default stratum 0.
+const kernelDiffSeeds = 50
+
+// TestDifferentialKernels is the kernel-differential property test: for
+// every nesting class and seed, the unnested evaluation must return
+// bit-identical tuples and degrees (zero tolerance) across three engines —
+// batched with fused degree kernels, batched interpreted, and strict
+// tuple-at-a-time. Each case asserts non-vacuity (the kernels leg actually
+// compiled fused kernels, the ablation legs compiled none) and that the
+// kernel query variants still classify to the class's expected rewrite.
+func TestDifferentialKernels(t *testing.T) {
+	seeds := int64(kernelDiffSeeds)
+	if testing.Short() {
+		seeds = 10
+	}
+	stratum := int64(0)
+	if v := os.Getenv("KERNEL_SEED"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			t.Fatalf("bad KERNEL_SEED %q: %v", v, err)
+		}
+		stratum = n
+	}
+	for _, class := range Classes {
+		class := class
+		t.Run(class, func(t *testing.T) {
+			t.Parallel()
+			for seed := stratum * kernelDiffSeeds; seed < stratum*kernelDiffSeeds+seeds; seed++ {
+				c, err := NewDiffCase(class, seed)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				withClause := ""
+				if c.With > 0 {
+					withClause = fmt.Sprintf(" WITH D >= %g", c.With)
+				}
+				query := fmt.Sprintf(kernelQueries[class], withClause)
+				q, err := fsql.ParseQuery(query)
+				if err != nil {
+					t.Fatalf("seed %d: parse %q: %v", seed, query, err)
+				}
+
+				eval := func(leg string, disableKernels, disableBatch bool) (*frel.Relation, int64) {
+					env := core.NewMemEnv()
+					env.DisableKernels = disableKernels
+					env.DisableBatch = disableBatch
+					env.RegisterRelation("R", c.R)
+					env.RegisterRelation("S", c.S)
+					if plan := env.Explain(q); plan.Strategy != expectedStrategy[class] {
+						t.Fatalf("seed %d: %s: class %s classified as %v (%s), want %v",
+							seed, leg, class, plan.Strategy, plan.Note, expectedStrategy[class])
+					}
+					res, err := env.EvalUnnested(q)
+					if err != nil {
+						t.Fatalf("seed %d: %s: %v", seed, leg, err)
+					}
+					return res, env.Counters.KernelTuples.Load()
+				}
+
+				kern, kt := eval("kernels", false, false)
+				if kt == 0 {
+					t.Fatalf("seed %d: class %s: kernels leg compiled no fused kernels (vacuous differential) on %s",
+						seed, class, query)
+				}
+				interp, it := eval("interpreted", true, false)
+				if it != 0 {
+					t.Fatalf("seed %d: interpreted leg processed %d kernel tuples, want 0", seed, it)
+				}
+				tuple, tt := eval("tuple", true, true)
+				if tt != 0 {
+					t.Fatalf("seed %d: tuple leg processed %d kernel tuples, want 0", seed, tt)
+				}
+
+				if !kern.Equal(interp, 0) {
+					t.Fatalf("seed %d: class %s kernels/interpreted mismatch on %s\nR: %d tuples, S: %d tuples\nkernels (%d tuples):\n%v\ninterpreted (%d tuples):\n%v",
+						seed, class, query, c.R.Len(), c.S.Len(),
+						kern.Len(), kern, interp.Len(), interp)
+				}
+				if !kern.Equal(tuple, 0) {
+					t.Fatalf("seed %d: class %s kernels/tuple mismatch on %s\nR: %d tuples, S: %d tuples\nkernels (%d tuples):\n%v\ntuple (%d tuples):\n%v",
+						seed, class, query, c.R.Len(), c.S.Len(),
+						kern.Len(), kern, tuple.Len(), tuple)
+				}
+			}
+		})
+	}
+}

@@ -45,11 +45,12 @@ import (
 
 // config collects the Open options.
 type config struct {
-	bufferPages  int
-	parallelism  int
-	disableBatch bool
-	noWAL        bool
-	groupCommit  time.Duration
+	bufferPages    int
+	parallelism    int
+	disableBatch   bool
+	disableKernels bool
+	noWAL          bool
+	groupCommit    time.Duration
 }
 
 // Option customizes Open.
@@ -87,6 +88,18 @@ func WithParallelism(workers int) Option {
 func WithTupleAtATime() Option {
 	return func(c *config) error {
 		c.disableBatch = true
+		return nil
+	}
+}
+
+// WithInterpretedKernels disables the fused kernel compiler and runs the
+// batched engine through its interpreted closure operators. The two modes
+// compute identical answers; this switch exists for comparison and
+// debugging (compiled kernels are faster and are the default). It is a
+// no-op under WithTupleAtATime, which bypasses the batch engine entirely.
+func WithInterpretedKernels() Option {
+	return func(c *config) error {
+		c.disableKernels = true
 		return nil
 	}
 }
@@ -173,6 +186,7 @@ func Open(dir string, opts ...Option) (*DB, error) {
 	}
 	sess.Env.Parallelism = c.parallelism
 	sess.Env.DisableBatch = c.disableBatch
+	sess.Env.DisableKernels = c.disableKernels
 	db := &DB{dir: dir, ownsDir: ownsDir}
 	db.base = &Session{db: db, sess: sess}
 	return db, nil
